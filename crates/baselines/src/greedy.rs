@@ -1,0 +1,193 @@
+//! Graph-aware greedy list scheduling — the "what a practitioner would try
+//! first" baseline for all three machine environments.
+//!
+//! Jobs are taken in LPT order; each goes to the compatible machine that
+//! finishes it earliest. Greedy can paint itself into a corner (every
+//! machine blocked by a neighbor), so on bipartite graphs it falls back to
+//! the trivial 2-coloring split over the two fastest machines, which is
+//! always feasible for `m ≥ 2`.
+
+use bisched_graph::{bipartition, Side};
+use bisched_model::{Instance, MachineEnvironment, MachineId, Rat, Schedule};
+
+/// Why a baseline could not produce a schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The graph is not bipartite and greedy dead-ended.
+    Stuck,
+    /// Fewer machines than the baseline requires.
+    TooFewMachines {
+        /// Machines required.
+        need: usize,
+        /// Machines available.
+        got: usize,
+    },
+    /// The incompatibility graph is not bipartite (needed for fallback).
+    NotBipartite,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Stuck => write!(f, "greedy dead-ended with no fallback"),
+            BaselineError::TooFewMachines { need, got } => {
+                write!(f, "baseline needs {need} machines, instance has {got}")
+            }
+            BaselineError::NotBipartite => write!(f, "incompatibility graph is not bipartite"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+fn job_cost(inst: &Instance, i: MachineId, j: u32) -> u64 {
+    match inst.env() {
+        MachineEnvironment::Unrelated { times } => times[i as usize][j as usize],
+        _ => inst.processing(j),
+    }
+}
+
+fn completion_if(inst: &Instance, loads: &[u64], i: MachineId, j: u32) -> Rat {
+    let new_load = loads[i as usize] + job_cost(inst, i, j);
+    match inst.env() {
+        MachineEnvironment::Uniform { speeds } => Rat::new(new_load, speeds[i as usize]),
+        _ => Rat::integer(new_load),
+    }
+}
+
+/// Graph-aware LPT greedy with 2-coloring fallback. Works for `P`, `Q`,
+/// and `R` environments.
+pub fn greedy_lpt(inst: &Instance) -> Result<Schedule, BaselineError> {
+    let n = inst.num_jobs();
+    let m = inst.num_machines() as MachineId;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| inst.processing(b).cmp(&inst.processing(a)).then(a.cmp(&b)));
+
+    let mut assignment = vec![u32::MAX; n];
+    let mut loads = vec![0u64; m as usize];
+    for &j in &order {
+        let mut best: Option<(Rat, MachineId)> = None;
+        for i in 0..m {
+            let conflict = inst
+                .graph()
+                .neighbors(j)
+                .iter()
+                .any(|&u| assignment[u as usize] == i);
+            if conflict {
+                continue;
+            }
+            let c = completion_if(inst, &loads, i, j);
+            if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                best = Some((c, i));
+            }
+        }
+        match best {
+            Some((_, i)) => {
+                loads[i as usize] += job_cost(inst, i, j);
+                assignment[j as usize] = i;
+            }
+            None => return coloring_split(inst),
+        }
+    }
+    Ok(Schedule::new(assignment))
+}
+
+/// The trivial feasible baseline: the 2-coloring classes go wholesale to the
+/// two fastest machines. Always feasible for bipartite `G` and `m ≥ 2`;
+/// usually terrible — it is the floor other methods are compared against.
+pub fn coloring_split(inst: &Instance) -> Result<Schedule, BaselineError> {
+    if inst.num_machines() < 2 {
+        return Err(BaselineError::TooFewMachines {
+            need: 2,
+            got: inst.num_machines(),
+        });
+    }
+    let bp = bipartition(inst.graph()).map_err(|_| BaselineError::NotBipartite)?;
+    let assignment = (0..inst.num_jobs() as u32)
+        .map(|j| match bp.side(j) {
+            Side::Left => 0u32,
+            Side::Right => 1u32,
+        })
+        .collect();
+    Ok(Schedule::new(assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_graph::{gilbert_bipartite, Graph};
+    use bisched_model::JobSizes;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn greedy_feasible_across_environments() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..=25);
+            let m = rng.gen_range(2..=4);
+            let g = gilbert_bipartite(n / 2, n - n / 2, 0.3, &mut rng);
+            let p = JobSizes::Uniform { lo: 1, hi: 30 }.sample(n, &mut rng);
+            let inst = match trial % 3 {
+                0 => Instance::identical(m, p, g).unwrap(),
+                1 => {
+                    let speeds = (0..m).map(|_| rng.gen_range(1..=5)).collect();
+                    Instance::uniform(speeds, p, g).unwrap()
+                }
+                _ => {
+                    let times = (0..m)
+                        .map(|_| (0..n).map(|_| rng.gen_range(1..=30)).collect())
+                        .collect();
+                    Instance::unrelated(times, g).unwrap()
+                }
+            };
+            let s = greedy_lpt(&inst).expect("bipartite, m >= 2");
+            assert!(s.validate(&inst).is_ok(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn greedy_matches_lpt_without_graph() {
+        // Classic LPT on {5,4,3,3,3} over 2 identical machines -> 9.
+        let inst = Instance::identical(2, vec![5, 4, 3, 3, 3], Graph::empty(5)).unwrap();
+        let s = greedy_lpt(&inst).unwrap();
+        assert_eq!(s.makespan(&inst), Rat::integer(10));
+        let mut l = s.loads(&inst);
+        l.sort();
+        assert_eq!(l, vec![8, 10]);
+    }
+
+    #[test]
+    fn coloring_split_is_feasible_and_trivial() {
+        let g = Graph::complete_bipartite(3, 4);
+        let inst = Instance::uniform(vec![2, 1, 1], vec![1; 7], g).unwrap();
+        let s = coloring_split(&inst).unwrap();
+        assert!(s.validate(&inst).is_ok());
+        // Only the first two machines are used.
+        assert!(s.assignment().iter().all(|&i| i < 2));
+    }
+
+    #[test]
+    fn coloring_split_needs_two_machines() {
+        let inst = Instance::identical(1, vec![1, 1], Graph::from_edges(2, &[(0, 1)])).unwrap();
+        assert_eq!(
+            coloring_split(&inst).unwrap_err(),
+            BaselineError::TooFewMachines { need: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn coloring_split_rejects_odd_cycles() {
+        let inst = Instance::identical(3, vec![1; 5], Graph::cycle(5)).unwrap();
+        assert_eq!(coloring_split(&inst).unwrap_err(), BaselineError::NotBipartite);
+    }
+
+    #[test]
+    fn greedy_on_complete_bipartite_forces_two_machines() {
+        // K_{n,n}: each side must be monochromatic per machine.
+        let g = Graph::complete_bipartite(4, 4);
+        let inst = Instance::identical(4, vec![1; 8], g).unwrap();
+        let s = greedy_lpt(&inst).unwrap();
+        assert!(s.validate(&inst).is_ok());
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion benches for the `C**_max` machinery: the event-heap minimal
+//! covering time must scale `O(m log m)` in the machine count (Lemma 10's
+//! last term), independent of the demand's magnitude.
+
+use bisched_model::{cstar_double_max, min_time_to_cover, SpeedProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_min_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_time_to_cover");
+    for m in [16usize, 256, 4096] {
+        let speeds = SpeedProfile::TwoTier {
+            fast_count: m / 8,
+            factor: 50,
+        }
+        .speeds(m);
+        let demand: u64 = 1_000_000_007; // large, to stress the heap path
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(min_time_to_cover(&speeds, demand)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cstar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cstar_double_max");
+    for m in [16usize, 256, 4096] {
+        // Geometric speeds overflow u64 beyond ~63 machines; cap the decay
+        // and pad with unit machines.
+        let mut speeds = SpeedProfile::Geometric { ratio: 2 }.speeds(m.min(48));
+        speeds.resize(m, 1);
+        speeds.sort_unstable_by(|a, b| b.cmp(a));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(cstar_double_max(&speeds, 5_000_000, 1_000_000, 9_999)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_min_cover, bench_cstar);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the paper's algorithms end-to-end: Algorithm 1
+//! (`Q`, Theorem 9), Algorithm 2 (random graphs, Theorem 19), and
+//! Algorithm 4 (`R2` 2-approx — the `O(n)` claim of Theorem 21).
+
+use bisched_core::{alg1_sqrt_approx, alg2_random_graph, r2_two_approx};
+use bisched_graph::gilbert_bipartite;
+use bisched_model::{Instance, JobSizes, SpeedProfile, UnrelatedFamily};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_alg1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_sqrt_approx");
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = gilbert_bipartite(n / 2, n / 2, 2.0 / n as f64, &mut rng);
+        let p = JobSizes::Uniform { lo: 1, hi: 50 }.sample(n, &mut rng);
+        let inst =
+            Instance::uniform(SpeedProfile::Geometric { ratio: 2 }.speeds(8), p, g).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(alg1_sqrt_approx(&inst).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_random_graph");
+    group.sample_size(10);
+    for n in [512usize, 2048, 8192] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gilbert_bipartite(n, n, 2.0 / n as f64, &mut rng);
+        let inst = Instance::uniform(
+            SpeedProfile::TwoTier {
+                fast_count: 2,
+                factor: 8,
+            }
+            .speeds(8),
+            vec![1; 2 * n],
+            g,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(alg2_random_graph(&inst).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r2_two_approx_linear_time");
+    group.sample_size(10);
+    for n in [1000usize, 10_000, 100_000] {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = gilbert_bipartite(n / 2, n / 2, 2.0 / n as f64, &mut rng);
+        let times = UnrelatedFamily::Uncorrelated { lo: 1, hi: 100 }.sample(2, n, &mut rng);
+        let inst = Instance::unrelated(times, g).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(r2_two_approx(&inst).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg1, bench_alg2, bench_alg4);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches for the exact oracles: the pseudo-polynomial `Q2`
+//! subset-sum DP, the `R2` Pareto DP, the 1-PrExt decider, and branch &
+//! bound — quantifying the oracle cost that caps how far the ratio
+//! experiments can verify against true optima.
+
+use bisched_exact::{
+    branch_and_bound, precoloring_extension, q2_bipartite_exact, r2_bipartite_exact,
+    standard_pins,
+};
+use bisched_graph::gilbert_bipartite;
+use bisched_model::{Instance, JobSizes, UnrelatedFamily};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_q2_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q2_bipartite_exact");
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let mut rng = StdRng::seed_from_u64(30);
+        let g = gilbert_bipartite(n / 2, n / 2, 2.0 / n as f64, &mut rng);
+        let p = JobSizes::Uniform { lo: 1, hi: 20 }.sample(n, &mut rng);
+        let inst = Instance::uniform(vec![3, 1], p, g).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(q2_bipartite_exact(&inst).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_r2_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r2_bipartite_exact");
+    group.sample_size(10);
+    for n in [50usize, 200, 800] {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = gilbert_bipartite(n / 2, n / 2, 2.0 / n as f64, &mut rng);
+        let times = UnrelatedFamily::Uncorrelated { lo: 1, hi: 30 }.sample(2, n, &mut rng);
+        let inst = Instance::unrelated(times, g).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(r2_bipartite_exact(&inst).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prext(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precoloring_extension");
+    for n_side in [6usize, 10, 14] {
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = gilbert_bipartite(n_side, n_side, 0.4, &mut rng);
+        let pins = standard_pins(&[0, 1, n_side as u32]);
+        group.bench_with_input(BenchmarkId::from_parameter(2 * n_side), &n_side, |b, _| {
+            b.iter(|| black_box(precoloring_extension(&g, &pins, 3).is_some()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bnb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_and_bound");
+    group.sample_size(10);
+    for n in [10usize, 14, 18] {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = gilbert_bipartite(n / 2, n / 2, 0.3, &mut rng);
+        let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(n, &mut rng);
+        let inst = Instance::uniform(vec![4, 2, 1], p, g).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(branch_and_bound(&inst, u64::MAX).optimum.unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q2_dp, bench_r2_dp, bench_prext, bench_bnb);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches for the FPTAS substrate and Algorithm 5: time as a
+//! function of `n` and `1/ε` — the `O(n · 1/ε)`-flavored contract of
+//! Theorem 22 (our Horowitz–Sahni substitution is `O(n² /ε)`-ish; the
+//! *shape* — polynomial in both, smooth in ε — is what matters).
+
+use bisched_core::r2_fptas;
+use bisched_fptas::rm_cmax_fptas;
+use bisched_graph::gilbert_bipartite;
+use bisched_model::{Instance, UnrelatedFamily};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_rm_fptas_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rm_cmax_fptas_by_eps");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(20);
+    let times = UnrelatedFamily::Uncorrelated { lo: 1, hi: 2_000 }.sample(2, 150, &mut rng);
+    for eps in [1.0f64, 0.25, 0.05] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &e| {
+            b.iter(|| black_box(rm_cmax_fptas(&times, e).makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rm_fptas_m3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rm_cmax_fptas_three_machines");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(21);
+    for n in [20usize, 40] {
+        let times = UnrelatedFamily::Uncorrelated { lo: 1, hi: 50 }.sample(3, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(rm_cmax_fptas(&times, 0.5).makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg5_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg5_r2_fptas");
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = gilbert_bipartite(n / 2, n / 2, 2.0 / n as f64, &mut rng);
+        let times = UnrelatedFamily::Uncorrelated { lo: 1, hi: 100 }.sample(2, n, &mut rng);
+        let inst = Instance::unrelated(times, g).unwrap();
+        for eps in [0.5f64, 0.05] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("eps{eps}"), n),
+                &n,
+                |b, _| b.iter(|| black_box(r2_fptas(&inst, eps).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rm_fptas_eps,
+    bench_rm_fptas_m3,
+    bench_alg5_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches for the graph substrate: the Hopcroft–Karp
+//! `O(E√V)` matching, the Dinic-based max-weight independent set, and the
+//! linear-time bipartition — the primitives whose costs dominate
+//! Algorithm 1's `O(|J|² + |J||E| + |M| log |M|)` budget (Lemma 10).
+
+use bisched_graph::{
+    bipartition, gilbert_bipartite, inequitable_coloring, max_weight_independent_set,
+    maximum_matching,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gilbert_bipartite(n, n, 3.0 / n as f64, &mut rng);
+        let bp = bipartition(&g).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(maximum_matching(&g, &bp).size()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mwis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_weight_independent_set");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gilbert_bipartite(n, n, 3.0 / n as f64, &mut rng);
+        let weights: Vec<u64> = (0..2 * n as u64).map(|i| 1 + i % 17).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(max_weight_independent_set(&g, &weights).weight))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bipartition_and_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bipartition_coloring");
+    group.sample_size(20);
+    for n in [1024usize, 8192] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gilbert_bipartite(n, n, 2.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("bipartition", n), &n, |b, _| {
+            b.iter(|| black_box(bipartition(&g).unwrap().part_sizes()))
+        });
+        group.bench_with_input(BenchmarkId::new("inequitable", n), &n, |b, _| {
+            b.iter(|| black_box(inequitable_coloring(&g).unwrap().class_sizes()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matching,
+    bench_mwis,
+    bench_bipartition_and_coloring
+);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! `bisched_cli` — command-line front end for the library.
+//!
+//! ```text
+//! bisched_cli generate q <n> <m> <p> <seed>     emit a random Q instance (text format)
+//! bisched_cli generate r <n> <m> <p> <seed>     emit a random R instance
+//! bisched_cli info <file>                       describe an instance
+//! bisched_cli solve <file> [method]             solve; method = auto | alg1 | alg2 |
+//!                                               fptas:<eps> | twoapprox | exact
+//! ```
+//!
+//! Instances use the text format of `bisched_model::io` (see its docs).
+
+use bisched_core::{alg1_sqrt_approx, alg2_random_graph, r2_fptas, r2_two_approx, solve};
+use bisched_exact::{branch_and_bound, q2_bipartite_exact, r2_bipartite_exact};
+use bisched_graph::{gilbert_bipartite, is_bipartite, Components};
+use bisched_model::{from_text, to_text, Instance, JobSizes, Rat, Schedule, SpeedProfile, UnrelatedFamily};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bisched_cli generate q <n> <m> <p> <seed>
+  bisched_cli generate r <n> <m> <p> <seed>
+  bisched_cli info <file>
+  bisched_cli solve <file> [auto|alg1|alg2|fptas:<eps>|twoapprox|exact]";
+
+fn parse<T: std::str::FromStr>(s: Option<&String>, what: &str) -> Result<T, String> {
+    s.ok_or_else(|| format!("missing {what}\n{USAGE}"))?
+        .parse()
+        .map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let kind = args.first().map(String::as_str);
+    let n: usize = parse(args.get(1), "n")?;
+    let m: usize = parse(args.get(2), "m")?;
+    let p: f64 = parse(args.get(3), "p")?;
+    let seed: u64 = parse(args.get(4), "seed")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gilbert_bipartite(n / 2, n - n / 2, p, &mut rng);
+    let inst = match kind {
+        Some("q") => Instance::uniform(
+            SpeedProfile::Geometric { ratio: 2 }.speeds(m),
+            JobSizes::Uniform { lo: 1, hi: 50 }.sample(n, &mut rng),
+            g,
+        ),
+        Some("r") => Instance::unrelated(
+            UnrelatedFamily::Uncorrelated { lo: 1, hi: 100 }.sample(m, n, &mut rng),
+            g,
+        ),
+        _ => return Err(format!("generate needs q|r\n{USAGE}")),
+    }
+    .map_err(|e| e.to_string())?;
+    print!("{}", to_text(&inst));
+    Ok(())
+}
+
+fn load(args: &[String]) -> Result<Instance, String> {
+    let path = args.first().ok_or_else(|| format!("missing file\n{USAGE}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let inst = load(args)?;
+    let g = inst.graph();
+    println!("instance    {}", inst.describe());
+    println!("jobs        {}", inst.num_jobs());
+    println!("machines    {}", inst.num_machines());
+    println!("edges       {}", g.num_edges());
+    println!("bipartite   {}", is_bipartite(g));
+    println!("components  {}", Components::of(g).count());
+    println!("sum p_j     {}", inst.total_processing());
+    println!("p_max       {}", inst.max_processing());
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let inst = load(args)?;
+    let method = args.get(1).map(String::as_str).unwrap_or("auto");
+    let (schedule, label): (Schedule, String) = match method {
+        "auto" => {
+            let s = solve(&inst).map_err(|e| e.to_string())?;
+            let label = format!("{:?} — {}", s.method, s.guarantee);
+            (s.schedule, label)
+        }
+        "alg1" => {
+            let r = alg1_sqrt_approx(&inst).map_err(|e| e.to_string())?;
+            (r.schedule, format!("Algorithm 1 (winner {})", r.winner))
+        }
+        "alg2" => {
+            let r = alg2_random_graph(&inst).map_err(|e| e.to_string())?;
+            (r.schedule, format!("Algorithm 2 (k = {})", r.k))
+        }
+        "twoapprox" => (
+            r2_two_approx(&inst).map_err(|e| e.to_string())?,
+            "Algorithm 4 (2-approx)".into(),
+        ),
+        "exact" => {
+            let opt = if inst.num_machines() == 2 {
+                match inst.env() {
+                    bisched_model::MachineEnvironment::Unrelated { .. } => {
+                        r2_bipartite_exact(&inst).map_err(|e| e.to_string())?
+                    }
+                    _ => q2_bipartite_exact(&inst).map_err(|e| e.to_string())?,
+                }
+            } else {
+                branch_and_bound(&inst, 200_000_000)
+                    .optimum
+                    .ok_or("infeasible or node budget exhausted")?
+            };
+            (opt.schedule, "exact oracle".into())
+        }
+        m if m.starts_with("fptas:") => {
+            let eps: f64 = m[6..].parse().map_err(|_| format!("bad eps in {m}"))?;
+            (
+                r2_fptas(&inst, eps).map_err(|e| e.to_string())?,
+                format!("Algorithm 5 (FPTAS, eps = {eps})"),
+            )
+        }
+        other => return Err(format!("unknown method {other}\n{USAGE}")),
+    };
+    schedule.validate(&inst).map_err(|e| e.to_string())?;
+    let makespan = schedule.makespan(&inst);
+    println!("method    {label}");
+    println!("C_max     {makespan}  (~{:.4})", makespan.to_f64());
+    for i in 0..inst.num_machines() as u32 {
+        let jobs = schedule.jobs_on(i);
+        let load: u64 = match inst.env() {
+            bisched_model::MachineEnvironment::Unrelated { times } => {
+                jobs.iter().map(|&j| times[i as usize][j as usize]).sum()
+            }
+            _ => jobs.iter().map(|&j| inst.processing(j)).sum(),
+        };
+        let time = match inst.env() {
+            bisched_model::MachineEnvironment::Uniform { speeds } => {
+                Rat::new(load, speeds[i as usize])
+            }
+            _ => Rat::integer(load),
+        };
+        println!("M{:<3} time {:>10}  jobs {:?}", i + 1, time.to_string(), jobs);
+    }
+    Ok(())
+}

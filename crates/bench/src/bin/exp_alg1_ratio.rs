@@ -1,0 +1,121 @@
+//! E3 — Theorem 9: Algorithm 1's approximation quality for
+//! `Q | G = bipartite | C_max`.
+//!
+//! Two panels:
+//!
+//! * **oracle panel** (small n): ratio against the exact branch-and-bound
+//!   optimum, swept over edge density × speed profile × job sizes — every
+//!   ratio must sit below the `√Σp_j` budget, and typically far below;
+//! * **scale panel** (large n): ratio against the exact `C**_max` lower
+//!   bound, where no oracle can follow — shows the algorithm stays
+//!   constant-factor-ish on natural inputs even though the worst case
+//!   cannot be beaten (Theorem 8).
+
+use bisched_bench::{f2, f4, section, Table};
+use bisched_core::alg1_sqrt_approx;
+use bisched_exact::branch_and_bound;
+use bisched_graph::gilbert_bipartite;
+use bisched_model::{Instance, JobSizes, SpeedProfile};
+use bisched_random::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+fn main() {
+    let profiles = [
+        SpeedProfile::Equal,
+        SpeedProfile::Geometric { ratio: 2 },
+        SpeedProfile::OneFast { factor: 8 },
+    ];
+    let sizes = [
+        JobSizes::Unit,
+        JobSizes::Uniform { lo: 1, hi: 20 },
+        JobSizes::Bimodal {
+            small: (1, 4),
+            big: (30, 60),
+            big_percent: 15,
+        },
+    ];
+
+    section("oracle panel: ratio vs exact OPT (n = 10, m = 4, 24 seeds)");
+    let mut t = Table::new(&[
+        "p", "speeds", "sizes", "ratio mean", "ratio max", "sqrt(sum p) mean", "S2 wins",
+    ]);
+    for p in [0.1, 0.3, 0.6] {
+        for profile in profiles {
+            for size in sizes {
+                let results: Vec<(f64, f64, bool)> = (0..24u64)
+                    .into_par_iter()
+                    .map(|seed| {
+                        let mut rng = StdRng::seed_from_u64(7000 + seed);
+                        let n = 10;
+                        let g = gilbert_bipartite(n / 2, n - n / 2, p, &mut rng);
+                        let pj = size.sample(n, &mut rng);
+                        let inst = Instance::uniform(profile.speeds(4), pj, g).unwrap();
+                        let r = alg1_sqrt_approx(&inst).unwrap();
+                        r.schedule.validate(&inst).unwrap();
+                        let opt = branch_and_bound(&inst, 50_000_000);
+                        assert!(opt.complete);
+                        let opt = opt.optimum.unwrap();
+                        let ratio = r.makespan.ratio_to(&opt.makespan);
+                        let budget = (inst.total_processing() as f64).sqrt();
+                        assert!(ratio <= budget + 1e-9, "Theorem 9 violated");
+                        (ratio, budget, r.winner == "S2")
+                    })
+                    .collect();
+                let ratio = Summary::of(results.iter().map(|r| r.0));
+                let budget = Summary::of(results.iter().map(|r| r.1));
+                let s2 = results.iter().filter(|r| r.2).count();
+                t.row(vec![
+                    f2(p),
+                    profile.label(),
+                    size.label(),
+                    f4(ratio.mean()),
+                    f4(ratio.max),
+                    f2(budget.mean()),
+                    format!("{s2}/24"),
+                ]);
+            }
+        }
+    }
+    t.print();
+
+    section("scale panel: ratio vs C** lower bound (m = 8, 8 seeds)");
+    let mut t2 = Table::new(&["n", "p", "speeds", "ratio mean", "ratio max", "sqrt(sum p)"]);
+    for n in [100usize, 400, 1600] {
+        for profile in profiles {
+            let p = 2.0 / n as f64;
+            let results: Vec<(f64, f64)> = (0..8u64)
+                .into_par_iter()
+                .map(|seed| {
+                    let mut rng = StdRng::seed_from_u64(9000 + seed);
+                    let g = gilbert_bipartite(n / 2, n - n / 2, p, &mut rng);
+                    let pj = JobSizes::Uniform { lo: 1, hi: 20 }.sample(n, &mut rng);
+                    let inst = Instance::uniform(profile.speeds(8), pj, g).unwrap();
+                    let r = alg1_sqrt_approx(&inst).unwrap();
+                    r.schedule.validate(&inst).unwrap();
+                    let lb = r.cstar_lower.expect("main path runs at this size");
+                    (
+                        r.makespan.ratio_to(&lb),
+                        (inst.total_processing() as f64).sqrt(),
+                    )
+                })
+                .collect();
+            let ratio = Summary::of(results.iter().map(|r| r.0));
+            let budget = Summary::of(results.iter().map(|r| r.1));
+            t2.row(vec![
+                n.to_string(),
+                format!("2/n"),
+                profile.label(),
+                f4(ratio.mean()),
+                f4(ratio.max),
+                f2(budget.mean()),
+            ]);
+        }
+    }
+    t2.print();
+    println!(
+        "\nReading: worst-case theory allows ratios up to √Σp (right column);\n\
+         measured ratios stay near 1–2 on all natural workloads."
+    );
+}

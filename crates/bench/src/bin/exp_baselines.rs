@@ -1,0 +1,125 @@
+//! E11 — prior art and the price of a guarantee.
+//!
+//! Panel 1 (benign random instances): the Bodlaender–Jansen–Woeginger
+//! 2-approximation [3] and plain graph-aware LPT actually *win* on
+//! friendly inputs — Algorithm 1 pays a constant-factor "insurance
+//! premium" for its worst-case machinery (reserved machine groups, the
+//! two-machine `S1` fallback).
+//!
+//! Panel 2 (adversarial stars): a single heavy job conflicting with
+//! everything, plus a fast machine, makes greedy LPT collapse — its ratio
+//! grows linearly with the star width, while Algorithm 1 (whose `S1`
+//! FPTAS sees the trap) and BJW stay bounded. This is exactly the regime
+//! the paper's guarantees are for.
+
+use bisched_baselines::{bjw_two_approx, coloring_split, greedy_lpt};
+use bisched_bench::{f4, section, Table};
+use bisched_core::alg1_sqrt_approx;
+use bisched_exact::branch_and_bound;
+use bisched_graph::{gilbert_bipartite, GraphBuilder};
+use bisched_model::{Instance, JobSizes, Rat, SpeedProfile};
+use bisched_random::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+fn main() {
+    section("benign panel: ratio vs exact OPT (n = 9, m = 4, 24 seeds)");
+    let mut t = Table::new(&[
+        "speeds",
+        "Alg1 mean",
+        "BJW mean",
+        "greedy-LPT mean",
+        "color-split mean",
+    ]);
+    for profile in [
+        SpeedProfile::Equal,
+        SpeedProfile::OneFast { factor: 4 },
+        SpeedProfile::OneFast { factor: 16 },
+        SpeedProfile::Geometric { ratio: 2 },
+    ] {
+        let rows: Vec<(f64, f64, f64, f64)> = (0..24u64)
+            .into_par_iter()
+            .map(|seed| {
+                let mut rng = StdRng::seed_from_u64(1100 + seed);
+                let n = 9;
+                let g = gilbert_bipartite(4, 5, 0.35, &mut rng);
+                let p = JobSizes::Uniform { lo: 1, hi: 15 }.sample(n, &mut rng);
+                let inst = Instance::uniform(profile.speeds(4), p, g).unwrap();
+                let out = branch_and_bound(&inst, 50_000_000);
+                assert!(out.complete);
+                let opt = out.optimum.unwrap().makespan;
+                let a1 = alg1_sqrt_approx(&inst).unwrap().makespan.ratio_to(&opt);
+                let bjw = bjw_two_approx(&inst)
+                    .unwrap()
+                    .makespan(&inst)
+                    .ratio_to(&opt);
+                let lpt = greedy_lpt(&inst).unwrap().makespan(&inst).ratio_to(&opt);
+                let split = coloring_split(&inst)
+                    .unwrap()
+                    .makespan(&inst)
+                    .ratio_to(&opt);
+                (a1, bjw, lpt, split)
+            })
+            .collect();
+        t.row(vec![
+            profile.label(),
+            f4(Summary::of(rows.iter().map(|r| r.0)).mean()),
+            f4(Summary::of(rows.iter().map(|r| r.1)).mean()),
+            f4(Summary::of(rows.iter().map(|r| r.2)).mean()),
+            f4(Summary::of(rows.iter().map(|r| r.3)).mean()),
+        ]);
+    }
+    t.print();
+
+    section("adversarial panel: heavy-center star, speeds (t, 1, 1)");
+    // One heavy job (size t) conflicts with t medium jobs (size t-1 each).
+    // OPT parks the mediums on the fast machine and the heavy job on a
+    // slow one (C* = t); greedy LPT grabs the fast machine for the heavy
+    // job first and strands the mediums on the slow tail.
+    let mut t2 = Table::new(&[
+        "t (star width)",
+        "OPT",
+        "Alg1 ratio",
+        "BJW ratio",
+        "greedy-LPT ratio",
+    ]);
+    for t_width in [4usize, 8, 16, 32, 64] {
+        let mut b = GraphBuilder::new(1);
+        let first = b.add_vertices(t_width);
+        for leaf in first..first + t_width as u32 {
+            b.add_edge(0, leaf);
+        }
+        let g = b.build();
+        let mut p = vec![(t_width as u64 - 1).max(1); t_width + 1];
+        p[0] = t_width as u64;
+        let inst = Instance::uniform(vec![t_width as u64, 1, 1], p, g).unwrap();
+        // OPT: mediums on the fast machine (t*(t-1)/t = t-1 .. ceil), heavy
+        // on a slow one (t). Verify with the oracle at small t.
+        let opt = if t_width <= 16 {
+            branch_and_bound(&inst, 100_000_000)
+                .optimum
+                .unwrap()
+                .makespan
+        } else {
+            Rat::integer(t_width as u64)
+        };
+        let a1 = alg1_sqrt_approx(&inst).unwrap().makespan.ratio_to(&opt);
+        let bjw = bjw_two_approx(&inst).unwrap().makespan(&inst).ratio_to(&opt);
+        let lpt = greedy_lpt(&inst).unwrap().makespan(&inst).ratio_to(&opt);
+        t2.row(vec![
+            t_width.to_string(),
+            opt.to_string(),
+            f4(a1),
+            f4(bjw),
+            f4(lpt),
+        ]);
+    }
+    t2.print();
+    println!(
+        "\nReading: on benign inputs the cheap heuristics win and Algorithm 1\n\
+         pays its worst-case insurance premium; on the adversarial star the\n\
+         premium pays out — greedy LPT's ratio grows with the star width\n\
+         while Algorithm 1 stays bounded (Theorem 9's whole point)."
+    );
+}

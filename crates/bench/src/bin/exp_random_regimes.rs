@@ -1,0 +1,66 @@
+//! E7 — Theorem 19: Algorithm 2 is a.a.s. a 2-approximation for
+//! `Q | G = G_{n,n,p(n)}, p_j = 1 | C_max`, in *every* `p(n)` regime and
+//! for every speed shape.
+//!
+//! The ratio is measured against the graph-aware lower bound
+//! `max(cover(2n, all machines), cover(μ, M_2..M_m), 1/s_1)` — exactly the
+//! quantity the proof of Theorem 19 compares against. The `2 + o(1)`
+//! promise shows up as the max column staying at/below 2 with the
+//! overshoot shrinking as `n` doubles.
+
+use bisched_bench::{f4, section, Table};
+use bisched_graph::EdgeProbability;
+use bisched_model::SpeedProfile;
+use bisched_random::alg2_ratio_experiment;
+
+fn main() {
+    let regimes = [
+        EdgeProbability::SubCritical { exponent: 1.5 },
+        EdgeProbability::Critical { a: 1.0 },
+        EdgeProbability::Critical { a: 4.0 },
+        EdgeProbability::SuperCritical { c: 1.0, exponent: 0.5 },
+        EdgeProbability::Constant { p: 0.1 },
+    ];
+    let profiles = [
+        SpeedProfile::Equal,
+        SpeedProfile::Geometric { ratio: 2 },
+        SpeedProfile::OneFast { factor: 16 },
+        SpeedProfile::TwoTier {
+            fast_count: 2,
+            factor: 8,
+        },
+    ];
+
+    section("Algorithm 2 vs graph-aware LB (m = 6, 16 seeds per cell)");
+    let mut t = Table::new(&[
+        "regime", "speeds", "n", "ratio mean", "ratio max", "k mean",
+    ]);
+    let mut global_max: f64 = 0.0;
+    for regime in regimes {
+        for profile in profiles {
+            for n in [128usize, 512, 2048] {
+                let row = alg2_ratio_experiment(n, regime, profile, 6, 16, 29);
+                global_max = global_max.max(row.ratio_max);
+                t.row(vec![
+                    row.regime.clone(),
+                    row.speeds.clone(),
+                    n.to_string(),
+                    f4(row.ratio_mean),
+                    f4(row.ratio_max),
+                    f4(row.k_mean),
+                ]);
+            }
+        }
+    }
+    t.print();
+    println!("\nglobal worst ratio over all cells: {global_max:.4}");
+    assert!(
+        global_max <= 2.0 + 0.25,
+        "Theorem 19's a.a.s. 2-approximation violated far beyond finite-n slack"
+    );
+    println!(
+        "Reading: every regime × speed shape stays at ratio ≤ 2 (+ finite-n\n\
+         slack); the a.a.s. claim of Theorem 19 is visible as the max column\n\
+         tightening with n."
+    );
+}

@@ -1,0 +1,89 @@
+//! E10 — Theorem 24: the gap reduction 1-PrExt →
+//! `Rm | G = bipartite | C_max`, `m ≥ 3` — verified **exactly**.
+//!
+//! Unlike Theorem 8's construction, these instances stay small (n jobs,
+//! no gadgets), so the branch-and-bound oracle can certify the gap: YES
+//! instances have `C*_max ≤ n`, NO instances `C*_max ≥ d`, for every
+//! stretch `d`. The gap `d/n` is unbounded in `p_max` — the
+//! `O(n^b · p_max^{1-ε})` impossibility.
+
+use bisched_bench::{f4, section, Table};
+use bisched_core::reduce_1prext_to_rm;
+use bisched_exact::{
+    branch_and_bound, claw_no_instance, path_yes_instance, precoloring_extension, standard_pins,
+};
+use bisched_graph::{gilbert_bipartite, Graph, Vertex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    section("exact gap verification over 1-PrExt instances (m = 3)");
+    let mut t = Table::new(&[
+        "instance", "answer", "d", "OPT", "yes_bound (n)", "gap d/n", "verdict",
+    ]);
+    let mut rng = StdRng::seed_from_u64(55);
+    let mut yes_count = 0;
+    let mut no_count = 0;
+    // Structured YES/NO instances plus random samples labeled by the
+    // exact 1-PrExt decider. Random sparse bipartite graphs are almost
+    // always YES, so the claw family supplies guaranteed NO rows.
+    let mut cases: Vec<(String, Graph, [Vertex; 3])> = Vec::new();
+    let (g, pins) = path_yes_instance(3);
+    cases.push(("path (YES)".into(), g, pins));
+    let (g, pins) = claw_no_instance(4);
+    cases.push(("claw (NO)".into(), g, pins));
+    for i in 0..6 {
+        let g = gilbert_bipartite(4, 4, 0.6, &mut rng);
+        cases.push((format!("G(4,4,.6)#{i}"), g, [0u32, 1, 4]));
+    }
+    for (name, g, pins) in cases {
+        let i = name.clone();
+        let yes = precoloring_extension(&g, &standard_pins(&pins), 3).is_some();
+        if yes {
+            yes_count += 1;
+        } else {
+            no_count += 1;
+        }
+        for d in [32u64, 256, 2048] {
+            let red = reduce_1prext_to_rm(&g, pins, d, 3);
+            let out = branch_and_bound(&red.instance, 100_000_000);
+            assert!(out.complete, "oracle must finish");
+            let opt = out.optimum.unwrap();
+            let verdict = if yes {
+                assert!(
+                    opt.makespan <= red.yes_bound(),
+                    "YES but OPT {} > n",
+                    opt.makespan
+                );
+                assert!(
+                    red.decodes_to_yes(&opt.schedule, &g),
+                    "cheap optimum must decode to a proper extension"
+                );
+                "OPT <= n, decodes"
+            } else {
+                assert!(
+                    opt.makespan >= red.no_bound(),
+                    "NO but OPT {} < d",
+                    opt.makespan
+                );
+                "OPT >= d"
+            };
+            t.row(vec![
+                i.clone(),
+                if yes { "YES" } else { "NO" }.to_string(),
+                d.to_string(),
+                opt.makespan.to_string(),
+                red.yes_bound().to_string(),
+                f4(d as f64 / red.yes_bound().to_f64()),
+                verdict.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nsampled {} YES and {} NO instances; every row's verdict certified\n\
+         by exhaustive search. The gap column scales linearly in d = p_max,\n\
+         matching Theorem 24's O(n^b p_max^(1-eps)) impossibility.",
+        yes_count, no_count
+    );
+}

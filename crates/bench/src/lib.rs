@@ -1,0 +1,145 @@
+//! # bisched-bench
+//!
+//! The experiment harness: shared table/JSON reporting used by the
+//! `exp_*` binaries, each of which regenerates one validated claim of the
+//! paper (see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+//! recorded paper-vs-measured outcomes).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// A minimal aligned-column table printer for experiment output.
+///
+/// Also emits one JSON line per row on request, so EXPERIMENTS.md numbers
+/// stay regenerable by machine.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Emits the rows as JSON lines (header -> value objects).
+    pub fn print_json(&self) {
+        for row in &self.rows {
+            let obj: serde_json::Map<String, serde_json::Value> = self
+                .headers
+                .iter()
+                .zip(row)
+                .map(|(h, c)| (h.clone(), serde_json::Value::String(c.clone())))
+                .collect();
+            println!("{}", serde_json::Value::Object(obj));
+        }
+    }
+}
+
+/// Formats a float with 4 decimals (table cells).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Prints a section banner.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Prints `label: value` aligned for quick key-value summaries.
+pub fn kv(label: &str, value: impl Display) {
+    println!("{label:<44} {value}");
+}
+
+/// Whether `--json` was passed to the binary.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t.print();
+        t.print_json();
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, s) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f4(1.23456), "1.2346");
+        assert_eq!(f2(1.236), "1.24");
+    }
+}

@@ -1,0 +1,127 @@
+//! Algorithm 4: the `O(n)`-time 2-approximation for
+//! `R2 | G = bipartite | C_max` (Theorem 21).
+//!
+//! After the Algorithm 3 reduction, every schedule pays the base loads
+//! `(T_1, T_2) = (ΣP'_k, ΣP''_k)` plus, per crossing component, one of the
+//! two difference costs. Greedily sending each difference job to its
+//! cheaper machine minimizes the total extra time `T_extra`; the produced
+//! makespan is at most `max(T_1, T_2) + T_extra`, while every schedule is
+//! at least `(T_1 + T_2 + T_extra)/2` — hence the factor 2.
+
+use crate::r2_reduction::{reduce_r2, ReducedR2};
+use bisched_exact::OracleError;
+use bisched_model::{Instance, Schedule};
+
+/// Algorithm 4: 2-approximate schedule for `R2 | G = bipartite | C_max`.
+pub fn r2_two_approx(inst: &Instance) -> Result<Schedule, OracleError> {
+    let red = reduce_r2(inst)?;
+    Ok(assign_cheaper(&red))
+}
+
+/// The greedy core, reusable once a [`ReducedR2`] is at hand: each
+/// difference job to the machine where it is cheaper (ties to `M_1`).
+pub fn assign_cheaper(red: &ReducedR2) -> Schedule {
+    let reduced_assignment: Vec<u32> = (0..red.num_components())
+        .map(|k| u32::from(red.times[0][k] > red.times[1][k]))
+        .collect();
+    red.reconstruct(&reduced_assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_exact::r2_bipartite_exact;
+    use bisched_graph::{gilbert_bipartite, Graph};
+    use bisched_model::UnrelatedFamily;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_crossing_component_picks_cheaper_side() {
+        let inst = Instance::unrelated(
+            vec![vec![10, 2], vec![3, 8]],
+            Graph::from_edges(2, &[(0, 1)]),
+        )
+        .unwrap();
+        // Difference job: (8, 5) -> cheaper on M2 -> crossed orientation.
+        let s = r2_two_approx(&inst).unwrap();
+        assert!(s.validate(&inst).is_ok());
+        // Crossed: job 0 -> M2 (3), job 1 -> M1 (2): loads (2, 3).
+        assert_eq!(s.loads(&inst), vec![2, 3]);
+    }
+
+    #[test]
+    fn ratio_at_most_two_randomized() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let families = [
+            UnrelatedFamily::Uncorrelated { lo: 1, hi: 50 },
+            UnrelatedFamily::JobCorrelated {
+                base: (5, 50),
+                spread: 10,
+            },
+            UnrelatedFamily::MachineCorrelated {
+                base: (5, 50),
+                spread: 10,
+            },
+        ];
+        for fam in families {
+            for _ in 0..15 {
+                let n = rng.gen_range(2..=12);
+                let g = gilbert_bipartite(n / 2, n - n / 2, 0.35, &mut rng);
+                let times = fam.sample(2, n, &mut rng);
+                let inst = Instance::unrelated(times, g).unwrap();
+                let s = r2_two_approx(&inst).unwrap();
+                assert!(s.validate(&inst).is_ok());
+                let opt = r2_bipartite_exact(&inst).unwrap();
+                let ratio = s.makespan(&inst).ratio_to(&opt.makespan);
+                assert!(
+                    ratio <= 2.0 + 1e-9,
+                    "{}: Algorithm 4 ratio {ratio} > 2 (n={n})",
+                    fam.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_dominated_instances() {
+        // All components dominated: Algorithm 4 is optimal, not just 2-approx.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let inst = Instance::unrelated(
+            vec![vec![1, 9, 1, 9], vec![9, 1, 9, 1]],
+            g,
+        )
+        .unwrap();
+        let s = r2_two_approx(&inst).unwrap();
+        let opt = r2_bipartite_exact(&inst).unwrap();
+        assert_eq!(s.makespan(&inst), opt.makespan);
+    }
+
+    #[test]
+    fn lower_bound_identity_from_theorem21() {
+        // Check (T1 + T2 + Textra)/2 <= OPT on random instances: the proof's
+        // key inequality.
+        let mut rng = StdRng::seed_from_u64(59);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..=10);
+            let g = gilbert_bipartite(n / 2, n - n / 2, 0.4, &mut rng);
+            let times: Vec<Vec<u64>> = (0..2)
+                .map(|_| (0..n).map(|_| rng.gen_range(1..=30)).collect())
+                .collect();
+            let inst = Instance::unrelated(times, g).unwrap();
+            let red = reduce_r2(&inst).unwrap();
+            let t_extra: u64 = (0..red.num_components())
+                .map(|k| red.times[0][k].min(red.times[1][k]))
+                .collect::<Vec<_>>()
+                .iter()
+                .sum();
+            let lb = (red.base1() + red.base2() + t_extra).div_ceil(2);
+            let opt = r2_bipartite_exact(&inst).unwrap();
+            assert!(
+                bisched_model::Rat::integer(lb) <= opt.makespan,
+                "proof LB {lb} exceeds OPT {}",
+                opt.makespan
+            );
+        }
+    }
+}

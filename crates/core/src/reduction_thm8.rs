@@ -1,0 +1,283 @@
+//! Theorem 8: the gap reduction from 1-PrExt to
+//! `Qm | G = bipartite, p_j = 1 | C_max` (`m ≥ 3`) proving that no
+//! `O(n^{1/2-ε})`-approximation exists unless P = NP.
+//!
+//! Given a 1-PrExt instance `((V, E), (v_1, v_2, v_3))` and a stretch
+//! parameter `k`, the reduction attaches six Figure 1 gadgets:
+//!
+//! * `v_1` ← `H2(kn, 6k²n)` and `H3(1, kn, 6k²n)`,
+//! * `v_2` ← `H1(6k²n)` and `H3(1, kn, 6k²n)`,
+//! * `v_3` ← `H1(6k²n)` and `H2(kn, 6k²n)`,
+//!
+//! and schedules the `n' = n + 48k²n + 4kn + 2` unit jobs on machines of
+//! speed `49k², 5k, 1, 1/(kn), …`. We keep speeds integral by scaling all
+//! of them by `kn` (makespans scale by `1/(kn)`; ratios are untouched), so:
+//!
+//! * **YES** ⇒ a coloring-derived schedule of makespan ≤ `(n+2)/(kn)`
+//!   exists ([`Thm8Reduction::schedule_from_coloring`] builds it);
+//! * **NO** ⇒ every schedule has makespan ≥ `1` (= `kn` unscaled), because
+//!   a schedule beating that bound uses only `M_1..M_3` lightly enough that
+//!   its machine labels *are* a proper color extension
+//!   ([`Thm8Reduction::decode_coloring`] extracts it).
+
+use bisched_exact::is_proper_coloring;
+use bisched_graph::gadgets::{attach_h1, attach_h2, attach_h3, H1, H2, H3};
+use bisched_graph::{is_bipartite, Graph, GraphBuilder, Vertex};
+use bisched_model::{Instance, Rat, Schedule};
+
+/// The reduction output with everything needed to verify the gap.
+#[derive(Clone, Debug)]
+pub struct Thm8Reduction {
+    /// The produced `Qm | G = bipartite, p_j = 1 | C_max` instance
+    /// (speeds pre-scaled by `kn`).
+    pub instance: Instance,
+    /// Vertices `0..original_n` are the source graph's jobs.
+    pub original_n: usize,
+    /// The stretch parameter.
+    pub k: u64,
+    /// The three precolored vertices.
+    pub pins: [Vertex; 3],
+    /// Gadget handles, in attachment order
+    /// (`v1:H2, v1:H3, v2:H1, v2:H3, v3:H1, v3:H2`).
+    pub gadgets: (H2, H3, H1, H3, H1, H2),
+}
+
+impl Thm8Reduction {
+    /// The YES-side makespan bound `(n+2)/(kn)` in scaled time.
+    pub fn yes_bound(&self) -> Rat {
+        Rat::new(
+            self.original_n as u64 + 2,
+            self.k * self.original_n as u64,
+        )
+    }
+
+    /// The NO-side makespan bound (`kn` unscaled = `1` scaled).
+    pub fn no_bound(&self) -> Rat {
+        Rat::integer(1)
+    }
+
+    /// Builds the witness schedule from a proper 3-coloring extension of
+    /// the source graph (colors `0,1,2` = machines `M_1..M_3`): gadget
+    /// bulk rows go to `M_1`, middle rows to `M_2`, the two `x''` vertices
+    /// to `M_3`.
+    pub fn schedule_from_coloring(&self, coloring: &[u8]) -> Schedule {
+        assert_eq!(coloring.len(), self.original_n);
+        let n_prime = self.instance.num_jobs();
+        let mut assignment = vec![u32::MAX; n_prime];
+        for (v, &c) in coloring.iter().enumerate() {
+            assert!(c < 3, "source coloring must use colors 0..3");
+            assignment[v] = c as u32;
+        }
+        let (h2a, h3a, h1b, h3b, h1c, h2c) = &self.gadgets;
+        for h1 in [h1b, h1c] {
+            for v in h1.leaves.clone() {
+                assignment[v as usize] = 0;
+            }
+        }
+        for h2 in [h2a, h2c] {
+            for v in h2.top.clone() {
+                assignment[v as usize] = 0;
+            }
+            for v in h2.mid.clone() {
+                assignment[v as usize] = 1;
+            }
+        }
+        for h3 in [h3a, h3b] {
+            for v in h3.top.clone().chain(h3.star.clone()) {
+                assignment[v as usize] = 0;
+            }
+            for v in h3.second.clone() {
+                assignment[v as usize] = 1;
+            }
+            for v in h3.third.clone() {
+                assignment[v as usize] = 2;
+            }
+        }
+        let schedule = Schedule::new(assignment);
+        debug_assert!(schedule.validate(&self.instance).is_ok());
+        schedule
+    }
+
+    /// Reads the source-graph coloring off a schedule: the machine index of
+    /// each original vertex. `None` if some original vertex sits beyond
+    /// `M_3`. The Theorem 8 forcing argument says: any schedule with
+    /// makespan `< 1` (scaled) decodes to a **proper** extension.
+    pub fn decode_coloring(&self, schedule: &Schedule) -> Option<Vec<u8>> {
+        (0..self.original_n)
+            .map(|v| {
+                let m = schedule.machine_of(v as u32);
+                (m < 3).then_some(m as u8)
+            })
+            .collect()
+    }
+
+    /// Full check of the decoded coloring: proper on the source graph and
+    /// honoring the pins `v_i → c_i`.
+    pub fn decodes_to_yes(&self, schedule: &Schedule, source: &Graph) -> bool {
+        match self.decode_coloring(schedule) {
+            None => false,
+            Some(colors) => {
+                is_proper_coloring(source, &colors)
+                    && self
+                        .pins
+                        .iter()
+                        .enumerate()
+                        .all(|(c, &v)| colors[v as usize] == c as u8)
+            }
+        }
+    }
+}
+
+/// Builds the Theorem 8 reduction. `source` must be bipartite (the
+/// NP-hardness of Theorem 3 lives on bipartite inputs), `pins` distinct,
+/// `m ≥ 3`, `k ≥ 1`.
+pub fn reduce_1prext_to_qm(
+    source: &Graph,
+    pins: [Vertex; 3],
+    k: u64,
+    m: usize,
+) -> Thm8Reduction {
+    assert!(m >= 3, "Theorem 8 needs m ≥ 3 machines");
+    assert!(k >= 1);
+    assert!(is_bipartite(source), "1-PrExt source must be bipartite here");
+    assert!(
+        pins[0] != pins[1] && pins[1] != pins[2] && pins[0] != pins[2],
+        "precolored vertices must be distinct"
+    );
+    let n = source.num_vertices();
+    assert!(n >= 1);
+    let kn = (k * n as u64) as usize;
+    let bulk = 6 * (k * k) as usize * n;
+
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in source.edges() {
+        b.add_edge(u, v);
+    }
+    let h2a = attach_h2(&mut b, pins[0], kn, bulk);
+    let h3a = attach_h3(&mut b, pins[0], 1, kn, bulk);
+    let h1b = attach_h1(&mut b, pins[1], bulk);
+    let h3b = attach_h3(&mut b, pins[1], 1, kn, bulk);
+    let h1c = attach_h1(&mut b, pins[2], bulk);
+    let h2c = attach_h2(&mut b, pins[2], kn, bulk);
+    let graph = b.build();
+    debug_assert_eq!(
+        graph.num_vertices(),
+        n + 48 * (k * k) as usize * n + 4 * kn + 2,
+        "paper's vertex count n' = n + 48k²n + 4kn + 2"
+    );
+    debug_assert!(is_bipartite(&graph));
+
+    // Speeds ×kn: 49k³n, 5k²n, kn, then unit tails for M_4..M_m.
+    let kn64 = k * n as u64;
+    let mut speeds = vec![49 * k * k * kn64, 5 * k * kn64, kn64];
+    speeds.extend(std::iter::repeat_n(1, m - 3));
+    let n_prime = graph.num_vertices();
+    let instance = Instance::uniform(speeds, vec![1; n_prime], graph).expect("valid reduction");
+    Thm8Reduction {
+        instance,
+        original_n: n,
+        k,
+        pins,
+        gadgets: (h2a, h3a, h1b, h3b, h1c, h2c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_exact::{
+        claw_no_instance, path_yes_instance, precoloring_extension, standard_pins,
+    };
+
+    #[test]
+    fn vertex_count_matches_paper_formula() {
+        for (n_extra, k) in [(0usize, 1u64), (3, 1), (0, 2), (5, 3)] {
+            let (g, pins) = path_yes_instance(n_extra);
+            let n = g.num_vertices();
+            let red = reduce_1prext_to_qm(&g, pins, k, 4);
+            assert_eq!(
+                red.instance.num_jobs(),
+                n + 48 * (k * k) as usize * n + 4 * (k as usize) * n + 2
+            );
+        }
+    }
+
+    #[test]
+    fn yes_instance_has_cheap_schedule() {
+        let (g, pins) = path_yes_instance(3);
+        let coloring =
+            precoloring_extension(&g, &standard_pins(&pins), 3).expect("YES instance");
+        for k in [1u64, 2] {
+            let red = reduce_1prext_to_qm(&g, pins, k, 5);
+            let s = red.schedule_from_coloring(&coloring);
+            assert!(s.validate(&red.instance).is_ok());
+            let mk = s.makespan(&red.instance);
+            assert!(
+                mk <= red.yes_bound(),
+                "k={k}: witness makespan {mk} > YES bound {}",
+                red.yes_bound()
+            );
+            // And comfortably below the NO bound.
+            assert!(mk < red.no_bound());
+        }
+    }
+
+    #[test]
+    fn witness_schedule_decodes_back() {
+        let (g, pins) = path_yes_instance(2);
+        let coloring = precoloring_extension(&g, &standard_pins(&pins), 3).unwrap();
+        let red = reduce_1prext_to_qm(&g, pins, 1, 3);
+        let s = red.schedule_from_coloring(&coloring);
+        assert!(red.decodes_to_yes(&s, &g));
+        assert_eq!(red.decode_coloring(&s).unwrap(), coloring);
+    }
+
+    #[test]
+    fn gap_bounds_are_separated() {
+        let (g, pins) = claw_no_instance(4);
+        for k in [2u64, 3, 5] {
+            let red = reduce_1prext_to_qm(&g, pins, k, 4);
+            let gap = red.no_bound().ratio_to(&red.yes_bound());
+            // Gap = kn/(n+2); with n = 8: 8k/10.
+            assert!(
+                gap >= k as f64 * 0.8 - 1e-9,
+                "k={k}: gap {gap} too small"
+            );
+        }
+    }
+
+    #[test]
+    fn cheap_schedules_on_no_instances_do_not_exist_via_decode() {
+        // Contrapositive check on the claw NO-instance: whatever schedule
+        // our best heuristic finds, if it were below the NO bound it would
+        // decode to a proper extension — which cannot exist.
+        let (g, pins) = claw_no_instance(2);
+        assert!(precoloring_extension(&g, &standard_pins(&pins), 3).is_none());
+        let red = reduce_1prext_to_qm(&g, pins, 2, 4);
+        let greedy = bisched_exact::greedy_incumbent(&red.instance).unwrap();
+        if greedy.makespan < red.no_bound() {
+            assert!(
+                red.decodes_to_yes(&greedy.schedule, &g),
+                "forcing broken: cheap schedule does not decode to a coloring"
+            );
+            panic!("cheap schedule found on a NO instance — reduction violated");
+        }
+    }
+
+    #[test]
+    fn scaled_speeds_are_integral_and_sorted() {
+        let (g, pins) = path_yes_instance(0);
+        let red = reduce_1prext_to_qm(&g, pins, 2, 6);
+        let speeds = red.instance.speeds();
+        assert!(speeds.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(speeds.len(), 6);
+        assert_eq!(speeds[3], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "m ≥ 3")]
+    fn too_few_machines_rejected() {
+        let (g, pins) = path_yes_instance(0);
+        reduce_1prext_to_qm(&g, pins, 1, 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Unified solving façade: pick the paper's right tool for an instance.
+//!
+//! Downstream users mostly want "give me a good schedule and tell me what
+//! you can promise about it". [`solve`] dispatches:
+//!
+//! | instance | method | guarantee |
+//! |---|---|---|
+//! | `Q2`/`P2`, small `Σp_j` | exact subset-sum DP | optimal |
+//! | `P`, `m ≥ 3` | best of BJW [3] and Algorithm 1 | `2 · C*` (best possible, [3]) |
+//! | `Q`, `m ≥ 3` (or huge `Σp_j`) | Algorithm 1 | `√Σp_j · C*` |
+//! | `R2` | Algorithm 5 (FPTAS) | `(1+ε) · C*` |
+//! | `R`, `m ≥ 3` | graph-aware greedy | none (Theorem 24 says none exists) |
+
+use bisched_baselines::bjw_two_approx;
+use bisched_exact::{greedy_incumbent, q2_bipartite_exact};
+use bisched_model::{Instance, MachineEnvironment, Rat, Schedule};
+
+use crate::alg1_sqrt::{alg1_sqrt_approx, Alg1Error};
+use crate::r2_fptas::r2_fptas;
+
+/// A solved instance with provenance.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Its makespan.
+    pub makespan: Rat,
+    /// Which engine produced it.
+    pub method: Method,
+    /// Human-readable guarantee that came with the method.
+    pub guarantee: &'static str,
+}
+
+/// The solving engine used by [`solve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Exact `Q2`/`P2` component DP.
+    ExactQ2,
+    /// Algorithm 1 (`√Σp_j`-approximation, Theorem 9).
+    Alg1,
+    /// Bodlaender–Jansen–Woeginger 2-approximation (`P`, `m ≥ 3`; [3]
+    /// showed 2 is best possible on identical machines).
+    Bjw,
+    /// Algorithm 5 (`R2` FPTAS, Theorem 22).
+    R2Fptas,
+    /// Graph-aware greedy (no guarantee; `Rm`, `m ≥ 3`).
+    GreedyR,
+}
+
+/// Errors of the façade.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The incompatibility graph is not bipartite.
+    NotBipartite,
+    /// No feasible schedule exists (one machine, at least one edge).
+    Infeasible,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotBipartite => write!(f, "incompatibility graph is not bipartite"),
+            SolveError::Infeasible => write!(f, "no feasible schedule exists"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Pseudo-polynomial budget under which the exact `Q2` DP is preferred.
+const EXACT_Q2_BUDGET: u64 = 1 << 22;
+
+/// Accuracy used for `R2` instances.
+const DEFAULT_EPS: f64 = 0.125;
+
+/// Solves `inst` with the best-suited method of the paper.
+pub fn solve(inst: &Instance) -> Result<Solution, SolveError> {
+    if !bisched_graph::is_bipartite(inst.graph()) {
+        return Err(SolveError::NotBipartite);
+    }
+    match inst.env() {
+        MachineEnvironment::Unrelated { .. } => {
+            if inst.num_machines() == 2 {
+                let schedule = r2_fptas(inst, DEFAULT_EPS).map_err(|_| SolveError::NotBipartite)?;
+                let makespan = schedule.makespan(inst);
+                Ok(Solution {
+                    schedule,
+                    makespan,
+                    method: Method::R2Fptas,
+                    guarantee: "(1+1/8) * OPT (Theorem 22 FPTAS)",
+                })
+            } else {
+                let opt = greedy_incumbent(inst).ok_or(SolveError::Infeasible)?;
+                Ok(Solution {
+                    schedule: opt.schedule,
+                    makespan: opt.makespan,
+                    method: Method::GreedyR,
+                    guarantee: "heuristic only (Theorem 24: no ratio possible)",
+                })
+            }
+        }
+        _ => {
+            if inst.num_machines() == 2 && inst.total_processing() <= EXACT_Q2_BUDGET {
+                let opt = q2_bipartite_exact(inst).map_err(|_| SolveError::NotBipartite)?;
+                return Ok(Solution {
+                    schedule: opt.schedule,
+                    makespan: opt.makespan,
+                    method: Method::ExactQ2,
+                    guarantee: "optimal (component subset-sum DP)",
+                });
+            }
+            let r = alg1_sqrt_approx(inst).map_err(|e| match e {
+                Alg1Error::NotBipartite => SolveError::NotBipartite,
+                Alg1Error::Infeasible => SolveError::Infeasible,
+                Alg1Error::WrongEnvironment => unreachable!("environment matched above"),
+            })?;
+            // On identical machines with m ≥ 3 the BJW 2-approximation [3]
+            // carries a strictly stronger guarantee than √Σp_j; return the
+            // better schedule under the better label.
+            if matches!(inst.env(), MachineEnvironment::Identical { .. })
+                && inst.num_machines() >= 3
+            {
+                if let Ok(bjw) = bjw_two_approx(inst) {
+                    let bjw_makespan = bjw.makespan(inst);
+                    let (schedule, makespan) = if bjw_makespan <= r.makespan {
+                        (bjw, bjw_makespan)
+                    } else {
+                        (r.schedule, r.makespan)
+                    };
+                    return Ok(Solution {
+                        schedule,
+                        makespan,
+                        method: Method::Bjw,
+                        guarantee: "2 * OPT (BJW [3]; best possible for P, m >= 3)",
+                    });
+                }
+            }
+            Ok(Solution {
+                schedule: r.schedule,
+                makespan: r.makespan,
+                method: Method::Alg1,
+                guarantee: "sqrt(sum p_j) * OPT (Theorem 9)",
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_graph::Graph;
+
+    #[test]
+    fn q2_dispatches_to_exact() {
+        let inst =
+            Instance::uniform(vec![2, 1], vec![3, 3, 2], Graph::path(3)).unwrap();
+        let s = solve(&inst).unwrap();
+        assert_eq!(s.method, Method::ExactQ2);
+        assert!(s.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn qm_dispatches_to_alg1() {
+        let inst = Instance::uniform(vec![3, 2, 1], vec![2; 9], Graph::cycle(8).disjoint_union(&Graph::empty(1)).0)
+            .unwrap();
+        let s = solve(&inst).unwrap();
+        assert_eq!(s.method, Method::Alg1);
+        assert!(s.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn r2_dispatches_to_fptas() {
+        let inst = Instance::unrelated(
+            vec![vec![3, 5, 2], vec![4, 2, 6]],
+            Graph::path(3),
+        )
+        .unwrap();
+        let s = solve(&inst).unwrap();
+        assert_eq!(s.method, Method::R2Fptas);
+        assert!(s.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn r3_dispatches_to_greedy() {
+        let inst = Instance::unrelated(
+            vec![vec![1, 2], vec![2, 1], vec![3, 3]],
+            Graph::from_edges(2, &[(0, 1)]),
+        )
+        .unwrap();
+        let s = solve(&inst).unwrap();
+        assert_eq!(s.method, Method::GreedyR);
+        assert!(s.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn p3_dispatches_to_bjw_best_of() {
+        let inst =
+            Instance::identical(3, vec![4, 3, 3, 2, 2], Graph::complete_bipartite(2, 3)).unwrap();
+        let s = solve(&inst).unwrap();
+        assert_eq!(s.method, Method::Bjw);
+        assert!(s.schedule.validate(&inst).is_ok());
+        // The guarantee promised is 2x; verify against brute force here.
+        let opt = bisched_exact::brute_force(&inst).unwrap();
+        assert!(s.makespan.ratio_to(&opt.makespan) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn errors_bubble_up() {
+        let odd = Instance::identical(3, vec![1; 5], Graph::cycle(5)).unwrap();
+        assert_eq!(solve(&odd).unwrap_err(), SolveError::NotBipartite);
+        let infeasible =
+            Instance::identical(1, vec![1, 1], Graph::from_edges(2, &[(0, 1)])).unwrap();
+        assert_eq!(solve(&infeasible).unwrap_err(), SolveError::Infeasible);
+    }
+}

@@ -1,0 +1,172 @@
+//! A minimal fixed-size bitset for subset-sum style dynamic programs.
+//!
+//! The exact `Q2 | G = bipartite | C_max` solver walks a per-component
+//! two-choice subset-sum; a packed `u64` bitset keeps the DP at
+//! `O(c · Σp / 64)` words, which is what makes the oracle usable as a
+//! baseline at experiment scales.
+
+/// Fixed-capacity bitset over `0..len`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// All-zeros bitset of capacity `len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// `self |= other << shift` — the subset-sum transition "add an item of
+    /// size `shift`".
+    pub fn or_shifted(&mut self, other: &BitSet, shift: usize) {
+        debug_assert_eq!(self.len, other.len);
+        let word_shift = shift / 64;
+        let bit_shift = shift % 64;
+        if bit_shift == 0 {
+            for i in (word_shift..self.words.len()).rev() {
+                self.words[i] |= other.words[i - word_shift];
+            }
+        } else {
+            for i in (word_shift..self.words.len()).rev() {
+                let lo = other.words[i - word_shift] << bit_shift;
+                let hi = if i > word_shift {
+                    other.words[i - word_shift - 1] >> (64 - bit_shift)
+                } else {
+                    0
+                };
+                self.words[i] |= lo | hi;
+            }
+        }
+        self.truncate_tail();
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn truncate_tail(&mut self) {
+        let extra = self.words.len() * 64 - self.len;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitSet::new(130);
+        for i in [0usize, 63, 64, 65, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 6);
+    }
+
+    #[test]
+    fn ones_iterates_in_order() {
+        let mut b = BitSet::new(200);
+        let idx = [3usize, 64, 70, 199];
+        for &i in &idx {
+            b.set(i);
+        }
+        assert_eq!(b.ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn or_shifted_word_aligned() {
+        let mut a = BitSet::new(256);
+        let mut b = BitSet::new(256);
+        b.set(0);
+        b.set(5);
+        a.or_shifted(&b, 128);
+        assert!(a.get(128));
+        assert!(a.get(133));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn or_shifted_unaligned() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        b.set(0);
+        b.set(63);
+        a.or_shifted(&b, 7);
+        assert!(a.get(7));
+        assert!(a.get(70));
+    }
+
+    #[test]
+    fn or_shifted_drops_overflow() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        b.set(8);
+        a.or_shifted(&b, 5); // 13 >= len: dropped
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn subset_sum_smoke() {
+        // Items {3, 5}: reachable sums {0, 3, 5, 8}.
+        let cap = 16;
+        let mut dp = BitSet::new(cap);
+        dp.set(0);
+        for item in [3usize, 5] {
+            let prev = dp.clone();
+            dp.or_shifted(&prev, item);
+        }
+        assert_eq!(dp.ones().collect::<Vec<_>>(), vec![0, 3, 5, 8]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Exhaustive optimal solver for tiny instances.
+//!
+//! Enumerates all `m^n` assignments with incremental feasibility and a
+//! current-best cut. This is the ground truth the branch-and-bound solver
+//! and every approximation ratio in the test suite are checked against;
+//! it is deliberately a *different* code path from the smarter solvers.
+
+use bisched_model::{Instance, MachineEnvironment, MachineId, Rat, Schedule};
+
+/// The optimum of an instance: schedule and makespan.
+#[derive(Clone, Debug)]
+pub struct Optimum {
+    /// An optimal schedule.
+    pub schedule: Schedule,
+    /// Its makespan `C*_max`.
+    pub makespan: Rat,
+}
+
+/// Exhaustively finds an optimal schedule, or `None` if no feasible
+/// schedule exists (possible only when `m` is smaller than the chromatic
+/// number of `G`, e.g. one machine and any edge).
+///
+/// Panics if `m^n` exceeds ~10^8 nodes — use the branch-and-bound solver
+/// for anything larger.
+pub fn brute_force(inst: &Instance) -> Option<Optimum> {
+    let n = inst.num_jobs();
+    let m = inst.num_machines();
+    assert!(
+        (m as f64).powi(n as i32) <= 1e8,
+        "brute force limited to m^n <= 1e8 (got {m}^{n})"
+    );
+    let mut assignment: Vec<MachineId> = vec![0; n];
+    let mut loads: Vec<u64> = vec![0; m];
+    let mut best: Option<Optimum> = None;
+    recurse(inst, 0, &mut assignment, &mut loads, &mut best);
+    best
+}
+
+fn machine_makespan(inst: &Instance, loads: &[u64]) -> Rat {
+    match inst.env() {
+        MachineEnvironment::Uniform { speeds } => loads
+            .iter()
+            .zip(speeds)
+            .map(|(&l, &s)| Rat::new(l, s))
+            .max()
+            .unwrap_or(Rat::ZERO),
+        _ => Rat::integer(loads.iter().copied().max().unwrap_or(0)),
+    }
+}
+
+fn recurse(
+    inst: &Instance,
+    j: usize,
+    assignment: &mut Vec<MachineId>,
+    loads: &mut Vec<u64>,
+    best: &mut Option<Optimum>,
+) {
+    let n = inst.num_jobs();
+    if j == n {
+        let mk = machine_makespan(inst, loads);
+        let better = best.as_ref().is_none_or(|b| mk < b.makespan);
+        if better {
+            *best = Some(Optimum {
+                schedule: Schedule::new(assignment.clone()),
+                makespan: mk,
+            });
+        }
+        return;
+    }
+    let graph = inst.graph();
+    for i in 0..inst.num_machines() as MachineId {
+        // Feasibility: no already-placed neighbor of j on machine i.
+        let conflict = graph
+            .neighbors(j as u32)
+            .iter()
+            .any(|&u| (u as usize) < j && assignment[u as usize] == i);
+        if conflict {
+            continue;
+        }
+        let p = match inst.env() {
+            MachineEnvironment::Unrelated { times } => times[i as usize][j],
+            _ => inst.processing(j as u32),
+        };
+        loads[i as usize] += p;
+        // Cut: partial makespan only grows.
+        let partial = machine_makespan(inst, loads);
+        if best.as_ref().is_none_or(|b| partial < b.makespan) {
+            assignment[j] = i;
+            recurse(inst, j + 1, assignment, loads, best);
+        }
+        loads[i as usize] -= p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_graph::Graph;
+
+    #[test]
+    fn no_graph_two_identical_machines_partitions() {
+        // {3, 3, 2, 2}: optimal split 5/5.
+        let inst = Instance::identical(2, vec![3, 3, 2, 2], Graph::empty(4)).unwrap();
+        let opt = brute_force(&inst).unwrap();
+        assert_eq!(opt.makespan, Rat::integer(5));
+        assert!(opt.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn graph_forces_worse_makespan() {
+        // Two big jobs connected: they cannot share a machine.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let inst = Instance::identical(2, vec![10, 10], g).unwrap();
+        let opt = brute_force(&inst).unwrap();
+        assert_eq!(opt.makespan, Rat::integer(10));
+        // Without the edge they'd still be split, but with 3 jobs:
+        let g2 = Graph::from_edges(3, &[(0, 1), (0, 2)]);
+        let inst2 = Instance::identical(2, vec![4, 3, 3], g2).unwrap();
+        // 0 alone (4), 1+2 together (6) -> makespan 6.
+        let opt2 = brute_force(&inst2).unwrap();
+        assert_eq!(opt2.makespan, Rat::integer(6));
+    }
+
+    #[test]
+    fn uniform_speeds_exact_rational() {
+        // speeds 2 and 1; jobs 3,3,3 no edges. Best: two jobs on fast
+        // (load 6 -> time 3), one on slow (3) -> C = 3.
+        let inst = Instance::uniform(vec![2, 1], vec![3, 3, 3], Graph::empty(3)).unwrap();
+        let opt = brute_force(&inst).unwrap();
+        assert_eq!(opt.makespan, Rat::integer(3));
+    }
+
+    #[test]
+    fn unrelated_matrix_respected() {
+        let inst = Instance::unrelated(
+            vec![vec![1, 100, 100], vec![100, 1, 100], vec![100, 100, 1]],
+            Graph::empty(3),
+        )
+        .unwrap();
+        let opt = brute_force(&inst).unwrap();
+        assert_eq!(opt.makespan, Rat::integer(1));
+    }
+
+    #[test]
+    fn infeasible_when_one_machine_and_an_edge() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let inst = Instance::identical(1, vec![1, 1], g).unwrap();
+        assert!(brute_force(&inst).is_none());
+    }
+
+    #[test]
+    fn odd_cycle_needs_three_machines() {
+        let g = Graph::cycle(5);
+        let inst2 = Instance::identical(2, vec![1; 5], g.clone()).unwrap();
+        assert!(brute_force(&inst2).is_none());
+        let inst3 = Instance::identical(3, vec![1; 5], g).unwrap();
+        let opt = brute_force(&inst3).unwrap();
+        assert_eq!(opt.makespan, Rat::integer(2));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::identical(2, vec![], Graph::empty(0)).unwrap();
+        let opt = brute_force(&inst).unwrap();
+        assert_eq!(opt.makespan, Rat::ZERO);
+    }
+}

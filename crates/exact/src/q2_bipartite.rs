@@ -1,0 +1,236 @@
+//! Exact pseudo-polynomial solver for `Q2 | G = bipartite | C_max`.
+//!
+//! On two machines a feasible schedule *is* a proper 2-coloring with the
+//! classes sent to the machines, and per connected component the coloring is
+//! unique up to a swap. So the solver is a two-choice subset-sum over
+//! components: component `k` contributes either `(a_k, b_k)` or `(b_k, a_k)`
+//! weight to the machines. A packed-bitset DP enumerates every achievable
+//! load on `M_1` in `O(c · Σp / 64)`; the best split under
+//! `max(x/s_1, (Σp − x)/s_2)` is exact.
+//!
+//! With unit jobs this *is* the direct route to Theorem 4's
+//! `Q2 | G = bipartite, p_j = 1 | C_max` (the paper reaches the same result
+//! through an FPTAS with `ε = 1/(n+1)`; `bisched-core::thm4` cross-checks
+//! the two).
+
+use crate::bitset::BitSet;
+use crate::bruteforce::Optimum;
+use bisched_graph::{bipartition, Components, Side};
+use bisched_model::{Instance, MachineEnvironment, Rat, Schedule};
+
+/// Why an oracle cannot run on this instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OracleError {
+    /// The oracle handles exactly two machines.
+    NotTwoMachines {
+        /// Machines in the instance.
+        got: usize,
+    },
+    /// The incompatibility graph has an odd cycle.
+    NotBipartite,
+    /// The machine environment is not the one the oracle is for.
+    WrongEnvironment {
+        /// `α` field found.
+        got: &'static str,
+    },
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::NotTwoMachines { got } => {
+                write!(f, "oracle requires exactly 2 machines, instance has {got}")
+            }
+            OracleError::NotBipartite => write!(f, "incompatibility graph is not bipartite"),
+            OracleError::WrongEnvironment { got } => {
+                write!(f, "oracle does not support the {got} environment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// Exact optimum for `Q2 | G = bipartite | C_max` (also accepts `P2`).
+pub fn q2_bipartite_exact(inst: &Instance) -> Result<Optimum, OracleError> {
+    if inst.num_machines() != 2 {
+        return Err(OracleError::NotTwoMachines {
+            got: inst.num_machines(),
+        });
+    }
+    let (s1, s2) = match inst.env() {
+        MachineEnvironment::Identical { .. } => (1u64, 1u64),
+        MachineEnvironment::Uniform { speeds } => (speeds[0], speeds[1]),
+        MachineEnvironment::Unrelated { .. } => {
+            return Err(OracleError::WrongEnvironment { got: "R" })
+        }
+    };
+    let g = inst.graph();
+    let bp = bipartition(g).map_err(|_| OracleError::NotBipartite)?;
+    let comps = Components::of(g);
+    let total: u64 = inst.total_processing();
+
+    // Per-component weight pair (left-side weight, right-side weight).
+    let pairs: Vec<(u64, u64)> = comps
+        .iter()
+        .map(|members| {
+            let mut a = 0u64;
+            let mut b = 0u64;
+            for &v in members {
+                match bp.side(v) {
+                    Side::Left => a += inst.processing(v),
+                    Side::Right => b += inst.processing(v),
+                }
+            }
+            (a, b)
+        })
+        .collect();
+
+    // Layered subset-sum over "load on machine 1".
+    let cap = total as usize + 1;
+    let mut layers: Vec<BitSet> = Vec::with_capacity(pairs.len() + 1);
+    let mut dp = BitSet::new(cap);
+    dp.set(0);
+    layers.push(dp.clone());
+    for &(a, b) in &pairs {
+        let prev = dp;
+        let mut next = BitSet::new(cap);
+        next.or_shifted(&prev, a as usize);
+        next.or_shifted(&prev, b as usize);
+        dp = next;
+        layers.push(dp.clone());
+    }
+
+    // Pick the achievable split minimizing max(x/s1, (total-x)/s2).
+    let best_x = dp
+        .ones()
+        .min_by_key(|&x| Rat::new(x as u64, s1).max(Rat::new(total - x as u64, s2)))
+        .expect("0 is always achievable");
+    let makespan = Rat::new(best_x as u64, s1).max(Rat::new(total - best_x as u64, s2));
+
+    // Reconstruct per-component choices by walking the layers backwards.
+    let mut assignment = vec![0u32; inst.num_jobs()];
+    let mut x = best_x;
+    for (k, &(a, b)) in pairs.iter().enumerate().rev() {
+        let take_a = x >= a as usize && layers[k].get(x - a as usize);
+        let (m_left, m_right) = if take_a { (0u32, 1u32) } else { (1u32, 0u32) };
+        for &v in comps.members(k as u32) {
+            assignment[v as usize] = match bp.side(v) {
+                Side::Left => m_left,
+                Side::Right => m_right,
+            };
+        }
+        x -= if take_a { a as usize } else { b as usize };
+    }
+    debug_assert_eq!(x, 0);
+    let schedule = Schedule::new(assignment);
+    debug_assert!(schedule.validate(inst).is_ok());
+    debug_assert_eq!(schedule.makespan(inst), makespan);
+    Ok(Optimum { schedule, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::brute_force;
+    use bisched_graph::{gilbert_bipartite, Graph};
+    use bisched_model::JobSizes;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_graph_is_plain_partition() {
+        let inst = Instance::uniform(vec![1, 1], vec![3, 3, 2, 2], Graph::empty(4)).unwrap();
+        let opt = q2_bipartite_exact(&inst).unwrap();
+        assert_eq!(opt.makespan, Rat::integer(5));
+    }
+
+    #[test]
+    fn single_edge_forces_split() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let inst = Instance::uniform(vec![2, 1], vec![6, 6], g).unwrap();
+        // Jobs must split; best: either on fast (6/2=3) + slow (6/1=6) -> 6.
+        let opt = q2_bipartite_exact(&inst).unwrap();
+        assert_eq!(opt.makespan, Rat::integer(6));
+        assert!(opt.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn unit_jobs_theorem4_route() {
+        // C8 cycle, unit jobs, speeds 3 and 1: split must be 4/4;
+        // makespan = max(4/3, 4) = 4.
+        let inst = Instance::uniform(vec![3, 1], vec![1; 8], Graph::cycle(8)).unwrap();
+        let opt = q2_bipartite_exact(&inst).unwrap();
+        assert_eq!(opt.makespan, Rat::integer(4));
+        // Isolated vertices relax the split: 8 isolated + C4 on speeds 3,1.
+        let (g, _) = Graph::cycle(4).disjoint_union(&Graph::empty(8));
+        let inst2 = Instance::uniform(vec![3, 1], vec![1; 12], g).unwrap();
+        // Best split: 9 on fast (9/3 = 3), 3 on slow (3/1 = 3).
+        let opt2 = q2_bipartite_exact(&inst2).unwrap();
+        assert_eq!(opt2.makespan, Rat::integer(3));
+    }
+
+    #[test]
+    fn matches_bruteforce_randomized() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..=9);
+            let g = gilbert_bipartite(n / 2, n - n / 2, 0.5, &mut rng);
+            let p = JobSizes::Uniform { lo: 1, hi: 8 }.sample(n, &mut rng);
+            let s1 = rng.gen_range(1..=4);
+            let s2 = rng.gen_range(1..=s1);
+            let inst = Instance::uniform(vec![s1, s2], p, g).unwrap();
+            let fast = q2_bipartite_exact(&inst).unwrap();
+            let slow = brute_force(&inst).unwrap();
+            assert_eq!(
+                fast.makespan, slow.makespan,
+                "mismatch on {} (n={n}, s=({s1},{s2}))",
+                inst.describe()
+            );
+            assert!(fast.schedule.validate(&inst).is_ok());
+        }
+    }
+
+    #[test]
+    fn identical_machines_accepted() {
+        let g = Graph::path(5);
+        let inst = Instance::identical(2, vec![2, 4, 2, 4, 2], g).unwrap();
+        let opt = q2_bipartite_exact(&inst).unwrap();
+        let bf = brute_force(&inst).unwrap();
+        assert_eq!(opt.makespan, bf.makespan);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let inst3 =
+            Instance::uniform(vec![1, 1, 1], vec![1, 1], Graph::empty(2)).unwrap();
+        assert_eq!(
+            q2_bipartite_exact(&inst3).unwrap_err(),
+            OracleError::NotTwoMachines { got: 3 }
+        );
+        let odd = Instance::identical(2, vec![1; 5], Graph::cycle(5)).unwrap();
+        assert_eq!(q2_bipartite_exact(&odd).unwrap_err(), OracleError::NotBipartite);
+        let r = Instance::unrelated(vec![vec![1], vec![1]], Graph::empty(1)).unwrap();
+        assert_eq!(
+            q2_bipartite_exact(&r).unwrap_err(),
+            OracleError::WrongEnvironment { got: "R" }
+        );
+    }
+
+    #[test]
+    fn heavy_component_drives_split() {
+        // One heavy star and several unit singletons.
+        let mut b = bisched_graph::GraphBuilder::new(1);
+        let leaves = b.add_vertices(3);
+        for l in leaves..leaves + 3 {
+            b.add_edge(0, l);
+        }
+        b.add_vertices(4); // isolated unit jobs
+        let g = b.build();
+        let p = vec![20, 5, 5, 5, 1, 1, 1, 1];
+        let inst = Instance::uniform(vec![2, 1], p, g).unwrap();
+        let opt = q2_bipartite_exact(&inst).unwrap();
+        let bf = brute_force(&inst).unwrap();
+        assert_eq!(opt.makespan, bf.makespan);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-oracle consistency: every exact engine must agree with every
+//! other exact engine on its shared domain, across random instances.
+
+use bisched_exact::{
+    branch_and_bound, brute_force, precoloring_extension, q2_bipartite_exact,
+    q_complete_bipartite_unit, r2_bipartite_exact,
+};
+use bisched_graph::{gilbert_bipartite, Graph};
+use bisched_model::{Instance, JobSizes};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn q2_oracles_triangle() {
+    let mut rng = StdRng::seed_from_u64(301);
+    for _ in 0..25 {
+        let n = rng.gen_range(2..=9);
+        let g = gilbert_bipartite(n / 2, n - n / 2, 0.45, &mut rng);
+        let p = JobSizes::Uniform { lo: 1, hi: 7 }.sample(n, &mut rng);
+        let inst = Instance::uniform(
+            vec![rng.gen_range(1..=4), 1],
+            p,
+            g,
+        )
+        .unwrap();
+        let a = brute_force(&inst).unwrap().makespan;
+        let b = q2_bipartite_exact(&inst).unwrap().makespan;
+        let c = branch_and_bound(&inst, u64::MAX).optimum.unwrap().makespan;
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+}
+
+#[test]
+fn r2_oracles_triangle() {
+    let mut rng = StdRng::seed_from_u64(303);
+    for _ in 0..25 {
+        let n = rng.gen_range(2..=8);
+        let g = gilbert_bipartite(n / 2, n - n / 2, 0.45, &mut rng);
+        let times: Vec<Vec<u64>> = (0..2)
+            .map(|_| (0..n).map(|_| rng.gen_range(1..=10)).collect())
+            .collect();
+        let inst = Instance::unrelated(times, g).unwrap();
+        let a = brute_force(&inst).unwrap().makespan;
+        let b = r2_bipartite_exact(&inst).unwrap().makespan;
+        let c = branch_and_bound(&inst, u64::MAX).optimum.unwrap().makespan;
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+}
+
+#[test]
+fn complete_bipartite_vs_general_oracles() {
+    let mut rng = StdRng::seed_from_u64(307);
+    for _ in 0..15 {
+        let a = rng.gen_range(1..=4);
+        let b = rng.gen_range(1..=4);
+        let m = rng.gen_range(2..=3);
+        let speeds: Vec<u64> = (0..m).map(|_| rng.gen_range(1..=3)).collect();
+        let inst = Instance::uniform(
+            speeds,
+            vec![1; a + b],
+            Graph::complete_bipartite(a, b),
+        )
+        .unwrap();
+        let fast = q_complete_bipartite_unit(&inst).unwrap().makespan;
+        let slow = brute_force(&inst).unwrap().makespan;
+        assert_eq!(fast, slow, "K_({a},{b})");
+    }
+}
+
+#[test]
+fn unit_q2_complete_bipartite_all_three() {
+    // K_{a,b} on two machines is in the domain of *three* exact engines.
+    for (a, b, s1, s2) in [(3usize, 5usize, 3u64, 1u64), (4, 4, 2, 2), (1, 6, 5, 2)] {
+        let inst = Instance::uniform(
+            vec![s1, s2],
+            vec![1; a + b],
+            Graph::complete_bipartite(a, b),
+        )
+        .unwrap();
+        let x = q2_bipartite_exact(&inst).unwrap().makespan;
+        let y = q_complete_bipartite_unit(&inst).unwrap().makespan;
+        let z = brute_force(&inst).unwrap().makespan;
+        assert_eq!(x, y);
+        assert_eq!(x, z);
+    }
+}
+
+#[test]
+fn precolor_decider_consistent_with_schedule_feasibility() {
+    // 1-PrExt YES <=> the Theorem-24-style 3-machine pinning instance has
+    // a schedule under d. (A miniature of E10, as a standing regression.)
+    let mut rng = StdRng::seed_from_u64(311);
+    for _ in 0..10 {
+        let g = gilbert_bipartite(3, 4, 0.5, &mut rng);
+        let pins = [(0u32, 0u8), (1, 1), (3, 2)];
+        let yes = precoloring_extension(&g, &pins, 3).is_some();
+        let d = 50u64;
+        let n = g.num_vertices();
+        let mut times = vec![vec![1u64; n]; 3];
+        for &(v, c) in &pins {
+            for (i, row) in times.iter_mut().enumerate() {
+                row[v as usize] = if i == c as usize { 1 } else { d };
+            }
+        }
+        let inst = Instance::unrelated(times, g).unwrap();
+        let opt = branch_and_bound(&inst, u64::MAX).optimum.unwrap();
+        assert_eq!(
+            yes,
+            opt.makespan < bisched_model::Rat::integer(d),
+            "decider and scheduler disagree"
+        );
+    }
+}
+
+#[test]
+fn greedy_incumbent_never_beats_exact() {
+    let mut rng = StdRng::seed_from_u64(313);
+    for _ in 0..20 {
+        let n = rng.gen_range(2..=8);
+        let m = rng.gen_range(2..=3);
+        let g = gilbert_bipartite(n / 2, n - n / 2, 0.4, &mut rng);
+        let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(n, &mut rng);
+        let inst = Instance::identical(m, p, g).unwrap();
+        let greedy = bisched_exact::greedy_incumbent(&inst).unwrap();
+        let exact = brute_force(&inst).unwrap();
+        assert!(greedy.makespan >= exact.makespan);
+    }
+}

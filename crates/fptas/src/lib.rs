@@ -1,0 +1,16 @@
+//! # bisched-fptas
+//!
+//! FPTAS substrate for `Rm || C_max` with a fixed number of unrelated
+//! machines — the black box the paper borrows from Jansen–Porkolab [15]
+//! inside Algorithm 5 (FPTAS for `R2 | G = bipartite | C_max`) and
+//! Theorem 4 (`O(n³)` exact algorithm for `Q2 | G = bipartite, p_j=1`).
+//!
+//! Implemented as a Horowitz–Sahni Pareto sweep with `(1+ε/2n)` log-grid
+//! trimming (see DESIGN.md §2.3 for the substitution rationale). `ε = 0`
+//! yields the exact pseudo-polynomial Pareto DP.
+
+#![warn(missing_docs)]
+
+pub mod rm_cmax;
+
+pub use rm_cmax::{makespan_of, rm_cmax_exact, rm_cmax_fptas, FptasResult};

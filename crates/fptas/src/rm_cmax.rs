@@ -1,0 +1,309 @@
+//! FPTAS for `Rm || C_max` (fixed number of unrelated machines).
+//!
+//! The paper uses the Jansen–Porkolab FPTAS [15] as a black box inside
+//! Algorithm 5 and Theorem 4. Any `(1+ε)` scheme preserves every claim, so
+//! we implement the classical Horowitz–Sahni approach instead (documented
+//! as a substitution in DESIGN.md): sweep jobs, maintain the set of
+//! reachable machine-load vectors, and *trim* after every job by bucketing
+//! the first `m−1` coordinates on a `(1+δ)` log-grid (δ = ε/2n) while
+//! keeping the exact minimum of the last coordinate per bucket.
+//!
+//! Error analysis: each of the `n` trims perturbs coordinates by at most a
+//! `(1+δ)` factor, so the surviving vector nearest the optimum is within
+//! `(1+δ)^n ≤ e^{ε/2} ≤ 1+ε` (for `ε ≤ 2`). With `ε = 0` no trimming
+//! happens and the sweep degenerates to the exact pseudo-polynomial Pareto
+//! DP — the mode Theorem 4 exploits with `ε = 1/(n+1)`-style parameters.
+
+use bisched_model::Schedule;
+use std::collections::HashMap;
+
+/// Result of one FPTAS run.
+#[derive(Clone, Debug)]
+pub struct FptasResult {
+    /// The produced schedule (assignment of all jobs).
+    pub schedule: Schedule,
+    /// Its true makespan (computed from the real loads, not the trimmed
+    /// surrogates — the guarantee is `makespan ≤ (1+ε)·OPT`).
+    pub makespan: u64,
+    /// Peak number of states kept in any layer (the DP's live width).
+    pub peak_states: usize,
+}
+
+/// Layered state arena: loads flattened with stride `m`.
+struct Layer {
+    loads: Vec<u64>,
+    parent: Vec<u32>,
+    machine: Vec<u8>,
+    m: usize,
+}
+
+impl Layer {
+    fn new(m: usize) -> Self {
+        Layer {
+            loads: Vec::new(),
+            parent: Vec::new(),
+            machine: Vec::new(),
+            m,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn loads_of(&self, idx: usize) -> &[u64] {
+        &self.loads[idx * self.m..(idx + 1) * self.m]
+    }
+
+    fn push(&mut self, loads: &[u64], parent: u32, machine: u8) -> usize {
+        self.loads.extend_from_slice(loads);
+        self.parent.push(parent);
+        self.machine.push(machine);
+        self.parent.len() - 1
+    }
+}
+
+/// Log-grid bucket of a load value: `0 → 0`, else `⌊ln l / ln(1+δ)⌋ + 1`.
+fn bucket(load: u64, inv_log: f64) -> u64 {
+    if load == 0 {
+        0
+    } else {
+        ((load as f64).ln() * inv_log) as u64 + 1
+    }
+}
+
+/// Runs the FPTAS on an `m × n` unrelated-times matrix, `ε ∈ [0, 2]`.
+///
+/// `ε = 0` disables trimming: the result is exactly optimal (pseudo-
+/// polynomial time/space — caller's responsibility to keep sums small).
+#[allow(clippy::needless_range_loop)] // index j addresses column j across all machine rows
+pub fn rm_cmax_fptas(times: &[Vec<u64>], eps: f64) -> FptasResult {
+    let m = times.len();
+    assert!(m >= 1, "at least one machine");
+    assert!((0.0..=2.0).contains(&eps), "ε must be in [0, 2], got {eps}");
+    let n = times[0].len();
+    assert!(times.iter().all(|row| row.len() == n), "ragged matrix");
+
+    let delta = if n == 0 { 0.0 } else { eps / (2.0 * n as f64) };
+    let trimming = delta > 0.0;
+    let inv_log = if trimming { 1.0 / (1.0 + delta).ln() } else { 0.0 };
+
+    // Layer 0: the all-zero vector.
+    let mut layers: Vec<Layer> = Vec::with_capacity(n + 1);
+    let mut root = Layer::new(m);
+    root.push(&vec![0u64; m], u32::MAX, u8::MAX);
+    layers.push(root);
+    let mut peak_states = 1usize;
+
+    for j in 0..n {
+        let prev = layers.last().expect("layer 0 exists");
+        let mut next = Layer::new(m);
+        // Bucket key: gridded (or exact) first m-1 coordinates; value: index
+        // of the state with minimum last coordinate seen so far.
+        let mut seen: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut scratch = vec![0u64; m];
+        for s in 0..prev.len() {
+            let base = prev.loads_of(s);
+            for i in 0..m {
+                scratch.copy_from_slice(base);
+                scratch[i] += times[i][j];
+                let key: Vec<u64> = if trimming {
+                    scratch[..m - 1]
+                        .iter()
+                        .map(|&l| bucket(l, inv_log))
+                        .collect()
+                } else {
+                    scratch[..m - 1].to_vec()
+                };
+                match seen.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let idx = next.push(&scratch, s as u32, i as u8);
+                        e.insert(idx as u32);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let idx = *e.get() as usize;
+                        if scratch[m - 1] < next.loads_of(idx)[m - 1] {
+                            // Replace the representative in place.
+                            next.loads[idx * m..(idx + 1) * m].copy_from_slice(&scratch);
+                            next.parent[idx] = s as u32;
+                            next.machine[idx] = i as u8;
+                        }
+                    }
+                }
+            }
+        }
+        peak_states = peak_states.max(next.len());
+        layers.push(next);
+    }
+
+    // Pick the final state minimizing the max coordinate.
+    let last = layers.last().expect("n+1 layers");
+    let mut best_idx = 0usize;
+    let mut best_val = u64::MAX;
+    for s in 0..last.len() {
+        let mx = *last.loads_of(s).iter().max().expect("m >= 1");
+        if mx < best_val {
+            best_val = mx;
+            best_idx = s;
+        }
+    }
+    if n == 0 {
+        best_val = 0;
+    }
+
+    // Walk parents to recover the assignment.
+    let mut assignment = vec![0u32; n];
+    let mut idx = best_idx;
+    for j in (0..n).rev() {
+        let layer = &layers[j + 1];
+        assignment[j] = layer.machine[idx] as u32;
+        idx = layer.parent[idx] as usize;
+    }
+    FptasResult {
+        schedule: Schedule::new(assignment),
+        makespan: best_val,
+        peak_states,
+    }
+}
+
+/// Exact `Rm || C_max` via the untrimmed Pareto sweep (`ε = 0`).
+pub fn rm_cmax_exact(times: &[Vec<u64>]) -> FptasResult {
+    rm_cmax_fptas(times, 0.0)
+}
+
+/// True makespan of an assignment under a times matrix.
+pub fn makespan_of(times: &[Vec<u64>], assignment: &[u32]) -> u64 {
+    let mut loads = vec![0u64; times.len()];
+    for (j, &i) in assignment.iter().enumerate() {
+        loads[i as usize] += times[i as usize][j];
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute force over all m^n assignments.
+    #[allow(clippy::needless_range_loop)]
+    fn brute(times: &[Vec<u64>]) -> u64 {
+        let m = times.len();
+        let n = times[0].len();
+        let mut best = u64::MAX;
+        let total = (m as u64).pow(n as u32);
+        for code in 0..total {
+            let mut c = code;
+            let mut loads = vec![0u64; m];
+            for j in 0..n {
+                let i = (c % m as u64) as usize;
+                c /= m as u64;
+                loads[i] += times[i][j];
+            }
+            best = best.min(loads.iter().copied().max().unwrap());
+        }
+        best
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        let r = rm_cmax_fptas(&[vec![], vec![]], 0.5);
+        assert_eq!(r.makespan, 0);
+        let r1 = rm_cmax_exact(&[vec![7]]);
+        assert_eq!(r1.makespan, 7);
+    }
+
+    #[test]
+    fn single_machine_sums_everything() {
+        let r = rm_cmax_exact(&[vec![3, 4, 5]]);
+        assert_eq!(r.makespan, 12);
+        assert_eq!(r.schedule.assignment(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn exact_mode_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..30 {
+            let m = rng.gen_range(2..=3);
+            let n = rng.gen_range(1..=8);
+            let times: Vec<Vec<u64>> = (0..m)
+                .map(|_| (0..n).map(|_| rng.gen_range(1..=15)).collect())
+                .collect();
+            let r = rm_cmax_exact(&times);
+            assert_eq!(r.makespan, brute(&times), "times={times:?}");
+            assert_eq!(makespan_of(&times, r.schedule.assignment()), r.makespan);
+        }
+    }
+
+    #[test]
+    fn fptas_respects_guarantee() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for &eps in &[0.05, 0.1, 0.3, 0.5, 1.0, 2.0] {
+            for _ in 0..10 {
+                let m = rng.gen_range(2..=3);
+                let n = rng.gen_range(2..=8);
+                let times: Vec<Vec<u64>> = (0..m)
+                    .map(|_| (0..n).map(|_| rng.gen_range(1..=100)).collect())
+                    .collect();
+                let opt = brute(&times);
+                let r = rm_cmax_fptas(&times, eps);
+                assert_eq!(
+                    makespan_of(&times, r.schedule.assignment()),
+                    r.makespan,
+                    "reported makespan must be the schedule's true makespan"
+                );
+                assert!(
+                    r.makespan as f64 <= (1.0 + eps) * opt as f64 + 1e-9,
+                    "ε={eps}: got {} vs opt {opt}",
+                    r.makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trimming_reduces_states() {
+        let mut rng = StdRng::seed_from_u64(37);
+        // Large spread so the exact Pareto set is wide.
+        let times: Vec<Vec<u64>> = (0..2)
+            .map(|_| (0..14).map(|_| rng.gen_range(1000..=100_000)).collect())
+            .collect();
+        let exact = rm_cmax_exact(&times);
+        let coarse = rm_cmax_fptas(&times, 1.0);
+        assert!(
+            coarse.peak_states < exact.peak_states,
+            "trimming should shrink the state set: {} vs {}",
+            coarse.peak_states,
+            exact.peak_states
+        );
+        assert!(coarse.makespan as f64 <= 2.0 * exact.makespan as f64);
+    }
+
+    #[test]
+    fn forced_assignment_via_huge_penalty() {
+        // Algorithm 5's guard jobs: absurd cost on the wrong machine pins
+        // a job. Verify the DP never pays the penalty when avoidable.
+        let big = 1_000_000u64;
+        let times = vec![vec![5, big, 3], vec![big, 4, 3]];
+        let r = rm_cmax_exact(&times);
+        assert_eq!(r.schedule.machine_of(0), 0);
+        assert_eq!(r.schedule.machine_of(1), 1);
+        assert!(r.makespan < big);
+    }
+
+    #[test]
+    fn eps_one_is_paper_s1_mode() {
+        // Algorithm 1 uses Algorithm 5 with ε = 1 (a 2-approximation).
+        let times = vec![vec![10, 10, 10, 10], vec![10, 10, 10, 10]];
+        let r = rm_cmax_fptas(&times, 1.0);
+        assert!(r.makespan <= 40); // trivially feasible
+        assert!(r.makespan <= 2 * 20); // 2 * OPT
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        rm_cmax_fptas(&[vec![1, 2], vec![1]], 0.1);
+    }
+}

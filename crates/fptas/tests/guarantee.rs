@@ -1,0 +1,69 @@
+//! Deep property tests of the `Rm||C_max` FPTAS: the `(1+ε)` contract on
+//! arbitrary matrices, machine counts 1–3, and the full ε grid.
+
+use bisched_fptas::{makespan_of, rm_cmax_exact, rm_cmax_fptas};
+use proptest::prelude::*;
+
+fn matrix(max_m: usize, max_n: usize, max_p: u64) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    (1..=max_m, 0..=max_n).prop_flat_map(move |(m, n)| {
+        proptest::collection::vec(proptest::collection::vec(1..=max_p, n), m)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // j addresses column j across machine rows
+    fn exact_mode_is_optimal_vs_enumeration(times in matrix(3, 6, 20)) {
+        let m = times.len();
+        let n = times[0].len();
+        let r = rm_cmax_exact(&times);
+        // The reported makespan is the true makespan of the schedule.
+        prop_assert_eq!(makespan_of(&times, r.schedule.assignment()), r.makespan);
+        // Enumerate.
+        let total = (m as u64).pow(n as u32);
+        prop_assume!(total <= 1 << 16);
+        let mut best = u64::MAX;
+        for code in 0..total {
+            let mut c = code;
+            let mut loads = vec![0u64; m];
+            for j in 0..n {
+                let i = (c % m as u64) as usize;
+                c /= m as u64;
+                loads[i] += times[i][j];
+            }
+            best = best.min(loads.iter().copied().max().unwrap_or(0));
+        }
+        if n == 0 { best = 0; }
+        prop_assert_eq!(r.makespan, best);
+    }
+
+    #[test]
+    fn fptas_contract_over_grid(times in matrix(3, 7, 50), eps_pct in 1u32..=200) {
+        let eps = eps_pct as f64 / 100.0;
+        let exact = rm_cmax_exact(&times).makespan;
+        let approx = rm_cmax_fptas(&times, eps);
+        prop_assert_eq!(
+            makespan_of(&times, approx.schedule.assignment()),
+            approx.makespan
+        );
+        prop_assert!(
+            approx.makespan as f64 <= (1.0 + eps) * exact as f64 + 1e-9,
+            "eps={eps}: {} vs exact {}",
+            approx.makespan,
+            exact
+        );
+        // Trimming can only keep fewer or equal states.
+        prop_assert!(approx.peak_states <= rm_cmax_exact(&times).peak_states);
+    }
+
+    #[test]
+    fn schedule_assigns_every_job(times in matrix(3, 8, 30)) {
+        let n = times[0].len();
+        let m = times.len() as u32;
+        let r = rm_cmax_fptas(&times, 0.3);
+        prop_assert_eq!(r.schedule.num_jobs(), n);
+        prop_assert!(r.schedule.assignment().iter().all(|&i| i < m));
+    }
+}

@@ -1,0 +1,231 @@
+//! Maximum-weight independent sets in bipartite graphs.
+//!
+//! Algorithm 1 (step 2) needs "an independent set of the highest weight
+//! containing all jobs of processing requirement at least `√Σp_j`, if such a
+//! set exists". For bipartite graphs this is polynomial: a maximum-weight
+//! independent set is the complement of a minimum-weight vertex cover, which
+//! is a minimum `s`–`t` cut of the standard projection network
+//! (weighted König). The "containing a forced set" variant removes the
+//! closed neighbourhood of the forced vertices first, exactly as Lemma 10's
+//! complexity accounting assumes.
+
+use crate::bipartite::{bipartition, Side};
+use crate::flow::{FlowNetwork, INF_CAP};
+use crate::graph::{Graph, Vertex};
+
+/// A maximum-weight independent set together with its total weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedIs {
+    /// Member vertices, ascending.
+    pub vertices: Vec<Vertex>,
+    /// Total weight of the set.
+    pub weight: u64,
+}
+
+/// Maximum-weight independent set of a *bipartite* graph via min-cut.
+///
+/// Network: `s -> left(w)`, `right -> t(w)`, `left -> right(∞)` for edges.
+/// The min cut is a minimum-weight vertex cover; its complement is returned.
+///
+/// Panics if `g` is not bipartite (callers in this workspace have already
+/// certified bipartiteness; the scheduling APIs surface it as an error).
+pub fn max_weight_independent_set(g: &Graph, weights: &[u64]) -> WeightedIs {
+    assert_eq!(weights.len(), g.num_vertices());
+    let bp = bipartition(g).expect("max_weight_independent_set requires a bipartite graph");
+    let n = g.num_vertices();
+    // Nodes: 0 = source, 1..=n = vertices, n+1 = sink.
+    let s = 0usize;
+    let t = n + 1;
+    let mut net = FlowNetwork::new(n + 2);
+    for (v, &w) in weights.iter().enumerate() {
+        match bp.side(v as Vertex) {
+            Side::Left => net.add_arc(s, v + 1, w),
+            Side::Right => net.add_arc(v + 1, t, w),
+        }
+    }
+    for (u, v) in g.edges() {
+        let (l, r) = match bp.side(u) {
+            Side::Left => (u, v),
+            Side::Right => (v, u),
+        };
+        net.add_arc(l as usize + 1, r as usize + 1, INF_CAP);
+    }
+    let cover_weight = net.max_flow(s, t);
+    let reach = net.min_cut_source_side(s);
+    // Cover: unreachable left vertices + reachable right vertices.
+    // Independent set: reachable left + unreachable right.
+    let vertices: Vec<Vertex> = (0..n as Vertex)
+        .filter(|&v| match bp.side(v) {
+            Side::Left => reach[v as usize + 1],
+            Side::Right => !reach[v as usize + 1],
+        })
+        .collect();
+    let weight: u64 = vertices.iter().map(|&v| weights[v as usize]).sum();
+    debug_assert_eq!(
+        weight,
+        weights.iter().sum::<u64>() - cover_weight,
+        "complementary slackness: w(MWIS) = w(V) - mincut"
+    );
+    debug_assert!(g.is_independent_set(&vertices));
+    WeightedIs { vertices, weight }
+}
+
+/// Maximum-weight independent set **containing every vertex of `forced`**,
+/// or `None` if `forced` itself is not independent.
+///
+/// Removes the closed neighbourhood of `forced`, solves MWIS on the rest,
+/// and unions. This is exactly Algorithm 1's step 2 with `forced` = the jobs
+/// of processing requirement `≥ √Σp_j`.
+pub fn max_weight_is_containing(
+    g: &Graph,
+    weights: &[u64],
+    forced: &[Vertex],
+) -> Option<WeightedIs> {
+    if !g.is_independent_set(forced) {
+        return None;
+    }
+    let n = g.num_vertices();
+    let mut keep = vec![true; n];
+    for &v in forced {
+        keep[v as usize] = false;
+        for &u in g.neighbors(v) {
+            keep[u as usize] = false;
+        }
+    }
+    let (sub, remap) = g.induced_subgraph(&keep);
+    let sub_weights: Vec<u64> = (0..n)
+        .filter(|&v| keep[v])
+        .map(|v| weights[v])
+        .collect();
+    let rest = max_weight_independent_set(&sub, &sub_weights);
+
+    // Map back: invert `remap` (old -> new) for kept vertices.
+    let mut back = vec![u32::MAX; sub.num_vertices()];
+    for v in 0..n {
+        if keep[v] {
+            back[remap[v] as usize] = v as Vertex;
+        }
+    }
+    let mut vertices: Vec<Vertex> = forced.to_vec();
+    vertices.extend(rest.vertices.iter().map(|&v| back[v as usize]));
+    vertices.sort_unstable();
+    vertices.dedup();
+    let weight = vertices.iter().map(|&v| weights[v as usize]).sum();
+    debug_assert!(g.is_independent_set(&vertices));
+    Some(WeightedIs { vertices, weight })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force MWIS for cross-checking (graphs with <= 20 vertices).
+    fn brute_mwis(g: &Graph, weights: &[u64]) -> u64 {
+        let n = g.num_vertices();
+        assert!(n <= 20);
+        let mut best = 0u64;
+        for mask in 0u32..(1 << n) {
+            let members: Vec<Vertex> =
+                (0..n as Vertex).filter(|&v| mask >> v & 1 == 1).collect();
+            if g.is_independent_set(&members) {
+                best = best.max(members.iter().map(|&v| weights[v as usize]).sum());
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn single_edge_takes_heavier_endpoint() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let is = max_weight_independent_set(&g, &[3, 8]);
+        assert_eq!(is.vertices, vec![1]);
+        assert_eq!(is.weight, 8);
+    }
+
+    #[test]
+    fn empty_graph_takes_everything() {
+        let g = Graph::empty(4);
+        let is = max_weight_independent_set(&g, &[1, 2, 3, 4]);
+        assert_eq!(is.weight, 10);
+        assert_eq!(is.vertices.len(), 4);
+    }
+
+    #[test]
+    fn path_alternation_beats_endpoints() {
+        // 0-1-2, weights favor the middle vertex.
+        let g = Graph::path(3);
+        let is = max_weight_independent_set(&g, &[1, 5, 1]);
+        assert_eq!(is.vertices, vec![1]);
+        assert_eq!(is.weight, 5);
+        let is2 = max_weight_independent_set(&g, &[4, 5, 4]);
+        assert_eq!(is2.vertices, vec![0, 2]);
+        assert_eq!(is2.weight, 8);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_fixed_graphs() {
+        let cases = vec![
+            (Graph::cycle(6), vec![5u64, 1, 5, 1, 5, 1]),
+            (Graph::complete_bipartite(3, 4), vec![9, 9, 9, 7, 7, 7, 7]),
+            (
+                Graph::from_edges(8, &[(0, 4), (0, 5), (1, 4), (2, 6), (3, 7), (1, 7)]),
+                vec![3, 1, 4, 1, 5, 9, 2, 6],
+            ),
+        ];
+        for (g, w) in cases {
+            let is = max_weight_independent_set(&g, &w);
+            assert_eq!(is.weight, brute_mwis(&g, &w), "on {g:?}");
+            assert!(g.is_independent_set(&is.vertices));
+        }
+    }
+
+    #[test]
+    fn forced_set_not_independent_returns_none() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert!(max_weight_is_containing(&g, &[1, 1, 1], &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn forced_vertices_always_included() {
+        // Star: center 0 heavy, but forcing a leaf excludes the center.
+        let g = Graph::complete_bipartite(1, 4);
+        let w = vec![100, 1, 1, 1, 1];
+        let free = max_weight_independent_set(&g, &w);
+        assert_eq!(free.weight, 100);
+        let forced = max_weight_is_containing(&g, &w, &[1]).unwrap();
+        assert!(forced.vertices.contains(&1));
+        assert!(!forced.vertices.contains(&0));
+        assert_eq!(forced.weight, 4); // all four leaves
+    }
+
+    #[test]
+    fn forced_empty_reduces_to_plain_mwis() {
+        let g = Graph::cycle(8);
+        let w = vec![2u64; 8];
+        let a = max_weight_independent_set(&g, &w);
+        let b = max_weight_is_containing(&g, &w, &[]).unwrap();
+        assert_eq!(a.weight, b.weight);
+    }
+
+    #[test]
+    fn forced_containing_matches_restricted_bruteforce() {
+        let g = Graph::from_edges(7, &[(0, 3), (1, 3), (1, 4), (2, 5), (2, 6), (0, 6)]);
+        let w = vec![4u64, 7, 2, 9, 3, 8, 5];
+        let forced = vec![1u32];
+        let got = max_weight_is_containing(&g, &w, &forced).unwrap();
+        // brute force over sets containing vertex 1
+        let n = g.num_vertices();
+        let mut best = 0u64;
+        for mask in 0u32..(1 << n) {
+            if mask >> 1 & 1 == 0 {
+                continue;
+            }
+            let members: Vec<Vertex> =
+                (0..n as Vertex).filter(|&v| mask >> v & 1 == 1).collect();
+            if g.is_independent_set(&members) {
+                best = best.max(members.iter().map(|&v| w[v as usize]).sum());
+            }
+        }
+        assert_eq!(got.weight, best);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the graph substrate: structural invariants that must
+//! hold on arbitrary bipartite (and near-bipartite) inputs.
+
+use bisched_graph::{
+    bipartition, gilbert_bipartite, inequitable_coloring, inequitable_coloring_weighted,
+    max_weight_independent_set, max_weight_is_containing, maximum_matching, Components, Graph,
+    Side,
+};
+use proptest::prelude::*;
+
+/// Random bipartite graph from part sizes and a bitmask over pairs.
+fn bipartite_graph(max_side: usize) -> impl Strategy<Value = Graph> {
+    (1..=max_side, 1..=max_side).prop_flat_map(|(a, b)| {
+        proptest::collection::vec(any::<bool>(), a * b).prop_map(move |mask| {
+            let mut edges = Vec::new();
+            for i in 0..a {
+                for j in 0..b {
+                    if mask[i * b + j] {
+                        edges.push((i as u32, (a + j) as u32));
+                    }
+                }
+            }
+            Graph::from_edges(a + b, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bipartition_is_always_proper(g in bipartite_graph(10)) {
+        let bp = bipartition(&g).expect("constructed bipartite");
+        prop_assert!(bp.is_proper(&g));
+        let (l, r) = bp.part_sizes();
+        prop_assert_eq!(l + r, g.num_vertices());
+    }
+
+    #[test]
+    fn matching_vertices_are_disjoint_edges(g in bipartite_graph(10)) {
+        let bp = bipartition(&g).unwrap();
+        let m = maximum_matching(&g, &bp);
+        prop_assert!(m.is_valid(&g));
+        // Matched edges connect opposite sides.
+        for (u, v) in m.edges() {
+            prop_assert!(bp.side(u) != bp.side(v));
+        }
+        // Maximum: no augmenting single edge between two free vertices.
+        for (u, v) in g.edges() {
+            prop_assert!(
+                m.is_matched(u) || m.is_matched(v),
+                "edge ({u},{v}) with both endpoints free contradicts maximality"
+            );
+        }
+    }
+
+    #[test]
+    fn koenig_alpha_plus_mu_is_v(g in bipartite_graph(9)) {
+        let bp = bipartition(&g).unwrap();
+        let mu = maximum_matching(&g, &bp).size();
+        let mwis = max_weight_independent_set(&g, &vec![1; g.num_vertices()]);
+        prop_assert_eq!(mwis.weight as usize + mu, g.num_vertices());
+    }
+
+    #[test]
+    fn mwis_beats_both_sides(g in bipartite_graph(9), seed in 0u64..500) {
+        let n = g.num_vertices();
+        let w: Vec<u64> = (0..n).map(|i| 1 + (seed + 3 * i as u64) % 11).collect();
+        let mwis = max_weight_independent_set(&g, &w);
+        prop_assert!(g.is_independent_set(&mwis.vertices));
+        // Each side of the bipartition is an independent set, so MWIS
+        // weight is at least the max side weight.
+        let bp = bipartition(&g).unwrap();
+        for side in [Side::Left, Side::Right] {
+            let sw: u64 = bp.part(side).iter().map(|&v| w[v as usize]).sum();
+            prop_assert!(mwis.weight >= sw);
+        }
+    }
+
+    #[test]
+    fn forced_mwis_contains_and_dominates(g in bipartite_graph(8), seed in 0u64..500) {
+        let n = g.num_vertices();
+        let w: Vec<u64> = (0..n).map(|i| 1 + (seed + i as u64) % 7).collect();
+        // Force a random independent single vertex; result must contain it
+        // and weigh at least w(forced) + MWIS of the graph minus N[v].
+        let v = (seed % n as u64) as u32;
+        let got = max_weight_is_containing(&g, &w, &[v]).expect("singleton independent");
+        prop_assert!(got.vertices.contains(&v));
+        prop_assert!(g.is_independent_set(&got.vertices));
+        let free = max_weight_independent_set(&g, &w);
+        prop_assert!(got.weight <= free.weight);
+    }
+
+    #[test]
+    fn inequitable_is_optimal_among_orientations(g in bipartite_graph(7), seed in 0u64..500) {
+        let n = g.num_vertices();
+        let w: Vec<u64> = (0..n).map(|i| 1 + (seed * 5 + i as u64) % 9).collect();
+        let col = inequitable_coloring_weighted(&g, &w).unwrap();
+        // Exhaust all per-component orientations; none beats the greedy.
+        let comps = Components::of(&g);
+        let bp = bipartition(&g).unwrap();
+        let c = comps.count();
+        prop_assume!(c <= 12);
+        let mut best = 0u64;
+        for mask in 0u32..(1 << c) {
+            let mut major = 0u64;
+            for (k, members) in comps.iter().enumerate() {
+                let flip = mask >> k & 1 == 1;
+                for &v in members {
+                    let is_left = bp.side(v) == Side::Left;
+                    if is_left != flip {
+                        major += w[v as usize];
+                    }
+                }
+            }
+            best = best.max(major);
+        }
+        prop_assert_eq!(col.major_weight(), best);
+    }
+
+    #[test]
+    fn components_partition_vertices(g in bipartite_graph(10)) {
+        let comps = Components::of(&g);
+        let mut seen = vec![false; g.num_vertices()];
+        for members in comps.iter() {
+            for &v in members {
+                prop_assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+        // Every edge stays within one component.
+        for (u, v) in g.edges() {
+            prop_assert!(comps.same_component(u, v));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(g in bipartite_graph(9), seed in 0u64..500) {
+        let n = g.num_vertices();
+        let keep: Vec<bool> = (0..n).map(|i| (seed >> (i % 60)) & 1 == 0).collect();
+        let (sub, remap) = g.induced_subgraph(&keep);
+        for u in 0..n {
+            for v in 0..n {
+                if u < v && keep[u] && keep[v] {
+                    prop_assert_eq!(
+                        g.has_edge(u as u32, v as u32),
+                        sub.has_edge(remap[u], remap[v])
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gilbert_respects_structure_at_scale() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(71);
+    let g = gilbert_bipartite(500, 500, 0.01, &mut rng);
+    let bp = bipartition(&g).unwrap();
+    assert!(bp.is_proper(&g));
+    let m = maximum_matching(&g, &bp);
+    assert!(m.is_valid(&g));
+    let col = inequitable_coloring(&g).unwrap();
+    assert!(col.is_proper(&g));
+    // |V'2| >= mu (the Lemma 14 direction used by Algorithm 2's analysis).
+    assert!(col.class_sizes().1 >= m.size());
+}

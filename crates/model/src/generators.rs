@@ -1,0 +1,306 @@
+//! Workload generators for experiments and property tests.
+//!
+//! The paper has no empirical section, so the experiment harness generates
+//! the workloads its theorems quantify over: job-size distributions, machine
+//! speed profiles (including the adversarial "one very fast machine" shape
+//! that drives the `√Σp_j` lower bound), and the standard unrelated-times
+//! families from the `R||C_max` literature (uncorrelated, job-correlated,
+//! machine-correlated).
+
+use rand::Rng;
+
+/// Job-size distributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobSizes {
+    /// All `p_j = 1` (the `p_j = 1` restriction of Theorems 4, 8, 19).
+    Unit,
+    /// `p_j ~ U[lo, hi]`.
+    Uniform {
+        /// Minimum size (≥ 1).
+        lo: u64,
+        /// Maximum size.
+        hi: u64,
+    },
+    /// Mostly small jobs with a fraction of big ones — exercises
+    /// Algorithm 1's `√Σp_j` threshold between "big" and "small".
+    Bimodal {
+        /// Small-job range.
+        small: (u64, u64),
+        /// Big-job range.
+        big: (u64, u64),
+        /// Big-job share in percent (0..=100).
+        big_percent: u8,
+    },
+}
+
+impl JobSizes {
+    /// Samples `n` job sizes.
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u64> {
+        match *self {
+            JobSizes::Unit => vec![1; n],
+            JobSizes::Uniform { lo, hi } => {
+                assert!(lo >= 1 && lo <= hi);
+                (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+            }
+            JobSizes::Bimodal {
+                small,
+                big,
+                big_percent,
+            } => {
+                assert!(small.0 >= 1 && small.0 <= small.1 && big.0 <= big.1);
+                (0..n)
+                    .map(|_| {
+                        if rng.gen_range(0u8..100) < big_percent {
+                            rng.gen_range(big.0..=big.1)
+                        } else {
+                            rng.gen_range(small.0..=small.1)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Table label.
+    pub fn label(&self) -> String {
+        match *self {
+            JobSizes::Unit => "unit".into(),
+            JobSizes::Uniform { lo, hi } => format!("U[{lo},{hi}]"),
+            JobSizes::Bimodal { big_percent, .. } => format!("bimodal({big_percent}% big)"),
+        }
+    }
+}
+
+/// Machine speed profiles for `Q` environments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpeedProfile {
+    /// All speeds 1 — degenerates to identical machines (the `P` baseline
+    /// of Bodlaender–Jansen–Woeginger).
+    Equal,
+    /// Speeds `ratio^(m-1), …, ratio, 1` (geometric decay).
+    Geometric {
+        /// Ratio between consecutive machines (≥ 2 recommended).
+        ratio: u64,
+    },
+    /// One machine `factor×` faster than the other `m−1` unit machines —
+    /// the shape behind the Theorem 8 hardness construction.
+    OneFast {
+        /// Speed of the fast machine.
+        factor: u64,
+    },
+    /// `fast_count` machines at `factor`, the rest at 1.
+    TwoTier {
+        /// Number of fast machines.
+        fast_count: usize,
+        /// Their speed.
+        factor: u64,
+    },
+}
+
+impl SpeedProfile {
+    /// Produces the (non-increasing) speed vector for `m` machines.
+    pub fn speeds(&self, m: usize) -> Vec<u64> {
+        assert!(m >= 1);
+        match *self {
+            SpeedProfile::Equal => vec![1; m],
+            SpeedProfile::Geometric { ratio } => {
+                assert!(ratio >= 1);
+                (0..m)
+                    .map(|i| ratio.checked_pow((m - 1 - i) as u32).expect("speed overflow"))
+                    .collect()
+            }
+            SpeedProfile::OneFast { factor } => {
+                let mut v = vec![1; m];
+                v[0] = factor;
+                v
+            }
+            SpeedProfile::TwoTier { fast_count, factor } => {
+                assert!(fast_count <= m);
+                let mut v = vec![1; m];
+                for s in v.iter_mut().take(fast_count) {
+                    *s = factor;
+                }
+                v
+            }
+        }
+    }
+
+    /// Table label.
+    pub fn label(&self) -> String {
+        match *self {
+            SpeedProfile::Equal => "equal".into(),
+            SpeedProfile::Geometric { ratio } => format!("geometric(r={ratio})"),
+            SpeedProfile::OneFast { factor } => format!("one-fast({factor}x)"),
+            SpeedProfile::TwoTier { fast_count, factor } => {
+                format!("two-tier({fast_count}@{factor}x)")
+            }
+        }
+    }
+}
+
+/// Unrelated-times matrix families (standard `R||C_max` benchmark shapes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnrelatedFamily {
+    /// `p_{i,j} ~ U[lo, hi]` independently.
+    Uncorrelated {
+        /// Lower bound (≥ 1).
+        lo: u64,
+        /// Upper bound.
+        hi: u64,
+    },
+    /// `p_{i,j} ~ a_j + U[0, spread]`: job-correlated (a job is inherently
+    /// big or small, machines agree).
+    JobCorrelated {
+        /// Base-cost range for `a_j`.
+        base: (u64, u64),
+        /// Additive machine noise.
+        spread: u64,
+    },
+    /// `p_{i,j} ~ b_i + U[0, spread]`: machine-correlated (a machine is
+    /// inherently slow or fast for everything).
+    MachineCorrelated {
+        /// Base-cost range for `b_i`.
+        base: (u64, u64),
+        /// Additive job noise.
+        spread: u64,
+    },
+}
+
+impl UnrelatedFamily {
+    /// Samples an `m × n` processing-time matrix.
+    pub fn sample<R: Rng + ?Sized>(&self, m: usize, n: usize, rng: &mut R) -> Vec<Vec<u64>> {
+        match *self {
+            UnrelatedFamily::Uncorrelated { lo, hi } => {
+                assert!(lo >= 1 && lo <= hi);
+                (0..m)
+                    .map(|_| (0..n).map(|_| rng.gen_range(lo..=hi)).collect())
+                    .collect()
+            }
+            UnrelatedFamily::JobCorrelated { base, spread } => {
+                assert!(base.0 >= 1 && base.0 <= base.1);
+                let a: Vec<u64> = (0..n).map(|_| rng.gen_range(base.0..=base.1)).collect();
+                (0..m)
+                    .map(|_| a.iter().map(|&aj| aj + rng.gen_range(0..=spread)).collect())
+                    .collect()
+            }
+            UnrelatedFamily::MachineCorrelated { base, spread } => {
+                assert!(base.0 >= 1 && base.0 <= base.1);
+                (0..m)
+                    .map(|_| {
+                        let bi = rng.gen_range(base.0..=base.1);
+                        (0..n).map(|_| bi + rng.gen_range(0..=spread)).collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UnrelatedFamily::Uncorrelated { .. } => "uncorrelated",
+            UnrelatedFamily::JobCorrelated { .. } => "job-correlated",
+            UnrelatedFamily::MachineCorrelated { .. } => "machine-correlated",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(JobSizes::Unit.sample(4, &mut rng), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn uniform_sizes_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = JobSizes::Uniform { lo: 5, hi: 9 }.sample(200, &mut rng);
+        assert!(p.iter().all(|&x| (5..=9).contains(&x)));
+        assert!(p.contains(&5) && p.contains(&9));
+    }
+
+    #[test]
+    fn bimodal_mixes_modes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = JobSizes::Bimodal {
+            small: (1, 3),
+            big: (100, 200),
+            big_percent: 30,
+        }
+        .sample(300, &mut rng);
+        let big = p.iter().filter(|&&x| x >= 100).count();
+        assert!(big > 40 && big < 160, "got {big} big jobs of 300");
+    }
+
+    #[test]
+    fn speed_profiles_shapes() {
+        assert_eq!(SpeedProfile::Equal.speeds(3), vec![1, 1, 1]);
+        assert_eq!(
+            SpeedProfile::Geometric { ratio: 3 }.speeds(4),
+            vec![27, 9, 3, 1]
+        );
+        assert_eq!(SpeedProfile::OneFast { factor: 50 }.speeds(3), vec![50, 1, 1]);
+        assert_eq!(
+            SpeedProfile::TwoTier {
+                fast_count: 2,
+                factor: 10
+            }
+            .speeds(4),
+            vec![10, 10, 1, 1]
+        );
+        // All profiles non-increasing.
+        for p in [
+            SpeedProfile::Equal,
+            SpeedProfile::Geometric { ratio: 2 },
+            SpeedProfile::OneFast { factor: 7 },
+            SpeedProfile::TwoTier {
+                fast_count: 3,
+                factor: 4,
+            },
+        ] {
+            let s = p.speeds(6);
+            assert!(s.windows(2).all(|w| w[0] >= w[1]), "{p:?} not sorted");
+        }
+    }
+
+    #[test]
+    fn unrelated_families_shape_and_positivity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for fam in [
+            UnrelatedFamily::Uncorrelated { lo: 1, hi: 50 },
+            UnrelatedFamily::JobCorrelated {
+                base: (10, 90),
+                spread: 5,
+            },
+            UnrelatedFamily::MachineCorrelated {
+                base: (10, 90),
+                spread: 5,
+            },
+        ] {
+            let t = fam.sample(3, 7, &mut rng);
+            assert_eq!(t.len(), 3);
+            assert!(t.iter().all(|row| row.len() == 7));
+            assert!(t.iter().flatten().all(|&p| p >= 1));
+        }
+    }
+
+    #[test]
+    fn job_correlated_rows_agree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = UnrelatedFamily::JobCorrelated {
+            base: (1, 1000),
+            spread: 1,
+        }
+        .sample(2, 50, &mut rng);
+        // Machines nearly agree on job costs: rows differ by at most spread.
+        for (a, b) in t[0].iter().zip(&t[1]) {
+            assert!(a.abs_diff(*b) <= 1);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Instance serialization: a line-oriented text format plus serde support.
+//!
+//! The text format is what the experiment harness and downstream users
+//! exchange instances in:
+//!
+//! ```text
+//! # bisched instance v1          (comments and blank lines ignored)
+//! env Q                          (P <m> | Q | R)
+//! speeds 4 2 1                   (Q only)
+//! jobs 5
+//! processing 3 1 4 1 5           (P and Q)
+//! times 3 1 4 1 5                (R: one line per machine)
+//! times 2 2 2 2 2
+//! edges 3
+//! 0 1
+//! 1 2
+//! 3 4
+//! ```
+
+use crate::instance::{Instance, MachineEnvironment};
+use bisched_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Serde-friendly mirror of [`Instance`]; conversion validates.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct InstanceData {
+    /// `"P"`, `"Q"`, or `"R"`.
+    pub env: String,
+    /// Machine count for `P`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub machines: Option<usize>,
+    /// Speeds for `Q`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub speeds: Option<Vec<u64>>,
+    /// Processing requirements for `P`/`Q`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub processing: Option<Vec<u64>>,
+    /// `m × n` times for `R`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub times: Option<Vec<Vec<u64>>>,
+    /// Number of jobs (= incompatibility-graph vertices).
+    pub jobs: usize,
+    /// Incompatibility edges.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Errors of the text parser / converter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IoError {
+    /// Line-level syntax problem.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Structurally valid data that does not form a valid instance.
+    Invalid(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::Invalid(m) => write!(f, "invalid instance: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl InstanceData {
+    /// Extracts the portable form of an instance.
+    pub fn from_instance(inst: &Instance) -> Self {
+        let edges = inst.graph().edges().collect();
+        let jobs = inst.num_jobs();
+        match inst.env() {
+            MachineEnvironment::Identical { m } => InstanceData {
+                env: "P".into(),
+                machines: Some(*m),
+                speeds: None,
+                processing: Some(inst.processing_all().to_vec()),
+                times: None,
+                jobs,
+                edges,
+            },
+            MachineEnvironment::Uniform { speeds } => InstanceData {
+                env: "Q".into(),
+                machines: None,
+                speeds: Some(speeds.clone()),
+                processing: Some(inst.processing_all().to_vec()),
+                times: None,
+                jobs,
+                edges,
+            },
+            MachineEnvironment::Unrelated { times } => InstanceData {
+                env: "R".into(),
+                machines: None,
+                speeds: None,
+                processing: None,
+                times: Some(times.clone()),
+                jobs,
+                edges,
+            },
+        }
+    }
+
+    /// Validates and builds the real [`Instance`].
+    pub fn into_instance(self) -> Result<Instance, IoError> {
+        let graph = Graph::from_edges(self.jobs, &self.edges);
+        let bad = |m: &str| IoError::Invalid(m.to_string());
+        match self.env.as_str() {
+            "P" => {
+                let m = self.machines.ok_or_else(|| bad("P requires `machines`"))?;
+                let p = self
+                    .processing
+                    .ok_or_else(|| bad("P requires `processing`"))?;
+                Instance::identical(m, p, graph).map_err(|e| IoError::Invalid(e.to_string()))
+            }
+            "Q" => {
+                let s = self.speeds.ok_or_else(|| bad("Q requires `speeds`"))?;
+                let p = self
+                    .processing
+                    .ok_or_else(|| bad("Q requires `processing`"))?;
+                Instance::uniform(s, p, graph).map_err(|e| IoError::Invalid(e.to_string()))
+            }
+            "R" => {
+                let t = self.times.ok_or_else(|| bad("R requires `times`"))?;
+                Instance::unrelated(t, graph).map_err(|e| IoError::Invalid(e.to_string()))
+            }
+            other => Err(bad(&format!("unknown environment {other:?}"))),
+        }
+    }
+}
+
+/// Writes the line-oriented text form.
+pub fn to_text(inst: &Instance) -> String {
+    let mut out = String::from("# bisched instance v1\n");
+    match inst.env() {
+        MachineEnvironment::Identical { m } => {
+            out.push_str(&format!("env P {m}\n"));
+        }
+        MachineEnvironment::Uniform { speeds } => {
+            out.push_str("env Q\n");
+            out.push_str(&format!("speeds {}\n", join(speeds)));
+        }
+        MachineEnvironment::Unrelated { .. } => out.push_str("env R\n"),
+    }
+    out.push_str(&format!("jobs {}\n", inst.num_jobs()));
+    match inst.env() {
+        MachineEnvironment::Unrelated { times } => {
+            for row in times {
+                out.push_str(&format!("times {}\n", join(row)));
+            }
+        }
+        _ => out.push_str(&format!("processing {}\n", join(inst.processing_all()))),
+    }
+    let edges: Vec<(u32, u32)> = inst.graph().edges().collect();
+    out.push_str(&format!("edges {}\n", edges.len()));
+    for (u, v) in edges {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+fn join(v: &[u64]) -> String {
+    v.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses the text form.
+pub fn from_text(text: &str) -> Result<Instance, IoError> {
+    let mut env: Option<String> = None;
+    let mut machines: Option<usize> = None;
+    let mut speeds: Option<Vec<u64>> = None;
+    let mut processing: Option<Vec<u64>> = None;
+    let mut times: Vec<Vec<u64>> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut edges_expected: Option<usize> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+
+    let err = |line: usize, message: &str| IoError::Parse {
+        line,
+        message: message.to_string(),
+    };
+    let nums = |s: &str, line: usize| -> Result<Vec<u64>, IoError> {
+        s.split_whitespace()
+            .map(|t| t.parse::<u64>().map_err(|_| err(line, "expected integers")))
+            .collect()
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (kw, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match kw {
+            "env" => {
+                let mut parts = rest.split_whitespace();
+                let e = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "env needs P/Q/R"))?;
+                env = Some(e.to_string());
+                if e == "P" {
+                    machines = Some(
+                        parts
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err(line_no, "env P needs a machine count"))?,
+                    );
+                }
+            }
+            "speeds" => speeds = Some(nums(rest, line_no)?),
+            "processing" => processing = Some(nums(rest, line_no)?),
+            "times" => times.push(nums(rest, line_no)?),
+            "jobs" => {
+                jobs = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|_| err(line_no, "jobs needs a count"))?,
+                )
+            }
+            "edges" => {
+                edges_expected = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|_| err(line_no, "edges needs a count"))?,
+                )
+            }
+            _ => {
+                // An edge line: "u v".
+                let pair = nums(line, line_no)?;
+                if pair.len() != 2 {
+                    return Err(err(line_no, "expected `u v` edge or a keyword"));
+                }
+                edges.push((pair[0] as u32, pair[1] as u32));
+            }
+        }
+    }
+    if let Some(expected) = edges_expected {
+        if edges.len() != expected {
+            return Err(IoError::Invalid(format!(
+                "declared {expected} edges, found {}",
+                edges.len()
+            )));
+        }
+    }
+    let data = InstanceData {
+        env: env.ok_or_else(|| IoError::Invalid("missing env".into()))?,
+        machines,
+        speeds,
+        processing,
+        times: if times.is_empty() { None } else { Some(times) },
+        jobs: jobs.ok_or_else(|| IoError::Invalid("missing jobs".into()))?,
+        edges,
+    };
+    data.into_instance()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_graph::Graph;
+
+    fn sample_q() -> Instance {
+        Instance::uniform(
+            vec![4, 2, 1],
+            vec![3, 1, 4, 1, 5],
+            Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip_q() {
+        let inst = sample_q();
+        let text = to_text(&inst);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.speeds(), inst.speeds());
+        assert_eq!(back.processing_all(), inst.processing_all());
+        assert_eq!(back.graph(), inst.graph());
+    }
+
+    #[test]
+    fn text_roundtrip_p_and_r() {
+        let p = Instance::identical(3, vec![2, 2], Graph::from_edges(2, &[(0, 1)])).unwrap();
+        let back = from_text(&to_text(&p)).unwrap();
+        assert_eq!(back.num_machines(), 3);
+        assert_eq!(back.env().alpha(), "P");
+
+        let r = Instance::unrelated(
+            vec![vec![1, 2, 3], vec![3, 2, 1]],
+            Graph::path(3),
+        )
+        .unwrap();
+        let back = from_text(&to_text(&r)).unwrap();
+        assert_eq!(back.env().alpha(), "R");
+        assert_eq!(back.unrelated_time(1, 0), 3);
+        assert_eq!(back.graph(), r.graph());
+    }
+
+    #[test]
+    fn serde_json_roundtrip() {
+        let inst = sample_q();
+        let data = InstanceData::from_instance(&inst);
+        let json = serde_json::to_string(&data).unwrap();
+        let parsed: InstanceData = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, data);
+        let back = parsed.into_instance().unwrap();
+        assert_eq!(back.speeds(), inst.speeds());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# hello\n\nenv Q\nspeeds 2 1\njobs 2\nprocessing 1 1\nedges 1\n0 1\n";
+        let inst = from_text(text).unwrap();
+        assert_eq!(inst.num_jobs(), 2);
+        assert!(inst.graph().has_edge(0, 1));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "env Q\nspeeds two one\n";
+        match from_text(bad) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structural_errors_reported() {
+        assert!(matches!(
+            from_text("jobs 2\nedges 0\n"),
+            Err(IoError::Invalid(_))
+        ));
+        assert!(matches!(
+            from_text("env Q\njobs 1\nprocessing 1\nedges 2\n"),
+            Err(IoError::Invalid(_))
+        ));
+        // Q without speeds.
+        assert!(matches!(
+            from_text("env Q\njobs 1\nprocessing 1\nedges 0\n"),
+            Err(IoError::Invalid(_))
+        ));
+        // Zero processing rejected by instance validation.
+        assert!(matches!(
+            from_text("env Q\nspeeds 1\njobs 1\nprocessing 0\nedges 0\n"),
+            Err(IoError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn env_p_needs_machine_count() {
+        assert!(matches!(
+            from_text("env P\njobs 1\nprocessing 1\nedges 0\n"),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,239 @@
+//! Schedules: job → machine assignments, makespans, feasibility.
+//!
+//! For makespan minimisation without precedence or release dates, a schedule
+//! is fully determined by the assignment (jobs on one machine run
+//! back-to-back in any order). Feasibility in the paper's model is the
+//! incompatibility constraint: the jobs on any machine must form an
+//! independent set of `G`.
+
+use crate::instance::{Instance, JobId, MachineEnvironment, MachineId};
+use crate::rational::Rat;
+
+/// A complete assignment of jobs to machines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    assignment: Vec<MachineId>,
+}
+
+/// Why a schedule is infeasible for an instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Assignment vector length differs from the number of jobs.
+    WrongLength {
+        /// Assignments provided.
+        got: usize,
+        /// Jobs in the instance.
+        expected: usize,
+    },
+    /// Some job is assigned to a machine index `≥ m`.
+    MachineOutOfRange {
+        /// Offending job.
+        job: JobId,
+        /// Its machine.
+        machine: MachineId,
+    },
+    /// Two incompatible jobs share a machine — the paper's core constraint.
+    IncompatiblePair {
+        /// The machine both jobs sit on.
+        machine: MachineId,
+        /// One endpoint of the violated edge.
+        job_a: JobId,
+        /// The other endpoint.
+        job_b: JobId,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::WrongLength { got, expected } => {
+                write!(f, "schedule assigns {got} jobs, instance has {expected}")
+            }
+            ScheduleError::MachineOutOfRange { job, machine } => {
+                write!(f, "job {job} assigned to non-existent machine {machine}")
+            }
+            ScheduleError::IncompatiblePair { machine, job_a, job_b } => write!(
+                f,
+                "incompatible jobs {job_a} and {job_b} share machine {machine}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Wraps an assignment vector (`assignment[j]` = machine of job `j`).
+    pub fn new(assignment: Vec<MachineId>) -> Self {
+        Schedule { assignment }
+    }
+
+    /// The machine of job `j`.
+    #[inline]
+    pub fn machine_of(&self, j: JobId) -> MachineId {
+        self.assignment[j as usize]
+    }
+
+    /// The raw assignment vector.
+    pub fn assignment(&self) -> &[MachineId] {
+        &self.assignment
+    }
+
+    /// Number of assigned jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Jobs on machine `i`, ascending.
+    pub fn jobs_on(&self, i: MachineId) -> Vec<JobId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &mi)| mi == i)
+            .map(|(j, _)| j as JobId)
+            .collect()
+    }
+
+    /// Integer load of every machine: for `P`/`Q` the sum of `p_j`, for `R`
+    /// the sum of `p_{i,j}` of the jobs placed there.
+    pub fn loads(&self, inst: &Instance) -> Vec<u64> {
+        let mut loads = vec![0u64; inst.num_machines()];
+        for (j, &i) in self.assignment.iter().enumerate() {
+            let p = match inst.env() {
+                MachineEnvironment::Unrelated { times } => times[i as usize][j],
+                _ => inst.processing(j as JobId),
+            };
+            loads[i as usize] += p;
+        }
+        loads
+    }
+
+    /// Exact makespan `C_max(S)`: for `Q`, `max_i load_i / s_i`; for `P`/`R`
+    /// the maximum integer load.
+    pub fn makespan(&self, inst: &Instance) -> Rat {
+        let loads = self.loads(inst);
+        match inst.env() {
+            MachineEnvironment::Uniform { speeds } => loads
+                .iter()
+                .zip(speeds)
+                .map(|(&l, &s)| Rat::new(l, s))
+                .max()
+                .unwrap_or(Rat::ZERO),
+            _ => Rat::integer(loads.into_iter().max().unwrap_or(0)),
+        }
+    }
+
+    /// Full feasibility check: shape, machine range, and the independence
+    /// constraint on every machine.
+    pub fn validate(&self, inst: &Instance) -> Result<(), ScheduleError> {
+        if self.assignment.len() != inst.num_jobs() {
+            return Err(ScheduleError::WrongLength {
+                got: self.assignment.len(),
+                expected: inst.num_jobs(),
+            });
+        }
+        let m = inst.num_machines() as MachineId;
+        for (j, &i) in self.assignment.iter().enumerate() {
+            if i >= m {
+                return Err(ScheduleError::MachineOutOfRange {
+                    job: j as JobId,
+                    machine: i,
+                });
+            }
+        }
+        for (u, v) in inst.graph().edges() {
+            if self.assignment[u as usize] == self.assignment[v as usize] {
+                return Err(ScheduleError::IncompatiblePair {
+                    machine: self.assignment[u as usize],
+                    job_a: u,
+                    job_b: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_graph::Graph;
+
+    fn simple_q() -> Instance {
+        // 3 jobs of sizes 4, 2, 2; speeds 2, 1; edge between jobs 0 and 1.
+        Instance::uniform(
+            vec![2, 1],
+            vec![4, 2, 2],
+            Graph::from_edges(3, &[(0, 1)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn loads_and_makespan_uniform() {
+        let inst = simple_q();
+        let s = Schedule::new(vec![0, 1, 0]);
+        assert_eq!(s.loads(&inst), vec![6, 2]);
+        // max(6/2, 2/1) = 3
+        assert_eq!(s.makespan(&inst), Rat::integer(3));
+    }
+
+    #[test]
+    fn validate_catches_incompatibility() {
+        let inst = simple_q();
+        let bad = Schedule::new(vec![0, 0, 1]);
+        assert_eq!(
+            bad.validate(&inst),
+            Err(ScheduleError::IncompatiblePair {
+                machine: 0,
+                job_a: 0,
+                job_b: 1
+            })
+        );
+        let good = Schedule::new(vec![0, 1, 1]);
+        assert!(good.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_shape_errors() {
+        let inst = simple_q();
+        assert!(matches!(
+            Schedule::new(vec![0, 1]).validate(&inst),
+            Err(ScheduleError::WrongLength { got: 2, expected: 3 })
+        ));
+        assert!(matches!(
+            Schedule::new(vec![0, 1, 7]).validate(&inst),
+            Err(ScheduleError::MachineOutOfRange { job: 2, machine: 7 })
+        ));
+    }
+
+    #[test]
+    fn unrelated_loads_use_matrix() {
+        let inst = Instance::unrelated(
+            vec![vec![10, 1, 1], vec![1, 10, 10]],
+            Graph::empty(3),
+        )
+        .unwrap();
+        let s = Schedule::new(vec![1, 0, 0]);
+        assert_eq!(s.loads(&inst), vec![2, 1]);
+        assert_eq!(s.makespan(&inst), Rat::integer(2));
+    }
+
+    #[test]
+    fn jobs_on_partition() {
+        let inst = simple_q();
+        let s = Schedule::new(vec![0, 1, 0]);
+        assert!(s.validate(&inst).is_ok());
+        assert_eq!(s.jobs_on(0), vec![0, 2]);
+        assert_eq!(s.jobs_on(1), vec![1]);
+        assert_eq!(s.machine_of(2), 0);
+    }
+
+    #[test]
+    fn empty_instance_makespan_zero() {
+        let inst = Instance::identical(2, vec![], Graph::empty(0)).unwrap();
+        let s = Schedule::new(vec![]);
+        assert_eq!(s.makespan(&inst), Rat::ZERO);
+        assert!(s.validate(&inst).is_ok());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the model substrate: exact rational arithmetic,
+//! serialization roundtrips, bound monotonicity, list-scheduling safety.
+
+use bisched_graph::Graph;
+use bisched_model::{
+    assign_min_completion_uniform, capacity_lower_bound, floor_capacities, from_text, gcd,
+    lpt_order, min_time_to_cover, to_text, Instance, InstanceData, Rat, Schedule,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rat_ordering_is_total_and_consistent(
+        (a, b, c, d, e, f) in (1u64..1000, 1u64..1000, 1u64..1000, 1u64..1000, 1u64..1000, 1u64..1000)
+    ) {
+        let x = Rat::new(a, b);
+        let y = Rat::new(c, d);
+        let z = Rat::new(e, f);
+        // Antisymmetry via exact values.
+        prop_assert_eq!(x == y, a * d == c * b);
+        // Transitivity (sampled).
+        if x <= y && y <= z {
+            prop_assert!(x <= z);
+        }
+        // Cross-check against f64 when far from ties.
+        let fx = a as f64 / b as f64;
+        let fy = c as f64 / d as f64;
+        if (fx - fy).abs() > 1e-6 {
+            prop_assert_eq!(x < y, fx < fy);
+        }
+    }
+
+    #[test]
+    fn rat_arithmetic_laws((a, b, c, d) in (0u64..500, 1u64..500, 0u64..500, 1u64..500)) {
+        let x = Rat::new(a, b);
+        let y = Rat::new(c, d);
+        // Commutativity.
+        prop_assert_eq!(x.add(&y), y.add(&x));
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+        // Identity elements.
+        prop_assert_eq!(x.add(&Rat::ZERO), x);
+        prop_assert_eq!(x.mul(&Rat::integer(1)), x);
+        prop_assert_eq!(x.mul_int(0), Rat::ZERO);
+        // floor <= value <= ceil, tight within 1.
+        prop_assert!(Rat::integer(x.floor()) <= x);
+        prop_assert!(x <= Rat::integer(x.ceil()));
+        prop_assert!(x.ceil() - x.floor() <= 1);
+        // gcd normalization: num/den coprime.
+        prop_assert_eq!(gcd(x.num().max(1), x.den()), if x.num() == 0 { x.den() } else { 1 });
+    }
+
+    #[test]
+    fn min_cover_scales_with_speed(
+        speeds in proptest::collection::vec(1u64..30, 1..8),
+        demand in 1u64..500,
+        factor in 1u64..5,
+    ) {
+        // Scaling every speed by `factor` divides the cover time exactly.
+        let t1 = min_time_to_cover(&speeds, demand);
+        let fast: Vec<u64> = speeds.iter().map(|&s| s * factor).collect();
+        let t2 = min_time_to_cover(&fast, demand);
+        prop_assert_eq!(t2.mul_int(factor), t1);
+        // Capacities at the cover time meet the demand exactly enough.
+        let caps: u64 = floor_capacities(&speeds, &t1).iter().sum();
+        prop_assert!(caps >= demand);
+    }
+
+    #[test]
+    fn capacity_lb_never_exceeds_any_schedule(
+        speeds in proptest::collection::vec(1u64..10, 1..5),
+        processing in proptest::collection::vec(1u64..20, 1..10),
+        seed in 0u64..1000,
+    ) {
+        let n = processing.len();
+        let inst = Instance::uniform(speeds.clone(), processing.clone(), Graph::empty(n)).unwrap();
+        let lb = capacity_lower_bound(&inst.speeds(), &processing);
+        // Any assignment whatsoever has makespan >= lb.
+        let assignment: Vec<u32> =
+            (0..n).map(|j| ((seed + j as u64) % speeds.len() as u64) as u32).collect();
+        let s = Schedule::new(assignment);
+        prop_assert!(s.makespan(&inst) >= lb);
+    }
+
+    #[test]
+    fn text_roundtrip_arbitrary_q(
+        speeds in proptest::collection::vec(1u64..50, 1..6),
+        processing in proptest::collection::vec(1u64..99, 0..12),
+        edge_mask in proptest::collection::vec(any::<bool>(), 66),
+    ) {
+        let n = processing.len();
+        let mut edges = Vec::new();
+        let mut idx = 0;
+        for u in 0..n {
+            for v in u + 1..n {
+                if idx < edge_mask.len() && edge_mask[idx] {
+                    edges.push((u as u32, v as u32));
+                }
+                idx += 1;
+            }
+        }
+        let inst = Instance::uniform(speeds, processing, Graph::from_edges(n, &edges)).unwrap();
+        let back = from_text(&to_text(&inst)).unwrap();
+        prop_assert_eq!(back.speeds(), inst.speeds());
+        prop_assert_eq!(back.processing_all(), inst.processing_all());
+        prop_assert_eq!(back.graph(), inst.graph());
+        // And through the serde mirror.
+        let data = InstanceData::from_instance(&inst);
+        let back2 = data.into_instance().unwrap();
+        prop_assert_eq!(back2.graph(), inst.graph());
+    }
+
+    #[test]
+    fn list_scheduling_conserves_work(
+        speeds in proptest::collection::vec(1u64..8, 2..5),
+        processing in proptest::collection::vec(1u64..20, 1..15),
+    ) {
+        let n = processing.len();
+        let jobs: Vec<u32> = (0..n as u32).collect();
+        let order = lpt_order(&processing, &jobs);
+        // LPT order is a permutation sorted by size.
+        prop_assert_eq!(order.len(), n);
+        for w in order.windows(2) {
+            prop_assert!(processing[w[0] as usize] >= processing[w[1] as usize]);
+        }
+        let group: Vec<u32> = (0..speeds.len() as u32).collect();
+        let mut loads = vec![0u64; speeds.len()];
+        let mut out = vec![u32::MAX; n];
+        assign_min_completion_uniform(&speeds, &processing, &order, &group, &mut loads, &mut out);
+        prop_assert_eq!(loads.iter().sum::<u64>(), processing.iter().sum::<u64>());
+        prop_assert!(out.iter().all(|&i| (i as usize) < speeds.len()));
+    }
+}

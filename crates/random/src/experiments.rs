@@ -1,0 +1,181 @@
+//! Experiment runners for Section 4.1: seed-parallel sweeps producing the
+//! rows printed by the `exp_random_*` binaries (E5–E7 in DESIGN.md).
+
+use crate::stats::{GraphStats, Summary};
+use bisched_core::alg2_random_graph;
+use bisched_graph::{gilbert_bipartite, EdgeProbability};
+use bisched_model::{cstar_double_max, Instance, Rat, SpeedProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// One row of the coloring/matching statistics table (E5/E6).
+#[derive(Clone, Debug, Serialize)]
+pub struct RandomGraphRow {
+    /// Side size `n`.
+    pub n: usize,
+    /// Regime label.
+    pub regime: String,
+    /// Evaluated `p(n)`.
+    pub p: f64,
+    /// Seeds used.
+    pub seeds: usize,
+    /// `|V'_2|/n` summary.
+    pub minor_fraction_mean: f64,
+    /// Lemma 12's finite-`n` bound on the above (only meaningful in the
+    /// critical regime).
+    pub lemma12_bound: f64,
+    /// `μ/n` summary.
+    pub matching_fraction_mean: f64,
+    /// Lemma 13's a.a.s. lower bound at `a = n·p`.
+    pub lemma13_bound: f64,
+    /// Mean of `|V'_2|/μ` (Lemma 14 ratio).
+    pub ratio_mean: f64,
+    /// Max of `|V'_2|/μ` over the seeds.
+    pub ratio_max: f64,
+}
+
+/// Samples `seeds` realizations of `G_{n,n,p(n)}` and aggregates the
+/// Section 4.1 statistics. Seed-parallel via rayon.
+pub fn random_graph_statistics(
+    n: usize,
+    regime: EdgeProbability,
+    seeds: usize,
+    seed_base: u64,
+) -> RandomGraphRow {
+    let p = regime.eval(n);
+    let stats: Vec<GraphStats> = (0..seeds)
+        .into_par_iter()
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(seed_base + s as u64);
+            let g = gilbert_bipartite(n, n, p, &mut rng);
+            GraphStats::measure(&g, n)
+        })
+        .collect();
+    let minor = Summary::of(stats.iter().map(|s| s.minor_fraction()));
+    let matching = Summary::of(stats.iter().map(|s| s.matching_fraction()));
+    let ratio = Summary::of(stats.iter().filter_map(|s| s.minor_to_matching()));
+    let a = p * n as f64;
+    RandomGraphRow {
+        n,
+        regime: regime.label(),
+        p,
+        seeds,
+        minor_fraction_mean: minor.mean(),
+        lemma12_bound: crate::stats::lemma12_bound(n, a),
+        matching_fraction_mean: matching.mean(),
+        lemma13_bound: crate::stats::lemma13_bound(a),
+        ratio_mean: ratio.mean(),
+        ratio_max: ratio.max,
+    }
+}
+
+/// One row of the Algorithm 2 ratio table (E7, Theorem 19).
+#[derive(Clone, Debug, Serialize)]
+pub struct Alg2Row {
+    /// Side size `n` (the instance has `2n` unit jobs).
+    pub n: usize,
+    /// Regime label.
+    pub regime: String,
+    /// Speed profile label.
+    pub speeds: String,
+    /// Machines.
+    pub m: usize,
+    /// Seeds used.
+    pub seeds: usize,
+    /// Mean of `C_max(Alg2) / LB`.
+    pub ratio_mean: f64,
+    /// Max of the ratio over seeds.
+    pub ratio_max: f64,
+    /// Mean chosen split point `k`.
+    pub k_mean: f64,
+}
+
+/// Runs Algorithm 2 on `seeds` realizations and reports the ratio against
+/// the *graph-aware* lower bound
+/// `max(C**(2n on all machines), C**(μ on M_2..M_m))` — the quantity
+/// Theorem 19's proof actually compares against.
+pub fn alg2_ratio_experiment(
+    n: usize,
+    regime: EdgeProbability,
+    profile: SpeedProfile,
+    m: usize,
+    seeds: usize,
+    seed_base: u64,
+) -> Alg2Row {
+    let p = regime.eval(n);
+    let speeds = profile.speeds(m);
+    let results: Vec<(f64, usize)> = (0..seeds)
+        .into_par_iter()
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(seed_base + s as u64);
+            let g = gilbert_bipartite(n, n, p, &mut rng);
+            let stats = GraphStats::measure(&g, n);
+            let inst = Instance::uniform(speeds.clone(), vec![1; 2 * n], g)
+                .expect("unit instance");
+            let r = alg2_random_graph(&inst).expect("bipartite");
+            // Graph-aware LB: all 2n jobs covered by all machines AND the
+            // μ jobs that must avoid M1 covered by M2..Mm; pmax = 1.
+            let lb = cstar_double_max(&speeds, 2 * n as u64, stats.matching as u64, 1);
+            let lb = lb.max(Rat::new(1, speeds[0]));
+            (r.makespan.ratio_to(&lb), r.k)
+        })
+        .collect();
+    let ratio = Summary::of(results.iter().map(|&(r, _)| r));
+    let k = Summary::of(results.iter().map(|&(_, k)| k as f64));
+    Alg2Row {
+        n,
+        regime: regime.label(),
+        speeds: profile.label(),
+        m,
+        seeds,
+        ratio_mean: ratio.mean(),
+        ratio_max: ratio.max,
+        k_mean: k.mean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_row_is_consistent() {
+        let row = random_graph_statistics(
+            64,
+            EdgeProbability::Critical { a: 2.0 },
+            8,
+            1000,
+        );
+        assert_eq!(row.seeds, 8);
+        assert!((row.p - 2.0 / 64.0).abs() < 1e-12);
+        assert!(row.minor_fraction_mean >= 0.0 && row.minor_fraction_mean <= 1.0);
+        assert!(row.matching_fraction_mean <= 1.0);
+        // μ/n should not collapse below Lemma 13's bound by much at n=64.
+        assert!(row.matching_fraction_mean >= row.lemma13_bound - 0.15);
+    }
+
+    #[test]
+    fn alg2_row_ratio_sane() {
+        let row = alg2_ratio_experiment(
+            48,
+            EdgeProbability::Critical { a: 1.0 },
+            SpeedProfile::Geometric { ratio: 2 },
+            4,
+            6,
+            2000,
+        );
+        assert!(row.ratio_mean >= 1.0 - 1e-9, "ratio below 1: {}", row.ratio_mean);
+        assert!(row.ratio_max < 4.0, "wildly bad ratio {}", row.ratio_max);
+        assert!(row.k_mean >= 2.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed_base() {
+        let a = random_graph_statistics(32, EdgeProbability::Constant { p: 0.1 }, 4, 7);
+        let b = random_graph_statistics(32, EdgeProbability::Constant { p: 0.1 }, 4, 7);
+        assert_eq!(a.minor_fraction_mean, b.minor_fraction_mean);
+        assert_eq!(a.ratio_max, b.ratio_max);
+    }
+}

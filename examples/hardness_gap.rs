@@ -1,0 +1,63 @@
+//! The inapproximability results as a live demonstration: why no good
+//! approximation can exist for `Qm`/`Rm` with `m ≥ 3` (Theorems 8 and 24).
+//!
+//! Both reductions embed an NP-complete coloring question (1-PrExt) into a
+//! scheduling instance so that a good scheduler would answer it. This
+//! example builds both, shows the YES/NO gap, and decodes a cheap schedule
+//! back into the coloring it "solved".
+//!
+//! Run with: `cargo run --release --example hardness_gap`
+
+use bisched::core::{reduce_1prext_to_qm, reduce_1prext_to_rm};
+use bisched::exact::{
+    branch_and_bound, claw_no_instance, path_yes_instance, precoloring_extension, standard_pins,
+};
+
+fn main() {
+    // A YES instance of 1-PrExt: a path whose pinned endpoints extend.
+    let (yes_graph, yes_pins) = path_yes_instance(3);
+    let coloring = precoloring_extension(&yes_graph, &standard_pins(&yes_pins), 3)
+        .expect("this instance extends");
+    // A NO instance: the claw — its center would need a fourth color.
+    let (no_graph, no_pins) = claw_no_instance(3);
+    assert!(precoloring_extension(&no_graph, &standard_pins(&no_pins), 3).is_none());
+
+    println!("== Theorem 8: uniform machines, unit jobs ==");
+    for k in [2u64, 4, 8] {
+        let red = reduce_1prext_to_qm(&yes_graph, yes_pins, k, 4);
+        let witness = red.schedule_from_coloring(&coloring);
+        let mk = witness.makespan(&red.instance);
+        println!(
+            "k={k}: n'={} jobs; YES witness C_max = {:.4}, NO floor = {}, gap ≈ {:.1}x",
+            red.instance.num_jobs(),
+            mk.to_f64(),
+            red.no_bound(),
+            red.no_bound().ratio_to(&mk)
+        );
+        // The witness decodes back to the coloring that built it.
+        assert!(red.decodes_to_yes(&witness, &yes_graph));
+    }
+    println!("A c*sqrt(n)-approximation would separate YES from NO -> P = NP.");
+
+    println!("\n== Theorem 24: unrelated machines ==");
+    for d in [100u64, 10_000] {
+        let yes = reduce_1prext_to_rm(&yes_graph, yes_pins, d, 3);
+        let no = reduce_1prext_to_rm(&no_graph, no_pins, d, 3);
+        let yes_opt = branch_and_bound(&yes.instance, 50_000_000)
+            .optimum
+            .expect("feasible")
+            .makespan;
+        let no_opt = branch_and_bound(&no.instance, 50_000_000)
+            .optimum
+            .expect("feasible")
+            .makespan;
+        println!(
+            "d={d}: OPT(YES) = {yes_opt} <= n = {}, OPT(NO) = {no_opt} >= d; gap = {:.0}x",
+            yes.yes_bound(),
+            no_opt.ratio_to(&yes_opt)
+        );
+        assert!(yes_opt <= yes.yes_bound());
+        assert!(no_opt >= no.no_bound());
+    }
+    println!("The gap scales with p_max — no O(n^b * p_max^(1-eps)) ratio is possible.");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build an instance, solve it, inspect the schedule.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bisched::prelude::*;
+
+fn main() {
+    // Eight jobs. Edges say "these two must not share a machine".
+    let graph = Graph::from_edges(
+        8,
+        &[(0, 4), (0, 5), (1, 5), (2, 6), (3, 7), (1, 6)],
+    );
+    let processing = vec![9, 7, 6, 5, 4, 3, 2, 2];
+
+    // --- Uniform machines: one fast, two slow -------------------------
+    let inst = Instance::uniform(vec![4, 1, 1], processing.clone(), graph.clone()).unwrap();
+    let solution = solve(&inst).unwrap();
+    solution.schedule.validate(&inst).expect("feasible");
+    println!("instance: {}", inst.describe());
+    println!("method:   {:?} — {}", solution.method, solution.guarantee);
+    println!("C_max:    {}", solution.makespan);
+    for i in 0..inst.num_machines() as u32 {
+        let jobs = solution.schedule.jobs_on(i);
+        let load: u64 = jobs.iter().map(|&j| inst.processing(j)).sum();
+        println!(
+            "  M{} (speed {}): jobs {:?}, load {}, time {}",
+            i + 1,
+            inst.speed(i),
+            jobs,
+            load,
+            Rat::new(load, inst.speed(i))
+        );
+    }
+
+    // --- Two unrelated machines: the Theorem 22 FPTAS ------------------
+    let times = vec![vec![3, 9, 4, 8, 2, 7, 5, 1], vec![8, 2, 7, 3, 9, 1, 4, 6]];
+    let r2 = Instance::unrelated(times, graph).unwrap();
+    let fast = r2_fptas(&r2, 0.05).unwrap();
+    let rough = r2_two_approx(&r2).unwrap();
+    println!("\nR2 FPTAS (ε=0.05): C_max = {}", fast.makespan(&r2));
+    println!("R2 2-approx:       C_max = {}", rough.makespan(&r2));
+    assert!(fast.makespan(&r2) <= rough.makespan(&r2));
+}

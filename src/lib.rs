@@ -1,0 +1,66 @@
+//! # bisched — scheduling with bipartite incompatibility graphs
+//!
+//! A faithful, production-grade Rust implementation of
+//! *"Scheduling on uniform and unrelated machines with bipartite
+//! incompatibility graphs"* (Tytus Pikies, Hanna Furmańczyk, IPPS 2022,
+//! arXiv:2106.14354), together with every substrate it stands on.
+//!
+//! ## The model
+//!
+//! Jobs with processing requirements must be assigned to parallel machines
+//! (identical `P`, uniform `Q`, or unrelated `R`) so that the jobs on any
+//! one machine form an **independent set** of a bipartite incompatibility
+//! graph; the objective is the makespan `C_max`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bisched::graph::Graph;
+//! use bisched::model::Instance;
+//! use bisched::core::solve;
+//!
+//! // Four jobs; 0–1 and 2–3 must not share a machine.
+//! let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+//! // Two uniform machines, the first twice as fast.
+//! let inst = Instance::uniform(vec![2, 1], vec![4, 3, 2, 3], g).unwrap();
+//!
+//! let solution = solve(&inst).unwrap();
+//! assert!(solution.schedule.validate(&inst).is_ok());
+//! println!("C_max = {} via {:?} ({})",
+//!          solution.makespan, solution.method, solution.guarantee);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`graph`] — bipartite graph kit (coloring, matching, flows,
+//!   max-weight independent sets, Gilbert's `G_{n,n,p}`, the Figure 1
+//!   gadgets);
+//! * [`model`] — instances, schedules, exact rational makespans, the
+//!   `C**_max` bound machinery, workload generators;
+//! * [`exact`] — brute force, branch & bound, pseudo-polynomial `Q2`/`R2`
+//!   oracles, the 1-PrExt decider;
+//! * [`fptas`] — the `Rm || C_max` FPTAS substrate;
+//! * [`baselines`] — graph-aware LPT and the Bodlaender–Jansen–Woeginger
+//!   2-approximation;
+//! * [`core`] — the paper's Algorithms 1–5, Theorem 4, and the Theorem
+//!   8/24 gap reductions;
+//! * [`random`] — Section 4.1's random-graph analysis.
+
+#![warn(missing_docs)]
+
+pub use bisched_baselines as baselines;
+pub use bisched_core as core;
+pub use bisched_exact as exact;
+pub use bisched_fptas as fptas;
+pub use bisched_graph as graph;
+pub use bisched_model as model;
+pub use bisched_random as random;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use bisched_core::{
+        alg1_sqrt_approx, alg2_random_graph, r2_fptas, r2_two_approx, solve, Method, Solution,
+    };
+    pub use bisched_graph::{Graph, GraphBuilder};
+    pub use bisched_model::{Instance, Rat, Schedule};
+}

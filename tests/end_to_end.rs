@@ -1,0 +1,137 @@
+//! End-to-end pipelines: generate → solve with every applicable engine →
+//! validate feasibility → compare against the exact oracle.
+
+use bisched::baselines::{bjw_two_approx, coloring_split, greedy_lpt};
+use bisched::core::{
+    alg1_sqrt_approx, alg2_random_graph, r2_fptas, r2_two_approx, solve, thm4_fptas_route,
+};
+use bisched::exact::{brute_force, q2_bipartite_exact, r2_bipartite_exact};
+use bisched::graph::{gilbert_bipartite, Graph};
+use bisched::model::{Instance, JobSizes, SpeedProfile, UnrelatedFamily};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn every_engine_beats_nothing_and_validates_q() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..12 {
+        let n = rng.gen_range(4..=10);
+        let m = rng.gen_range(3..=4);
+        let g = gilbert_bipartite(n / 2, n - n / 2, 0.4, &mut rng);
+        let p = JobSizes::Uniform { lo: 1, hi: 10 }.sample(n, &mut rng);
+        let inst = Instance::uniform(
+            SpeedProfile::Geometric { ratio: 2 }.speeds(m),
+            p,
+            g,
+        )
+        .unwrap();
+        let opt = brute_force(&inst).unwrap();
+
+        // The paper's Algorithm 1.
+        let a1 = alg1_sqrt_approx(&inst).unwrap();
+        assert!(a1.schedule.validate(&inst).is_ok());
+        assert!(a1.makespan >= opt.makespan);
+        let bound = (inst.total_processing() as f64).sqrt();
+        assert!(a1.makespan.ratio_to(&opt.makespan) <= bound + 1e-9);
+
+        // Baselines are feasible and no better than optimal.
+        let lpt = greedy_lpt(&inst).unwrap();
+        assert!(lpt.validate(&inst).is_ok());
+        assert!(lpt.makespan(&inst) >= opt.makespan);
+        let split = coloring_split(&inst).unwrap();
+        assert!(split.validate(&inst).is_ok());
+        if inst.num_machines() >= 3 {
+            let bjw = bjw_two_approx(&inst).unwrap();
+            assert!(bjw.validate(&inst).is_ok());
+        }
+
+        // The façade picks something feasible and sane.
+        let sol = solve(&inst).unwrap();
+        assert!(sol.schedule.validate(&inst).is_ok());
+        assert!(sol.makespan >= opt.makespan);
+    }
+}
+
+#[test]
+fn q2_exact_routes_and_facade_agree() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for _ in 0..12 {
+        let n = rng.gen_range(2..=10);
+        let g = gilbert_bipartite(n / 2, n - n / 2, 0.5, &mut rng);
+        let inst = Instance::uniform(vec![3, 1], vec![1; n], g).unwrap();
+        let dp = q2_bipartite_exact(&inst).unwrap();
+        let fptas_route = thm4_fptas_route(&inst).unwrap();
+        let facade = solve(&inst).unwrap();
+        assert_eq!(dp.makespan, fptas_route.makespan);
+        assert_eq!(facade.makespan, dp.makespan);
+        let bf = brute_force(&inst).unwrap();
+        assert_eq!(bf.makespan, dp.makespan);
+    }
+}
+
+#[test]
+fn r2_ladder_of_guarantees() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for fam in [
+        UnrelatedFamily::Uncorrelated { lo: 1, hi: 60 },
+        UnrelatedFamily::JobCorrelated {
+            base: (5, 60),
+            spread: 8,
+        },
+    ] {
+        for _ in 0..8 {
+            let n = rng.gen_range(3..=11);
+            let g = gilbert_bipartite(n / 2, n - n / 2, 0.35, &mut rng);
+            let inst = Instance::unrelated(fam.sample(2, n, &mut rng), g).unwrap();
+            let exact = r2_bipartite_exact(&inst).unwrap();
+            let two = r2_two_approx(&inst).unwrap();
+            let fine = r2_fptas(&inst, 0.05).unwrap();
+            assert!(two.validate(&inst).is_ok());
+            assert!(fine.validate(&inst).is_ok());
+            // exact <= fptas(0.05) <= 1.05*exact <= 2approx-bound
+            assert!(fine.makespan(&inst) >= exact.makespan);
+            assert!(fine.makespan(&inst).ratio_to(&exact.makespan) <= 1.05 + 1e-9);
+            assert!(two.makespan(&inst).ratio_to(&exact.makespan) <= 2.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn unit_random_graph_pipeline() {
+    let mut rng = StdRng::seed_from_u64(109);
+    let g = gilbert_bipartite(64, 64, 2.0 / 64.0, &mut rng);
+    let inst = Instance::uniform(
+        SpeedProfile::TwoTier {
+            fast_count: 2,
+            factor: 8,
+        }
+        .speeds(6),
+        vec![1; 128],
+        g,
+    )
+    .unwrap();
+    let a2 = alg2_random_graph(&inst).unwrap();
+    assert!(a2.schedule.validate(&inst).is_ok());
+    // Makespan at least the capacity bound, at most a small multiple.
+    assert!(a2.makespan >= a2.cstar);
+    assert!(a2.makespan.ratio_to(&a2.cstar) <= 3.0);
+    // Algorithm 1 also applies (unit jobs are jobs too) and is feasible.
+    let a1 = alg1_sqrt_approx(&inst).unwrap();
+    assert!(a1.schedule.validate(&inst).is_ok());
+}
+
+#[test]
+fn infeasibility_is_detected_consistently() {
+    // Odd cycle: not bipartite — every paper algorithm must refuse.
+    let g = Graph::cycle(7);
+    let q = Instance::uniform(vec![2, 1, 1], vec![1; 7], g.clone()).unwrap();
+    assert!(alg1_sqrt_approx(&q).is_err());
+    assert!(alg2_random_graph(&q).is_err());
+    assert!(solve(&q).is_err());
+    let r = Instance::unrelated(vec![vec![1; 7], vec![2; 7]], g).unwrap();
+    assert!(r2_two_approx(&r).is_err());
+    assert!(r2_fptas(&r, 0.5).is_err());
+    // But brute force on 3 machines schedules it fine (C7 is 3-colorable).
+    let q3 = Instance::identical(3, vec![1; 7], Graph::cycle(7)).unwrap();
+    assert!(brute_force(&q3).is_some());
+}

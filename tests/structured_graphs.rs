@@ -1,0 +1,104 @@
+//! The paper's algorithms on the structured bipartite subclasses from its
+//! related-work section: trees [3], bounded-degree ("bisubquartic") graphs
+//! [23], caterpillars, and complete bipartite graphs [20]/[24].
+
+use bisched::core::{alg1_sqrt_approx, alg2_random_graph, solve};
+use bisched::exact::{brute_force, q_complete_bipartite_unit};
+use bisched::graph::{bounded_degree_bipartite, caterpillar, random_tree, Graph};
+use bisched::model::{Instance, JobSizes, SpeedProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn algorithms_handle_trees() {
+    let mut rng = StdRng::seed_from_u64(401);
+    for _ in 0..10 {
+        let n = rng.gen_range(2..=10);
+        let t = random_tree(n, &mut rng);
+        let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(n, &mut rng);
+        let inst = Instance::uniform(SpeedProfile::Geometric { ratio: 2 }.speeds(3), p, t).unwrap();
+        let r = alg1_sqrt_approx(&inst).unwrap();
+        assert!(r.schedule.validate(&inst).is_ok());
+        let opt = brute_force(&inst).unwrap();
+        // Trees are sparse and benign; Algorithm 1 should be well under
+        // its budget here.
+        let budget = (inst.total_processing() as f64).sqrt();
+        assert!(r.makespan.ratio_to(&opt.makespan) <= budget + 1e-9);
+    }
+}
+
+#[test]
+fn algorithm2_on_caterpillars() {
+    // Caterpillars have small minor classes (the spine's minor side), so
+    // Algorithm 2 does well even deterministically.
+    let g = caterpillar(10, 2);
+    let n = g.num_vertices();
+    let inst = Instance::uniform(vec![4, 2, 1, 1], vec![1; n], g).unwrap();
+    let r = alg2_random_graph(&inst).unwrap();
+    assert!(r.schedule.validate(&inst).is_ok());
+    assert!(r.makespan.ratio_to(&r.cstar) <= 2.5);
+}
+
+#[test]
+fn bounded_degree_graphs_all_engines() {
+    let mut rng = StdRng::seed_from_u64(409);
+    for max_deg in [2usize, 4] {
+        let g = bounded_degree_bipartite(5, 5, max_deg, 0.7, &mut rng);
+        let n = g.num_vertices();
+        let p = JobSizes::Uniform { lo: 1, hi: 6 }.sample(n, &mut rng);
+        let inst = Instance::uniform(vec![3, 2, 1], p, g).unwrap();
+        let sol = solve(&inst).unwrap();
+        assert!(sol.schedule.validate(&inst).is_ok());
+        let opt = brute_force(&inst).unwrap();
+        assert!(sol.makespan >= opt.makespan);
+        assert!(sol.makespan.ratio_to(&opt.makespan) <= 4.0);
+    }
+}
+
+#[test]
+fn complete_bipartite_specialist_beats_generalists_runtime_domain() {
+    // On K_{a,b} the [24] specialist is exact; Algorithm 1 must stay
+    // within its budget of that exact value.
+    let mut rng = StdRng::seed_from_u64(419);
+    for _ in 0..8 {
+        let a = rng.gen_range(2..=6);
+        let b = rng.gen_range(2..=6);
+        let m = rng.gen_range(2..=4);
+        let speeds: Vec<u64> = (0..m).map(|_| rng.gen_range(1..=5)).collect();
+        let inst = Instance::uniform(
+            speeds,
+            vec![1; a + b],
+            Graph::complete_bipartite(a, b),
+        )
+        .unwrap();
+        let exact = q_complete_bipartite_unit(&inst).unwrap();
+        let approx = alg1_sqrt_approx(&inst).unwrap();
+        assert!(approx.makespan >= exact.makespan);
+        let budget = ((a + b) as f64).sqrt();
+        assert!(
+            approx.makespan.ratio_to(&exact.makespan) <= budget + 1e-9,
+            "K_({a},{b}): {} vs {}",
+            approx.makespan,
+            exact.makespan
+        );
+    }
+}
+
+#[test]
+fn star_forests_favor_inequitable_coloring() {
+    // A forest of stars: all centers in the minor class, leaves major.
+    let mut b = bisched::graph::GraphBuilder::new(0);
+    for _ in 0..5 {
+        let center = b.add_vertices(1);
+        let first = b.add_vertices(4);
+        for leaf in first..first + 4 {
+            b.add_edge(center, leaf);
+        }
+    }
+    let g = b.build();
+    let n = g.num_vertices();
+    let inst = Instance::uniform(vec![5, 1, 1], vec![1; n], g).unwrap();
+    let r = alg2_random_graph(&inst).unwrap();
+    assert!(r.schedule.validate(&inst).is_ok());
+    assert_eq!(r.minor_size, 5, "the five centers form the minor class");
+}
