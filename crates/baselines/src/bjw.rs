@@ -120,10 +120,8 @@ mod tests {
         let s = bjw_two_approx(&inst).unwrap();
         assert!(s.validate(&inst).is_ok());
         // All of side A on machines disjoint from side B's machines.
-        let machines_a: std::collections::HashSet<u32> =
-            (0..5).map(|j| s.machine_of(j)).collect();
-        let machines_b: std::collections::HashSet<u32> =
-            (5..10).map(|j| s.machine_of(j)).collect();
+        let machines_a: std::collections::HashSet<u32> = (0..5).map(|j| s.machine_of(j)).collect();
+        let machines_b: std::collections::HashSet<u32> = (5..10).map(|j| s.machine_of(j)).collect();
         assert!(machines_a.is_disjoint(&machines_b));
     }
 
@@ -146,11 +144,7 @@ mod tests {
 
     #[test]
     fn rejects_unrelated() {
-        let inst = Instance::unrelated(
-            vec![vec![1], vec![1], vec![1]],
-            Graph::empty(1),
-        )
-        .unwrap();
+        let inst = Instance::unrelated(vec![vec![1], vec![1], vec![1]], Graph::empty(1)).unwrap();
         assert!(bjw_two_approx(&inst).is_err());
     }
 }

@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn coloring_split_rejects_odd_cycles() {
         let inst = Instance::identical(3, vec![1; 5], Graph::cycle(5)).unwrap();
-        assert_eq!(coloring_split(&inst).unwrap_err(), BaselineError::NotBipartite);
+        assert_eq!(
+            coloring_split(&inst).unwrap_err(),
+            BaselineError::NotBipartite
+        );
     }
 
     #[test]

@@ -17,8 +17,7 @@ fn bench_alg1(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(10);
         let g = gilbert_bipartite(n / 2, n / 2, 2.0 / n as f64, &mut rng);
         let p = JobSizes::Uniform { lo: 1, hi: 50 }.sample(n, &mut rng);
-        let inst =
-            Instance::uniform(SpeedProfile::Geometric { ratio: 2 }.speeds(8), p, g).unwrap();
+        let inst = Instance::uniform(SpeedProfile::Geometric { ratio: 2 }.speeds(8), p, g).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(alg1_sqrt_approx(&inst).unwrap().makespan))
         });

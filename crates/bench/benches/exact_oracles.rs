@@ -4,8 +4,7 @@
 //! experiments can verify against true optima.
 
 use bisched_exact::{
-    branch_and_bound, precoloring_extension, q2_bipartite_exact, r2_bipartite_exact,
-    standard_pins,
+    branch_and_bound, precoloring_extension, q2_bipartite_exact, r2_bipartite_exact, standard_pins,
 };
 use bisched_graph::gilbert_bipartite;
 use bisched_model::{Instance, JobSizes, UnrelatedFamily};

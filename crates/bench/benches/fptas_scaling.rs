@@ -47,11 +47,9 @@ fn bench_alg5_end_to_end(c: &mut Criterion) {
         let times = UnrelatedFamily::Uncorrelated { lo: 1, hi: 100 }.sample(2, n, &mut rng);
         let inst = Instance::unrelated(times, g).unwrap();
         for eps in [0.5f64, 0.05] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("eps{eps}"), n),
-                &n,
-                |b, _| b.iter(|| black_box(r2_fptas(&inst, eps).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("eps{eps}"), n), &n, |b, _| {
+                b.iter(|| black_box(r2_fptas(&inst, eps).unwrap()))
+            });
         }
     }
     group.finish();

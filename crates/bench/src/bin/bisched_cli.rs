@@ -4,18 +4,28 @@
 //! bisched_cli generate q <n> <m> <p> <seed>     emit a random Q instance (text format)
 //! bisched_cli generate r <n> <m> <p> <seed>     emit a random R instance
 //! bisched_cli info <file>                       describe an instance
-//! bisched_cli solve <file> [method]             solve; method = auto | alg1 | alg2 |
-//!                                               fptas:<eps> | twoapprox | exact
+//! bisched_cli solve <file> [--method <m>] [--portfolio <m1,m2,…>]
+//!                          [--eps <e>] [--node-limit <nodes>]
+//!                          [--exact-budget <mass>] [--json]
 //! ```
+//!
+//! `solve` runs the `Solver` engine. `--method` names one engine
+//! (`exact-q2`, `exact-r2`, `branch-and-bound`, `alg1`, `alg2`, `bjw`,
+//! `fptas`, `twoapprox`, `greedy-lpt`, `greedy`) or `auto` (default);
+//! `--portfolio` runs several and keeps the best; `--node-limit` sizes the
+//! branch-and-bound search and `--exact-budget` the pseudo-polynomial DP
+//! gate. `--json` emits the full
+//! `SolveReport` — method, guarantee, makespan, lower bound, per-engine
+//! timings — as a single JSON object for experiment scripts.
 //!
 //! Instances use the text format of `bisched_model::io` (see its docs).
 
-use bisched_core::{alg1_sqrt_approx, alg2_random_graph, r2_fptas, r2_two_approx, solve};
-use bisched_exact::{branch_and_bound, q2_bipartite_exact, r2_bipartite_exact};
+use bisched_core::{EngineOutcome, Guarantee, Method, SolveReport, SolverConfig};
 use bisched_graph::{gilbert_bipartite, is_bipartite, Components};
-use bisched_model::{from_text, to_text, Instance, JobSizes, Rat, Schedule, SpeedProfile, UnrelatedFamily};
+use bisched_model::{from_text, to_text, Instance, JobSizes, Rat, SpeedProfile, UnrelatedFamily};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde_json::{Map, Value};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -39,7 +49,10 @@ const USAGE: &str = "usage:
   bisched_cli generate q <n> <m> <p> <seed>
   bisched_cli generate r <n> <m> <p> <seed>
   bisched_cli info <file>
-  bisched_cli solve <file> [auto|alg1|alg2|fptas:<eps>|twoapprox|exact]";
+  bisched_cli solve <file> [--method auto|exact-q2|exact-r2|branch-and-bound|alg1|alg2|
+                            bjw|fptas|twoapprox|greedy-lpt|greedy]
+                           [--portfolio <m1,m2,...>] [--eps <e>] [--node-limit <nodes>]
+                           [--exact-budget <mass>] [--json]";
 
 fn parse<T: std::str::FromStr>(s: Option<&String>, what: &str) -> Result<T, String> {
     s.ok_or_else(|| format!("missing {what}\n{USAGE}"))?
@@ -73,7 +86,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn load(args: &[String]) -> Result<Instance, String> {
-    let path = args.first().ok_or_else(|| format!("missing file\n{USAGE}"))?;
+    let path = args
+        .first()
+        .ok_or_else(|| format!("missing file\n{USAGE}"))?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     from_text(&text).map_err(|e| format!("{path}: {e}"))
 }
@@ -92,57 +107,167 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the `solve` flags into a solver configuration.
+fn parse_solve_flags(args: &[String]) -> Result<(SolverConfig, bool), String> {
+    let mut config = SolverConfig::new();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--eps" => {
+                let eps: f64 = parse(it.next(), "--eps value")?;
+                config = config.eps(eps);
+            }
+            "--node-limit" => {
+                let nodes: u64 = parse(it.next(), "--node-limit value")?;
+                config = config.bnb_node_limit(nodes);
+            }
+            "--exact-budget" => {
+                let budget: u64 = parse(it.next(), "--exact-budget value")?;
+                config = config.exact_budget(budget);
+            }
+            "--method" => {
+                let name = it
+                    .next()
+                    .ok_or(format!("missing --method value\n{USAGE}"))?;
+                if name != "auto" {
+                    let method: Method = name.parse().map_err(|e| format!("{e}\n{USAGE}"))?;
+                    config = config.method(method);
+                }
+            }
+            "--portfolio" => {
+                let list = it
+                    .next()
+                    .ok_or(format!("missing --portfolio value\n{USAGE}"))?;
+                let methods: Vec<Method> = list
+                    .split(',')
+                    .map(|name| name.trim().parse().map_err(|e| format!("{e}\n{USAGE}")))
+                    .collect::<Result<_, String>>()?;
+                config = config.portfolio(methods);
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok((config, json))
+}
+
+/// Renders the full report as one JSON object for experiment scripts.
+fn report_to_json(inst: &Instance, report: &SolveReport) -> Value {
+    let float = |x: f64| Value::Number(serde_json::Number::from_f64(x));
+    let rat = |r: &Rat| -> Value {
+        let mut m = Map::new();
+        m.insert(
+            "num".into(),
+            Value::Number(serde_json::Number::from_u64(r.num())),
+        );
+        m.insert(
+            "den".into(),
+            Value::Number(serde_json::Number::from_u64(r.den())),
+        );
+        m.insert("value".into(), float(r.to_f64()));
+        Value::Object(m)
+    };
+    let guarantee = |g: &Guarantee| -> Value {
+        let mut m = Map::new();
+        let kind = match g {
+            Guarantee::Optimal => "optimal",
+            Guarantee::Ratio(_) => "ratio",
+            Guarantee::SqrtSumP => "sqrt-sum-p",
+            Guarantee::OnePlusEps(_) => "one-plus-eps",
+            Guarantee::Heuristic => "heuristic",
+        };
+        m.insert("kind".into(), Value::String(kind.into()));
+        if let Some(bound) = g.ratio_bound(inst) {
+            m.insert("ratio_bound".into(), float(bound));
+        }
+        m.insert("provenance".into(), Value::String(g.provenance().into()));
+        m.insert("display".into(), Value::String(g.to_string()));
+        Value::Object(m)
+    };
+    let mut obj = Map::new();
+    obj.insert("instance".into(), Value::String(inst.describe()));
+    obj.insert("method".into(), Value::String(report.method.name().into()));
+    obj.insert("guarantee".into(), guarantee(&report.guarantee));
+    obj.insert("makespan".into(), rat(&report.makespan));
+    obj.insert("lower_bound".into(), rat(&report.lower_bound));
+    obj.insert(
+        "total_time_s".into(),
+        float(report.total_time.as_secs_f64()),
+    );
+    obj.insert(
+        "seed".into(),
+        Value::Number(serde_json::Number::from_u64(report.seed)),
+    );
+    let attempts: Vec<Value> = report
+        .attempts
+        .iter()
+        .map(|run| {
+            let mut a = Map::new();
+            a.insert("method".into(), Value::String(run.method.name().into()));
+            let (status, detail) = match &run.outcome {
+                EngineOutcome::Solved { makespan, .. } => {
+                    a.insert("makespan".into(), rat(makespan));
+                    ("solved", None)
+                }
+                EngineOutcome::NotApplicable { reason } => ("not-applicable", Some(reason)),
+                EngineOutcome::Failed { reason } => ("failed", Some(reason)),
+            };
+            a.insert("status".into(), Value::String(status.into()));
+            if let Some(reason) = detail {
+                a.insert("reason".into(), Value::String(reason.clone()));
+            }
+            a.insert("wall_time_s".into(), float(run.wall_time.as_secs_f64()));
+            Value::Object(a)
+        })
+        .collect();
+    obj.insert("attempts".into(), Value::Array(attempts));
+    obj.insert(
+        "assignment".into(),
+        Value::Array(
+            report
+                .schedule
+                .assignment()
+                .iter()
+                .map(|&m| Value::Number(serde_json::Number::from_u64(m as u64)))
+                .collect(),
+        ),
+    );
+    Value::Object(obj)
+}
+
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let inst = load(args)?;
-    let method = args.get(1).map(String::as_str).unwrap_or("auto");
-    let (schedule, label): (Schedule, String) = match method {
-        "auto" => {
-            let s = solve(&inst).map_err(|e| e.to_string())?;
-            let label = format!("{:?} — {}", s.method, s.guarantee);
-            (s.schedule, label)
-        }
-        "alg1" => {
-            let r = alg1_sqrt_approx(&inst).map_err(|e| e.to_string())?;
-            (r.schedule, format!("Algorithm 1 (winner {})", r.winner))
-        }
-        "alg2" => {
-            let r = alg2_random_graph(&inst).map_err(|e| e.to_string())?;
-            (r.schedule, format!("Algorithm 2 (k = {})", r.k))
-        }
-        "twoapprox" => (
-            r2_two_approx(&inst).map_err(|e| e.to_string())?,
-            "Algorithm 4 (2-approx)".into(),
-        ),
-        "exact" => {
-            let opt = if inst.num_machines() == 2 {
-                match inst.env() {
-                    bisched_model::MachineEnvironment::Unrelated { .. } => {
-                        r2_bipartite_exact(&inst).map_err(|e| e.to_string())?
-                    }
-                    _ => q2_bipartite_exact(&inst).map_err(|e| e.to_string())?,
-                }
-            } else {
-                branch_and_bound(&inst, 200_000_000)
-                    .optimum
-                    .ok_or("infeasible or node budget exhausted")?
-            };
-            (opt.schedule, "exact oracle".into())
-        }
-        m if m.starts_with("fptas:") => {
-            let eps: f64 = m[6..].parse().map_err(|_| format!("bad eps in {m}"))?;
-            (
-                r2_fptas(&inst, eps).map_err(|e| e.to_string())?,
-                format!("Algorithm 5 (FPTAS, eps = {eps})"),
-            )
-        }
-        other => return Err(format!("unknown method {other}\n{USAGE}")),
-    };
-    schedule.validate(&inst).map_err(|e| e.to_string())?;
-    let makespan = schedule.makespan(&inst);
-    println!("method    {label}");
-    println!("C_max     {makespan}  (~{:.4})", makespan.to_f64());
+    let (config, json) = parse_solve_flags(args.get(1..).unwrap_or(&[]))?;
+    let solver = config.build().map_err(|e| e.to_string())?;
+    let report = solver.solve(&inst).map_err(|e| e.to_string())?;
+    report.schedule.validate(&inst).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report_to_json(&inst, &report));
+        return Ok(());
+    }
+    println!("method    {} — {}", report.method, report.guarantee);
+    println!(
+        "C_max     {}  (~{:.4}, lower bound ~{:.4})",
+        report.makespan,
+        report.makespan.to_f64(),
+        report.lower_bound.to_f64()
+    );
+    for run in &report.attempts {
+        let outcome = match &run.outcome {
+            EngineOutcome::Solved { makespan, .. } => format!("C_max {makespan}"),
+            EngineOutcome::NotApplicable { reason } => format!("n/a: {reason}"),
+            EngineOutcome::Failed { reason } => format!("failed: {reason}"),
+        };
+        println!(
+            "  tried {:<17} {:<28} ({:.2?})",
+            run.method.name(),
+            outcome,
+            run.wall_time
+        );
+    }
     for i in 0..inst.num_machines() as u32 {
-        let jobs = schedule.jobs_on(i);
+        let jobs = report.schedule.jobs_on(i);
         let load: u64 = match inst.env() {
             bisched_model::MachineEnvironment::Unrelated { times } => {
                 jobs.iter().map(|&j| times[i as usize][j as usize]).sum()
@@ -155,7 +280,12 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
             }
             _ => Rat::integer(load),
         };
-        println!("M{:<3} time {:>10}  jobs {:?}", i + 1, time.to_string(), jobs);
+        println!(
+            "M{:<3} time {:>10}  jobs {:?}",
+            i + 1,
+            time.to_string(),
+            jobs
+        );
     }
     Ok(())
 }

@@ -52,8 +52,7 @@ fn ablation_alg2_balanced_extension() {
                     let mut rng = StdRng::seed_from_u64(15_000 + seed);
                     let n = 512;
                     let g = gilbert_bipartite(n, n, p_of_n(n), &mut rng);
-                    let inst =
-                        Instance::uniform(profile.speeds(6), vec![1; 2 * n], g).unwrap();
+                    let inst = Instance::uniform(profile.speeds(6), vec![1; 2 * n], g).unwrap();
                     let base = alg2_random_graph(&inst).unwrap();
                     let bal = alg2_balanced(&inst).unwrap();
                     let lb = base.cstar;
@@ -78,7 +77,12 @@ fn ablation_alg2_balanced_extension() {
 fn ablation_alg1_candidates() {
     section("Algorithm 1: S1 alone vs S2 alone vs best-of (vs C** LB, n = 200, 16 seeds)");
     let mut t = Table::new(&[
-        "speeds", "S1/LB mean", "S2/LB mean", "best/LB mean", "S1 wins", "S2 wins",
+        "speeds",
+        "S1/LB mean",
+        "S2/LB mean",
+        "best/LB mean",
+        "S1 wins",
+        "S2 wins",
     ]);
     for profile in [
         SpeedProfile::Equal,
@@ -101,11 +105,7 @@ fn ablation_alg1_candidates() {
                 let lb = r.cstar_lower?;
                 let s1 = r.s1_makespan?;
                 let s2 = r.s2_makespan?;
-                Some((
-                    s1.ratio_to(&lb),
-                    s2.ratio_to(&lb),
-                    r.makespan.ratio_to(&lb),
-                ))
+                Some((s1.ratio_to(&lb), s2.ratio_to(&lb), r.makespan.ratio_to(&lb)))
             })
             .collect();
         let s1 = Summary::of(rows.iter().map(|r| r.0));
@@ -149,7 +149,13 @@ fn alg2_naive_split(inst: &Instance, half_machines: bool) -> Rat {
 
 fn ablation_alg2_split_rule() {
     section("Algorithm 2: paper k-rule vs naive splits (ratios vs C**, m = 8, 16 seeds)");
-    let mut t = Table::new(&["speeds", "a", "paper k-rule", "V'2 -> M2 only", "half machines"]);
+    let mut t = Table::new(&[
+        "speeds",
+        "a",
+        "paper k-rule",
+        "V'2 -> M2 only",
+        "half machines",
+    ]);
     for profile in [
         SpeedProfile::Geometric { ratio: 2 },
         SpeedProfile::OneFast { factor: 16 },
@@ -161,8 +167,7 @@ fn ablation_alg2_split_rule() {
                     let mut rng = StdRng::seed_from_u64(13_000 + seed);
                     let n = 256;
                     let g = gilbert_bipartite(n, n, a / n as f64, &mut rng);
-                    let inst =
-                        Instance::uniform(profile.speeds(8), vec![1; 2 * n], g).unwrap();
+                    let inst = Instance::uniform(profile.speeds(8), vec![1; 2 * n], g).unwrap();
                     let paper = alg2_random_graph(&inst).unwrap();
                     let lb = paper.cstar;
                     (

@@ -39,7 +39,13 @@ fn main() {
 
     section("oracle panel: ratio vs exact OPT (n = 10, m = 4, 24 seeds)");
     let mut t = Table::new(&[
-        "p", "speeds", "sizes", "ratio mean", "ratio max", "sqrt(sum p) mean", "S2 wins",
+        "p",
+        "speeds",
+        "sizes",
+        "ratio mean",
+        "ratio max",
+        "sqrt(sum p) mean",
+        "S2 wins",
     ]);
     for p in [0.1, 0.3, 0.6] {
         for profile in profiles {

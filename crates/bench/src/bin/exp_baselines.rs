@@ -105,7 +105,10 @@ fn main() {
             Rat::integer(t_width as u64)
         };
         let a1 = alg1_sqrt_approx(&inst).unwrap().makespan.ratio_to(&opt);
-        let bjw = bjw_two_approx(&inst).unwrap().makespan(&inst).ratio_to(&opt);
+        let bjw = bjw_two_approx(&inst)
+            .unwrap()
+            .makespan(&inst)
+            .ratio_to(&opt);
         let lpt = greedy_lpt(&inst).unwrap().makespan(&inst).ratio_to(&opt);
         t2.row(vec![
             t_width.to_string(),

@@ -71,8 +71,7 @@ fn main() {
                 }
             };
             if yes {
-                let coloring =
-                    precoloring_extension(&g, &standard_pins(&pins), 3).expect("YES");
+                let coloring = precoloring_extension(&g, &standard_pins(&pins), 3).expect("YES");
                 let s = red.schedule_from_coloring(&coloring);
                 consider(s.makespan(&red.instance), &s);
             }

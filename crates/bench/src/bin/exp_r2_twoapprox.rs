@@ -59,12 +59,7 @@ fn main() {
     t.print();
 
     section("runtime: Algorithm 4 O(n) vs exact pseudo-polynomial oracle");
-    let mut t2 = Table::new(&[
-        "n",
-        "alg4 (µs)",
-        "alg4 µs/job",
-        "exact oracle (ms)",
-    ]);
+    let mut t2 = Table::new(&["n", "alg4 (µs)", "alg4 µs/job", "exact oracle (ms)"]);
     for n in [1000usize, 4000, 16000, 64000] {
         let mut rng = StdRng::seed_from_u64(8200);
         let g = gilbert_bipartite(n / 2, n / 2, 2.0 / n as f64, &mut rng);

@@ -15,12 +15,8 @@ fn main() {
     let mut t = Table::new(&["n", "p(n)", "|V'2|/n mean", "trend"]);
     let mut prev: Option<f64> = None;
     for n in [128usize, 256, 512, 1024, 2048, 4096] {
-        let row = random_graph_statistics(
-            n,
-            EdgeProbability::SubCritical { exponent: 1.5 },
-            24,
-            11,
-        );
+        let row =
+            random_graph_statistics(n, EdgeProbability::SubCritical { exponent: 1.5 }, 24, 11);
         let trend = prev.map_or("-".to_string(), |p| {
             if row.minor_fraction_mean <= p {
                 "↓".into()
@@ -42,8 +38,7 @@ fn main() {
     let mut t2 = Table::new(&["a", "n", "|V'2|/n mean", "Lemma 12 bound", "under bound"]);
     for a in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
         for n in [256usize, 1024, 4096] {
-            let row =
-                random_graph_statistics(n, EdgeProbability::Critical { a }, 24, 13);
+            let row = random_graph_statistics(n, EdgeProbability::Critical { a }, 24, 13);
             // Lemma 12 is an a.a.s. *upper* bound with an o(n) slack; at
             // finite n allow a 5% + 1/sqrt(n) tolerance.
             let slack = 0.05 + 1.0 / (n as f64).sqrt();

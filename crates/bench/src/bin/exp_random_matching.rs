@@ -38,7 +38,10 @@ fn main() {
     section("super-critical regimes: mu/n -> 1 (Theorems 15/17)");
     let mut t2 = Table::new(&["regime", "n", "mu/n mean", "1 - mu/n"]);
     for regime in [
-        EdgeProbability::SuperCritical { c: 1.0, exponent: 0.5 },
+        EdgeProbability::SuperCritical {
+            c: 1.0,
+            exponent: 0.5,
+        },
         EdgeProbability::Constant { p: 0.1 },
     ] {
         for n in [256usize, 1024, 4096] {

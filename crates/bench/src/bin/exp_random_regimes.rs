@@ -18,7 +18,10 @@ fn main() {
         EdgeProbability::SubCritical { exponent: 1.5 },
         EdgeProbability::Critical { a: 1.0 },
         EdgeProbability::Critical { a: 4.0 },
-        EdgeProbability::SuperCritical { c: 1.0, exponent: 0.5 },
+        EdgeProbability::SuperCritical {
+            c: 1.0,
+            exponent: 0.5,
+        },
         EdgeProbability::Constant { p: 0.1 },
     ];
     let profiles = [
@@ -32,9 +35,7 @@ fn main() {
     ];
 
     section("Algorithm 2 vs graph-aware LB (m = 6, 16 seeds per cell)");
-    let mut t = Table::new(&[
-        "regime", "speeds", "n", "ratio mean", "ratio max", "k mean",
-    ]);
+    let mut t = Table::new(&["regime", "speeds", "n", "ratio mean", "ratio max", "k mean"]);
     let mut global_max: f64 = 0.0;
     for regime in regimes {
         for profile in profiles {

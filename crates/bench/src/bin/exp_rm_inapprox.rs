@@ -19,7 +19,13 @@ use rand::SeedableRng;
 fn main() {
     section("exact gap verification over 1-PrExt instances (m = 3)");
     let mut t = Table::new(&[
-        "instance", "answer", "d", "OPT", "yes_bound (n)", "gap d/n", "verdict",
+        "instance",
+        "answer",
+        "d",
+        "OPT",
+        "yes_bound (n)",
+        "gap d/n",
+        "verdict",
     ]);
     let mut rng = StdRng::seed_from_u64(55);
     let mut yes_count = 0;

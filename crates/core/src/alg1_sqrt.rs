@@ -114,9 +114,12 @@ pub fn alg1_sqrt_approx(inst: &Instance) -> Result<Alg1Result, Alg1Error> {
     // the min(m, n) fastest machines can matter on uniform speeds).
     if total <= 4 {
         let used = m.min(n).max(2);
-        let small =
-            Instance::uniform(speeds[..used].to_vec(), inst.processing_all().to_vec(), g.clone())
-                .expect("validated components");
+        let small = Instance::uniform(
+            speeds[..used].to_vec(),
+            inst.processing_all().to_vec(),
+            g.clone(),
+        )
+        .expect("validated components");
         let out = branch_and_bound(&small, u64::MAX);
         let opt = out.optimum.expect("bipartite on >= 2 machines is feasible");
         return Ok(Alg1Result {
@@ -174,9 +177,8 @@ pub fn alg1_sqrt_approx(inst: &Instance) -> Result<Alg1Result, Alg1Error> {
                 for &v in &iset.vertices {
                     in_i[v as usize] = true;
                 }
-                let (rest_graph, remap) = g.induced_subgraph(
-                    &in_i.iter().map(|&b| !b).collect::<Vec<_>>(),
-                );
+                let (rest_graph, remap) =
+                    g.induced_subgraph(&in_i.iter().map(|&b| !b).collect::<Vec<_>>());
                 let rest_weights: Vec<u64> = (0..n)
                     .filter(|&v| !in_i[v])
                     .map(|v| inst.processing(v as u32))

@@ -84,8 +84,22 @@ pub fn alg2_random_graph(inst: &Instance) -> Result<Alg2Result, Alg1Error> {
     let mut loads = vec![0u64; m];
     let mut assignment = vec![u32::MAX; n];
     let p = inst.processing_all();
-    assign_min_completion_uniform(&speeds, p, &minor, &group_minor, &mut loads, &mut assignment);
-    assign_min_completion_uniform(&speeds, p, &major, &group_major, &mut loads, &mut assignment);
+    assign_min_completion_uniform(
+        &speeds,
+        p,
+        &minor,
+        &group_minor,
+        &mut loads,
+        &mut assignment,
+    );
+    assign_min_completion_uniform(
+        &speeds,
+        p,
+        &major,
+        &group_major,
+        &mut loads,
+        &mut assignment,
+    );
     let schedule = Schedule::new(assignment);
     debug_assert!(schedule.validate(inst).is_ok());
     let makespan = schedule.makespan(inst);
@@ -130,7 +144,14 @@ pub fn alg2_balanced(inst: &Instance) -> Result<Alg2Result, Alg1Error> {
     let all_machines: Vec<u32> = (0..m as u32).collect();
     let p = inst.processing_all();
     let order = bisched_model::lpt_order(p, &isolated);
-    assign_min_completion_uniform(&speeds, p, &order, &all_machines, &mut loads, &mut assignment);
+    assign_min_completion_uniform(
+        &speeds,
+        p,
+        &order,
+        &all_machines,
+        &mut loads,
+        &mut assignment,
+    );
     let schedule = Schedule::new(assignment);
     debug_assert!(schedule.validate(inst).is_ok());
     let makespan = schedule.makespan(inst);
@@ -211,13 +232,19 @@ mod tests {
         let mut worst: f64 = 0.0;
         for _ in 0..10 {
             let g = gilbert_bipartite(40, 40, 2.0 / 40.0, &mut rng);
-            let inst =
-                Instance::uniform(SpeedProfile::Geometric { ratio: 2 }.speeds(4), vec![1; 80], g)
-                    .unwrap();
+            let inst = Instance::uniform(
+                SpeedProfile::Geometric { ratio: 2 }.speeds(4),
+                vec![1; 80],
+                g,
+            )
+            .unwrap();
             let r = alg2_random_graph(&inst).unwrap();
             worst = worst.max(r.makespan.ratio_to(&r.cstar));
         }
-        assert!(worst <= 3.0, "suspiciously bad ratio {worst} vs capacity LB");
+        assert!(
+            worst <= 3.0,
+            "suspiciously bad ratio {worst} vs capacity LB"
+        );
     }
 
     #[test]
@@ -225,8 +252,7 @@ mod tests {
         let inst = Instance::uniform(vec![2], vec![1; 4], Graph::empty(4)).unwrap();
         let r = alg2_random_graph(&inst).unwrap();
         assert_eq!(r.makespan, Rat::integer(2));
-        let bad =
-            Instance::uniform(vec![2], vec![1, 1], Graph::from_edges(2, &[(0, 1)])).unwrap();
+        let bad = Instance::uniform(vec![2], vec![1, 1], Graph::from_edges(2, &[(0, 1)])).unwrap();
         assert_eq!(alg2_random_graph(&bad).unwrap_err(), Alg1Error::Infeasible);
     }
 

@@ -16,7 +16,9 @@
 //!   `Q2 | G = bipartite, p_j = 1 | C_max` via the FPTAS route;
 //! * [`reduction_thm8`] / [`reduction_thm24`] — the executable gap
 //!   reductions behind the inapproximability results;
-//! * [`solver`] — a dispatching façade over all of the above.
+//! * [`solver`] — the configurable [`Solver`] engine dispatching over all
+//!   of the above (typed [`Guarantee`]s, method policies, solve reports,
+//!   batch solving).
 
 #![warn(missing_docs)]
 
@@ -37,5 +39,10 @@ pub use r2_fptas::r2_fptas;
 pub use r2_reduction::{reduce_r2, Orientation, ReducedR2};
 pub use reduction_thm24::{reduce_1prext_to_rm, Thm24Reduction};
 pub use reduction_thm8::{reduce_1prext_to_qm, Thm8Reduction};
-pub use solver::{solve, Method, Solution, SolveError};
+#[allow(deprecated)]
+pub use solver::{solve, Solution};
+pub use solver::{
+    EngineOutcome, EngineRun, Guarantee, Method, MethodPolicy, SolveError, SolveReport, Solver,
+    SolverConfig,
+};
 pub use thm4_q2unit::thm4_fptas_route;

@@ -87,11 +87,7 @@ mod tests {
     fn exact_on_dominated_instances() {
         // All components dominated: Algorithm 4 is optimal, not just 2-approx.
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
-        let inst = Instance::unrelated(
-            vec![vec![1, 9, 1, 9], vec![9, 1, 9, 1]],
-            g,
-        )
-        .unwrap();
+        let inst = Instance::unrelated(vec![vec![1, 9, 1, 9], vec![9, 1, 9, 1]], g).unwrap();
         let s = r2_two_approx(&inst).unwrap();
         let opt = r2_bipartite_exact(&inst).unwrap();
         assert_eq!(s.makespan(&inst), opt.makespan);
@@ -103,7 +99,7 @@ mod tests {
         // key inequality.
         let mut rng = StdRng::seed_from_u64(59);
         for _ in 0..20 {
-            let n = rng.gen_range(2..=10);
+            let n: usize = rng.gen_range(2..=10);
             let g = gilbert_bipartite(n / 2, n - n / 2, 0.4, &mut rng);
             let times: Vec<Vec<u64>> = (0..2)
                 .map(|_| (0..n).map(|_| rng.gen_range(1..=30)).collect())

@@ -33,10 +33,7 @@ pub fn r2_fptas(inst: &Instance, eps: f64) -> Result<Schedule, OracleError> {
 
     // Step 1: 2-approximate horizon T from Algorithm 4.
     let approx = r2_two_approx(inst)?;
-    let t_horizon = approx
-        .makespan(inst)
-        .ceil()
-        .max(1);
+    let t_horizon = approx.makespan(inst).ceil().max(1);
 
     // Steps 3-5: guard jobs carrying the base loads, pinned by cost 3T on
     // the wrong machine. A zero-cost guard is legal here (the FPTAS treats
@@ -87,7 +84,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(61);
         for &eps in &[1.0, 0.5, 0.25, 0.1, 0.02] {
             for _ in 0..10 {
-                let n = rng.gen_range(2..=12);
+                let n: usize = rng.gen_range(2..=12);
                 let g = gilbert_bipartite(n / 2, n - n / 2, 0.35, &mut rng);
                 let times: Vec<Vec<u64>> = (0..2)
                     .map(|_| (0..n).map(|_| rng.gen_range(1..=40)).collect())
@@ -97,10 +94,7 @@ mod tests {
                 assert!(s.validate(&inst).is_ok());
                 let opt = r2_bipartite_exact(&inst).unwrap();
                 let ratio = s.makespan(&inst).ratio_to(&opt.makespan);
-                assert!(
-                    ratio <= 1.0 + eps + 1e-9,
-                    "ε={eps}: ratio {ratio} (n={n})"
-                );
+                assert!(ratio <= 1.0 + eps + 1e-9, "ε={eps}: ratio {ratio} (n={n})");
             }
         }
     }
@@ -131,11 +125,8 @@ mod tests {
     #[test]
     fn all_isolated_reduces_to_plain_r2() {
         // No edges: Algorithm 5 = FPTAS on the original jobs.
-        let inst = Instance::unrelated(
-            vec![vec![5, 6, 7], vec![7, 6, 5]],
-            Graph::empty(3),
-        )
-        .unwrap();
+        let inst =
+            Instance::unrelated(vec![vec![5, 6, 7], vec![7, 6, 5]], Graph::empty(3)).unwrap();
         let s = r2_fptas(&inst, 0.1).unwrap();
         let opt = r2_bipartite_exact(&inst).unwrap();
         let ratio = s.makespan(&inst).ratio_to(&opt.makespan);

@@ -184,7 +184,10 @@ mod tests {
     fn dominated_component_is_fixed() {
         // Edge {0,1}: left {0}, right {1}. Orientation A costs (1, 1);
         // crossed costs (9, 9). A dominates.
-        let inst = r2(vec![vec![1, 9], vec![9, 1]], Graph::from_edges(2, &[(0, 1)]));
+        let inst = r2(
+            vec![vec![1, 9], vec![9, 1]],
+            Graph::from_edges(2, &[(0, 1)]),
+        );
         let red = reduce_r2(&inst).unwrap();
         assert_eq!(red.orientations[0], Orientation::Fixed { left_on: 0 });
         assert_eq!(red.times[0][0], 0);
@@ -197,19 +200,28 @@ mod tests {
     fn crossing_component_gets_difference_job() {
         // Left {0}, right {1}: p*11=10, p*12=2, p*21=8, p*22=3.
         // Neither orientation dominates: A costs (10, 3), B costs (2, 8).
-        let inst = r2(vec![vec![10, 2], vec![8, 3]], Graph::from_edges(2, &[(0, 1)]));
+        let inst = r2(
+            vec![vec![10, 2], vec![8, 3]],
+            Graph::from_edges(2, &[(0, 1)]),
+        );
         let red = reduce_r2(&inst).unwrap();
         assert_eq!(red.times[0][0], 8); // 10 - 2
         assert_eq!(red.times[1][0], 5); // 8 - 3
         assert_eq!(red.p_prime[0], 2);
         assert_eq!(red.p_pprime[0], 3);
-        assert_eq!(red.orientations[0], Orientation::Choice { left_on_if_m1: 0 });
+        assert_eq!(
+            red.orientations[0],
+            Orientation::Choice { left_on_if_m1: 0 }
+        );
     }
 
     #[test]
     fn one_sided_dominance_is_fixed_crosswise() {
         // B dominates: crossed orientation (2, 3) beats (10, 8) pointwise.
-        let inst = r2(vec![vec![10, 2], vec![3, 8]], Graph::from_edges(2, &[(0, 1)]));
+        let inst = r2(
+            vec![vec![10, 2], vec![3, 8]],
+            Graph::from_edges(2, &[(0, 1)]),
+        );
         let red = reduce_r2(&inst).unwrap();
         assert_eq!(red.orientations[0], Orientation::Fixed { left_on: 1 });
         assert_eq!(red.p_prime[0], 2);
@@ -232,7 +244,7 @@ mod tests {
         // schedule with makespan = base + reduced loads.
         let mut rng = StdRng::seed_from_u64(47);
         for _ in 0..25 {
-            let n = rng.gen_range(2..=10);
+            let n: usize = rng.gen_range(2..=10);
             let g = gilbert_bipartite(n / 2, n - n / 2, 0.4, &mut rng);
             let times: Vec<Vec<u64>> = (0..2)
                 .map(|_| (0..n).map(|_| rng.gen_range(1..=20)).collect())

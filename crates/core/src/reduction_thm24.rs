@@ -83,7 +83,10 @@ impl Thm24Reduction {
 pub fn reduce_1prext_to_rm(source: &Graph, pins: [Vertex; 3], d: u64, m: usize) -> Thm24Reduction {
     assert!(m >= 3, "Theorem 24 needs m ≥ 3 machines");
     assert!(d >= 1);
-    assert!(is_bipartite(source), "1-PrExt source must be bipartite here");
+    assert!(
+        is_bipartite(source),
+        "1-PrExt source must be bipartite here"
+    );
     assert!(
         pins[0] != pins[1] && pins[1] != pins[2] && pins[0] != pins[2],
         "precolored vertices must be distinct"
@@ -110,8 +113,7 @@ pub fn reduce_1prext_to_rm(source: &Graph, pins: [Vertex; 3], d: u64, m: usize) 
 mod tests {
     use super::*;
     use bisched_exact::{
-        branch_and_bound, claw_no_instance, path_yes_instance, precoloring_extension,
-        standard_pins,
+        branch_and_bound, claw_no_instance, path_yes_instance, precoloring_extension, standard_pins,
     };
 
     #[test]

@@ -45,10 +45,7 @@ pub struct Thm8Reduction {
 impl Thm8Reduction {
     /// The YES-side makespan bound `(n+2)/(kn)` in scaled time.
     pub fn yes_bound(&self) -> Rat {
-        Rat::new(
-            self.original_n as u64 + 2,
-            self.k * self.original_n as u64,
-        )
+        Rat::new(self.original_n as u64 + 2, self.k * self.original_n as u64)
     }
 
     /// The NO-side makespan bound (`kn` unscaled = `1` scaled).
@@ -131,15 +128,13 @@ impl Thm8Reduction {
 /// Builds the Theorem 8 reduction. `source` must be bipartite (the
 /// NP-hardness of Theorem 3 lives on bipartite inputs), `pins` distinct,
 /// `m ≥ 3`, `k ≥ 1`.
-pub fn reduce_1prext_to_qm(
-    source: &Graph,
-    pins: [Vertex; 3],
-    k: u64,
-    m: usize,
-) -> Thm8Reduction {
+pub fn reduce_1prext_to_qm(source: &Graph, pins: [Vertex; 3], k: u64, m: usize) -> Thm8Reduction {
     assert!(m >= 3, "Theorem 8 needs m ≥ 3 machines");
     assert!(k >= 1);
-    assert!(is_bipartite(source), "1-PrExt source must be bipartite here");
+    assert!(
+        is_bipartite(source),
+        "1-PrExt source must be bipartite here"
+    );
     assert!(
         pins[0] != pins[1] && pins[1] != pins[2] && pins[0] != pins[2],
         "precolored vertices must be distinct"
@@ -205,8 +200,7 @@ mod tests {
     #[test]
     fn yes_instance_has_cheap_schedule() {
         let (g, pins) = path_yes_instance(3);
-        let coloring =
-            precoloring_extension(&g, &standard_pins(&pins), 3).expect("YES instance");
+        let coloring = precoloring_extension(&g, &standard_pins(&pins), 3).expect("YES instance");
         for k in [1u64, 2] {
             let red = reduce_1prext_to_qm(&g, pins, k, 5);
             let s = red.schedule_from_coloring(&coloring);
@@ -239,10 +233,7 @@ mod tests {
             let red = reduce_1prext_to_qm(&g, pins, k, 4);
             let gap = red.no_bound().ratio_to(&red.yes_bound());
             // Gap = kn/(n+2); with n = 8: 8k/10.
-            assert!(
-                gap >= k as f64 * 0.8 - 1e-9,
-                "k={k}: gap {gap} too small"
-            );
+            assert!(gap >= k as f64 * 0.8 - 1e-9, "k={k}: gap {gap} too small");
         }
     }
 

@@ -1,0 +1,194 @@
+//! Uniform adapters from the workspace's heterogeneous engine APIs to the
+//! [`Method`] catalogue.
+
+use bisched_baselines::bjw_two_approx;
+use bisched_exact::{branch_and_bound, greedy_incumbent, q2_bipartite_exact, r2_bipartite_exact};
+use bisched_model::{Instance, MachineEnvironment, Rat, Schedule};
+
+use super::config::SolverConfig;
+use super::guarantee::Guarantee;
+use super::method::Method;
+use crate::alg1_sqrt::alg1_sqrt_approx;
+use crate::alg2_random::alg2_random_graph;
+use crate::r2_approx::r2_two_approx;
+use crate::r2_fptas::r2_fptas;
+
+/// A successful engine run, before report assembly.
+pub(super) struct EngineSolution {
+    pub schedule: Schedule,
+    pub makespan: Rat,
+    pub guarantee: Guarantee,
+}
+
+/// Why an engine produced no schedule.
+pub(super) enum EngineFailure {
+    /// Preconditions not met; carries the reason.
+    NotApplicable(String),
+    /// Applied but did not finish with a schedule.
+    Failed(String),
+}
+
+use EngineFailure::{Failed, NotApplicable};
+
+fn solved(inst: &Instance, schedule: Schedule, guarantee: Guarantee) -> EngineSolution {
+    let makespan = schedule.makespan(inst);
+    EngineSolution {
+        schedule,
+        makespan,
+        guarantee,
+    }
+}
+
+fn is_unrelated(inst: &Instance) -> bool {
+    matches!(inst.env(), MachineEnvironment::Unrelated { .. })
+}
+
+fn require_two_machines(inst: &Instance) -> Result<(), EngineFailure> {
+    if inst.num_machines() != 2 {
+        return Err(NotApplicable(format!(
+            "requires exactly 2 machines, instance has {}",
+            inst.num_machines()
+        )));
+    }
+    Ok(())
+}
+
+/// Runs one engine on an instance the caller has already screened for the
+/// global preconditions (bipartite graph, chromatic feasibility).
+pub(super) fn run_method(
+    config: &SolverConfig,
+    inst: &Instance,
+    method: Method,
+) -> Result<EngineSolution, EngineFailure> {
+    match method {
+        Method::ExactQ2 => {
+            if is_unrelated(inst) {
+                return Err(NotApplicable("requires P or Q machines, got R".into()));
+            }
+            require_two_machines(inst)?;
+            let opt = q2_bipartite_exact(inst).map_err(|e| Failed(e.to_string()))?;
+            Ok(EngineSolution {
+                schedule: opt.schedule,
+                makespan: opt.makespan,
+                guarantee: Guarantee::Optimal,
+            })
+        }
+        Method::ExactR2 => {
+            if !is_unrelated(inst) {
+                return Err(NotApplicable(format!(
+                    "requires R machines, got {}",
+                    inst.env().alpha()
+                )));
+            }
+            require_two_machines(inst)?;
+            let opt = r2_bipartite_exact(inst).map_err(|e| Failed(e.to_string()))?;
+            Ok(EngineSolution {
+                schedule: opt.schedule,
+                makespan: opt.makespan,
+                guarantee: Guarantee::Optimal,
+            })
+        }
+        Method::BranchAndBound => {
+            let outcome = branch_and_bound(inst, config.bnb_node_limit);
+            match outcome.optimum {
+                Some(opt) => Ok(EngineSolution {
+                    schedule: opt.schedule,
+                    makespan: opt.makespan,
+                    guarantee: if outcome.complete {
+                        Guarantee::Optimal
+                    } else {
+                        Guarantee::Heuristic
+                    },
+                }),
+                None => Err(Failed(format!(
+                    "no incumbent within the {}-node budget",
+                    config.bnb_node_limit
+                ))),
+            }
+        }
+        Method::Alg1 => {
+            if is_unrelated(inst) {
+                return Err(NotApplicable("requires P or Q machines, got R".into()));
+            }
+            let r = alg1_sqrt_approx(inst).map_err(|e| Failed(e.to_string()))?;
+            Ok(EngineSolution {
+                schedule: r.schedule,
+                makespan: r.makespan,
+                guarantee: Guarantee::SqrtSumP,
+            })
+        }
+        Method::Alg2 => {
+            if is_unrelated(inst) {
+                return Err(NotApplicable("requires P or Q machines, got R".into()));
+            }
+            if !inst.is_unit() {
+                return Err(NotApplicable(
+                    "Algorithm 2 is stated for unit jobs (p_j = 1)".into(),
+                ));
+            }
+            let r = alg2_random_graph(inst).map_err(|e| Failed(e.to_string()))?;
+            // Theorem 19's factor-2 promise is a.a.s. over G_{n,n,p(n)},
+            // not worst-case, so the typed guarantee stays Heuristic.
+            Ok(EngineSolution {
+                schedule: r.schedule,
+                makespan: r.makespan,
+                guarantee: Guarantee::Heuristic,
+            })
+        }
+        Method::Bjw => {
+            if is_unrelated(inst) {
+                return Err(NotApplicable("requires P or Q machines, got R".into()));
+            }
+            if inst.num_machines() < 3 {
+                return Err(NotApplicable(format!(
+                    "requires m >= 3, instance has {}",
+                    inst.num_machines()
+                )));
+            }
+            let schedule = bjw_two_approx(inst).map_err(|e| Failed(e.to_string()))?;
+            // The ratio-2 proof is for identical machines; on uniform
+            // speeds the engine runs as a comparison heuristic.
+            let guarantee = if matches!(inst.env(), MachineEnvironment::Identical { .. }) {
+                Guarantee::Ratio(Rat::integer(2))
+            } else {
+                Guarantee::Heuristic
+            };
+            Ok(solved(inst, schedule, guarantee))
+        }
+        Method::R2Fptas => {
+            if !is_unrelated(inst) {
+                return Err(NotApplicable(format!(
+                    "requires R machines, got {}",
+                    inst.env().alpha()
+                )));
+            }
+            require_two_machines(inst)?;
+            let schedule = r2_fptas(inst, config.eps).map_err(|e| Failed(e.to_string()))?;
+            Ok(solved(inst, schedule, Guarantee::OnePlusEps(config.eps)))
+        }
+        Method::R2TwoApprox => {
+            if !is_unrelated(inst) {
+                return Err(NotApplicable(format!(
+                    "requires R machines, got {}",
+                    inst.env().alpha()
+                )));
+            }
+            require_two_machines(inst)?;
+            let schedule = r2_two_approx(inst).map_err(|e| Failed(e.to_string()))?;
+            Ok(solved(inst, schedule, Guarantee::Ratio(Rat::integer(2))))
+        }
+        Method::GreedyLpt => {
+            let schedule =
+                bisched_baselines::greedy_lpt(inst).map_err(|e| Failed(e.to_string()))?;
+            Ok(solved(inst, schedule, Guarantee::Heuristic))
+        }
+        Method::GreedyR => match greedy_incumbent(inst) {
+            Some(opt) => Ok(EngineSolution {
+                schedule: opt.schedule,
+                makespan: opt.makespan,
+                guarantee: Guarantee::Heuristic,
+            }),
+            None => Err(Failed("greedy found no feasible schedule".into())),
+        },
+    }
+}

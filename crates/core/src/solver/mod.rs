@@ -1,0 +1,597 @@
+//! The solving engine: a configurable dispatcher over every algorithm in
+//! the workspace.
+//!
+//! The paper is, at heart, a dispatch table — which algorithm applies to
+//! which machine environment and what it can promise. [`Solver`] makes
+//! that table a first-class, configurable object instead of a frozen
+//! `match`:
+//!
+//! ```
+//! use bisched_core::{MethodPolicy, SolverConfig};
+//! use bisched_graph::Graph;
+//! use bisched_model::Instance;
+//!
+//! let inst = Instance::uniform(
+//!     vec![2, 1],
+//!     vec![4, 3, 2, 3],
+//!     Graph::from_edges(4, &[(0, 1), (2, 3)]),
+//! )
+//! .unwrap();
+//!
+//! let solver = SolverConfig::new().eps(0.1).build().unwrap();
+//! let report = solver.solve(&inst).unwrap();
+//! assert!(report.schedule.validate(&inst).is_ok());
+//! assert!(report.makespan >= report.lower_bound);
+//! println!("{} via {} ({})", report.makespan, report.method, report.guarantee);
+//! ```
+//!
+//! ## The `Auto` dispatch table
+//!
+//! | instance | engines tried | guarantee of the result |
+//! |---|---|---|
+//! | any, `n ≤ auto_exact_jobs` | branch & bound first | optimal when the search completes |
+//! | `Q2`/`P2`, `Σp_j ≤ exact_budget` | exact subset-sum DP | optimal (Theorem 4 regime) |
+//! | `P`, `m ≥ 3` | best of BJW [3] and Algorithm 1 | `2 · C*` when BJW ran (best possible, [3]) |
+//! | `Q`, `m ≥ 3` (or huge `Σp_j`) | Algorithm 1 | `√(Σp_j) · C*` (Theorem 9) |
+//! | `R2`, row mass ≤ `exact_budget` | exact load DP | optimal |
+//! | `R2` otherwise | Algorithm 5 (FPTAS) | `(1+ε) · C*` (Theorem 22) |
+//! | `R`, `m ≥ 3` | graph-aware greedy | none — Theorem 24 proves none is possible |
+//!
+//! Every engine that ran (winners, losers, and inapplicable ones) is
+//! recorded in [`SolveReport::attempts`] with its wall time, and the
+//! returned schedule is labelled with the method that **actually produced
+//! it** — when Algorithm 1 beats BJW on identical machines the report
+//! says so.
+//!
+//! [`MethodPolicy::Force`] runs exactly one engine (or fails with a typed
+//! [`SolveError::NotApplicable`]); [`MethodPolicy::Portfolio`] runs a
+//! user-chosen set and keeps the best schedule, never worse than any
+//! member. Bulk workloads go through [`Solver::solve_batch`].
+
+mod config;
+mod engines;
+mod guarantee;
+mod method;
+mod report;
+
+pub use config::{
+    SolverConfig, DEFAULT_AUTO_EXACT_JOBS, DEFAULT_BNB_NODE_LIMIT, DEFAULT_EPS,
+    DEFAULT_EXACT_BUDGET,
+};
+pub use guarantee::Guarantee;
+pub use method::{Method, MethodPolicy};
+pub use report::{EngineOutcome, EngineRun, SolveReport};
+
+use std::time::Instant;
+
+use bisched_model::{
+    capacity_lower_bound, unrelated_lower_bound, Instance, MachineEnvironment, Rat,
+};
+
+use engines::{run_method, EngineFailure, EngineSolution};
+
+/// Errors of the solving engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The incompatibility graph is not bipartite — outside the paper's
+    /// model, and every engine here relies on 2-colorability.
+    NotBipartite,
+    /// No feasible schedule exists (one machine, at least one edge).
+    Infeasible,
+    /// The configuration is self-contradictory (bad `ε`, empty
+    /// portfolio); raised by [`SolverConfig::build`].
+    InvalidConfig(String),
+    /// A forced method's preconditions do not hold on this instance.
+    NotApplicable {
+        /// The method that was forced.
+        method: Method,
+        /// The precondition that failed.
+        reason: String,
+    },
+    /// The engine applied but produced no schedule.
+    EngineFailed {
+        /// The engine.
+        method: Method,
+        /// What went wrong.
+        reason: String,
+    },
+    /// No engine in the policy produced a schedule.
+    NoEngineSolved {
+        /// Per-method reasons.
+        reasons: Vec<(Method, String)>,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotBipartite => write!(f, "incompatibility graph is not bipartite"),
+            SolveError::Infeasible => write!(f, "no feasible schedule exists"),
+            SolveError::InvalidConfig(m) => write!(f, "invalid solver config: {m}"),
+            SolveError::NotApplicable { method, reason } => {
+                write!(f, "method {method} not applicable: {reason}")
+            }
+            SolveError::EngineFailed { method, reason } => {
+                write!(f, "method {method} failed: {reason}")
+            }
+            SolveError::NoEngineSolved { reasons } => {
+                write!(f, "no engine solved the instance:")?;
+                for (m, r) in reasons {
+                    write!(f, " [{m}: {r}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The configurable solving engine; built from a [`SolverConfig`].
+///
+/// A `Solver` is cheap to construct, immutable, and reusable across
+/// instances and threads.
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+impl Solver {
+    /// A solver with the default configuration (the old façade's
+    /// behaviour plus the exact engines `Auto` now reaches).
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    pub(crate) fn from_config(config: SolverConfig) -> Self {
+        Solver { config }
+    }
+
+    /// The configuration this solver runs with.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Solves one instance under the configured policy.
+    pub fn solve(&self, inst: &Instance) -> Result<SolveReport, SolveError> {
+        let t0 = Instant::now();
+        if !bisched_graph::is_bipartite(inst.graph()) {
+            return Err(SolveError::NotBipartite);
+        }
+        if inst.num_machines() == 1 && inst.graph().num_edges() > 0 {
+            return Err(SolveError::Infeasible);
+        }
+        let mut attempts: Vec<EngineRun> = Vec::new();
+        let outcome = match &self.config.policy {
+            MethodPolicy::Auto => self.solve_auto(inst, &mut attempts),
+            MethodPolicy::Force(method) => match self.attempt(inst, *method, &mut attempts) {
+                Some(sol) => Ok((sol, *method)),
+                None => Err(match attempts.last().map(|a| &a.outcome) {
+                    Some(EngineOutcome::NotApplicable { reason }) => SolveError::NotApplicable {
+                        method: *method,
+                        reason: reason.clone(),
+                    },
+                    Some(EngineOutcome::Failed { reason }) => SolveError::EngineFailed {
+                        method: *method,
+                        reason: reason.clone(),
+                    },
+                    _ => unreachable!("attempt records exactly one outcome"),
+                }),
+            },
+            MethodPolicy::Portfolio(methods) => {
+                let mut candidates = Vec::new();
+                for &m in methods {
+                    if let Some(sol) = self.attempt(inst, m, &mut attempts) {
+                        candidates.push((m, sol));
+                    }
+                }
+                pick_best(candidates, &attempts)
+            }
+        };
+        let (best, method) = outcome?;
+        let guarantee = strongest_guarantee(inst, &attempts, best.guarantee);
+        Ok(SolveReport {
+            schedule: best.schedule,
+            makespan: best.makespan,
+            method,
+            guarantee,
+            lower_bound: graph_blind_lower_bound(inst),
+            attempts,
+            total_time: t0.elapsed(),
+            seed: self.config.seed,
+        })
+    }
+
+    /// Solves a batch of instances, one report (or error) per instance,
+    /// in input order.
+    pub fn solve_batch(&self, instances: &[Instance]) -> Vec<Result<SolveReport, SolveError>> {
+        instances.iter().map(|inst| self.solve(inst)).collect()
+    }
+
+    /// Runs one engine, recording the attempt; returns the solution when
+    /// it solved.
+    fn attempt(
+        &self,
+        inst: &Instance,
+        method: Method,
+        attempts: &mut Vec<EngineRun>,
+    ) -> Option<EngineSolution> {
+        let t0 = Instant::now();
+        let result = run_method(&self.config, inst, method);
+        let wall_time = t0.elapsed();
+        match result {
+            Ok(sol) => {
+                attempts.push(EngineRun {
+                    method,
+                    outcome: EngineOutcome::Solved {
+                        makespan: sol.makespan,
+                        guarantee: sol.guarantee.clone(),
+                    },
+                    wall_time,
+                });
+                Some(sol)
+            }
+            Err(EngineFailure::NotApplicable(reason)) => {
+                attempts.push(EngineRun {
+                    method,
+                    outcome: EngineOutcome::NotApplicable { reason },
+                    wall_time,
+                });
+                None
+            }
+            Err(EngineFailure::Failed(reason)) => {
+                attempts.push(EngineRun {
+                    method,
+                    outcome: EngineOutcome::Failed { reason },
+                    wall_time,
+                });
+                None
+            }
+        }
+    }
+
+    /// The `Auto` policy: the module-level dispatch table, with every
+    /// fallback recorded.
+    fn solve_auto(
+        &self,
+        inst: &Instance,
+        attempts: &mut Vec<EngineRun>,
+    ) -> Result<(EngineSolution, Method), SolveError> {
+        let cfg = &self.config;
+        let m = inst.num_machines();
+        let mut candidates: Vec<(Method, EngineSolution)> = Vec::new();
+
+        // Small instances: a complete search beats any approximation.
+        if inst.num_jobs() <= cfg.auto_exact_jobs {
+            if let Some(sol) = self.attempt(inst, Method::BranchAndBound, attempts) {
+                if sol.guarantee == Guarantee::Optimal {
+                    return Ok((sol, Method::BranchAndBound));
+                }
+                // Incomplete search: keep the incumbent as a candidate and
+                // let the guaranteed engines compete below.
+                candidates.push((Method::BranchAndBound, sol));
+            }
+        }
+
+        match inst.env() {
+            MachineEnvironment::Unrelated { times } => {
+                if m == 2 {
+                    // The exact R2 DP is pseudo-polynomial in the machine-1
+                    // row mass; prefer it while that fits the budget.
+                    let row_mass: u64 = times[0].iter().sum();
+                    if row_mass <= cfg.exact_budget {
+                        if let Some(sol) = self.attempt(inst, Method::ExactR2, attempts) {
+                            return Ok((sol, Method::ExactR2));
+                        }
+                    }
+                    if let Some(sol) = self.attempt(inst, Method::R2Fptas, attempts) {
+                        candidates.push((Method::R2Fptas, sol));
+                    }
+                } else {
+                    // R, m >= 3: Theorem 24 — heuristic only.
+                    if let Some(sol) = self.attempt(inst, Method::GreedyR, attempts) {
+                        candidates.push((Method::GreedyR, sol));
+                    }
+                }
+            }
+            _ => {
+                if m == 2 && inst.total_processing() <= cfg.exact_budget {
+                    if let Some(sol) = self.attempt(inst, Method::ExactQ2, attempts) {
+                        return Ok((sol, Method::ExactQ2));
+                    }
+                }
+                if matches!(inst.env(), MachineEnvironment::Identical { .. }) && m >= 3 {
+                    // Best-of: BJW carries the stronger (ratio 2) label,
+                    // but Algorithm 1 sometimes builds the better
+                    // schedule; both run, the winner is reported.
+                    if let Some(sol) = self.attempt(inst, Method::Bjw, attempts) {
+                        candidates.push((Method::Bjw, sol));
+                    }
+                }
+                if let Some(sol) = self.attempt(inst, Method::Alg1, attempts) {
+                    candidates.push((Method::Alg1, sol));
+                }
+            }
+        }
+        pick_best(candidates, attempts)
+    }
+}
+
+/// Picks the candidate with the smallest makespan (ties: the engine that
+/// ran first wins). With no candidates, reports every attempt's reason.
+fn pick_best(
+    candidates: Vec<(Method, EngineSolution)>,
+    attempts: &[EngineRun],
+) -> Result<(EngineSolution, Method), SolveError> {
+    let mut best: Option<(Method, EngineSolution)> = None;
+    for (method, sol) in candidates {
+        if best.as_ref().is_none_or(|(_, b)| sol.makespan < b.makespan) {
+            best = Some((method, sol));
+        }
+    }
+    match best {
+        Some((method, sol)) => Ok((sol, method)),
+        None => Err(SolveError::NoEngineSolved {
+            reasons: attempts
+                .iter()
+                .map(|run| {
+                    let reason = match &run.outcome {
+                        EngineOutcome::NotApplicable { reason }
+                        | EngineOutcome::Failed { reason } => reason.clone(),
+                        EngineOutcome::Solved { .. } => {
+                            unreachable!("a solved attempt is always a candidate")
+                        }
+                    };
+                    (run.method, reason)
+                })
+                .collect(),
+        }),
+    }
+}
+
+/// The strongest guarantee that provably applies to the returned (best)
+/// schedule: its own, or any solved engine's ratio bound — the best
+/// makespan is `≤` every solved engine's, so their multiplicative bounds
+/// transfer.
+fn strongest_guarantee(inst: &Instance, attempts: &[EngineRun], own: Guarantee) -> Guarantee {
+    let mut best = own;
+    for run in attempts {
+        if let EngineOutcome::Solved { guarantee, .. } = &run.outcome {
+            if guarantee.at_least_as_strong(&best, inst) {
+                best = guarantee.clone();
+            }
+        }
+    }
+    best
+}
+
+/// Graph-oblivious lower bound on `C*_max` from `bisched_model::bounds`.
+fn graph_blind_lower_bound(inst: &Instance) -> Rat {
+    match inst.env() {
+        MachineEnvironment::Unrelated { times } => Rat::integer(unrelated_lower_bound(times)),
+        _ => capacity_lower_bound(&inst.speeds(), inst.processing_all()),
+    }
+}
+
+/// Solves `inst` with the default [`Solver`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Solver::new().solve(inst)` or `SolverConfig::new()…build()` — \
+            the free function is a thin shim and will be removed"
+)]
+pub fn solve(inst: &Instance) -> Result<SolveReport, SolveError> {
+    Solver::new().solve(inst)
+}
+
+/// Old name of [`SolveReport`], kept for the deprecation window.
+#[deprecated(since = "0.2.0", note = "renamed to `SolveReport`")]
+pub type Solution = SolveReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_graph::Graph;
+    use bisched_model::Instance;
+
+    fn solver() -> Solver {
+        Solver::new()
+    }
+
+    #[test]
+    fn q2_dispatches_to_exact() {
+        let inst = Instance::uniform(vec![2, 1], vec![30; 12], Graph::path(12)).unwrap();
+        let s = solver().solve(&inst).unwrap();
+        assert_eq!(s.method, Method::ExactQ2);
+        assert_eq!(s.guarantee, Guarantee::Optimal);
+        assert!(s.schedule.validate(&inst).is_ok());
+        assert!(s.makespan >= s.lower_bound);
+    }
+
+    #[test]
+    fn qm_dispatches_to_alg1() {
+        let inst = Instance::uniform(
+            vec![3, 2, 1],
+            vec![2; 12],
+            Graph::cycle(8).disjoint_union(&Graph::empty(4)).0,
+        )
+        .unwrap();
+        let s = solver().solve(&inst).unwrap();
+        assert_eq!(s.method, Method::Alg1);
+        assert_eq!(s.guarantee, Guarantee::SqrtSumP);
+        assert!(s.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn r2_dispatches_to_exact_dp_within_budget_and_fptas_past_it() {
+        let inst = Instance::unrelated(
+            vec![
+                vec![3, 5, 2, 4, 6, 3, 2, 5, 4, 3, 6, 2],
+                vec![4, 2, 6, 3, 2, 5, 4, 3, 2, 6, 3, 4],
+            ],
+            Graph::path(12),
+        )
+        .unwrap();
+        let s = solver().solve(&inst).unwrap();
+        assert_eq!(s.method, Method::ExactR2);
+        assert_eq!(s.guarantee, Guarantee::Optimal);
+
+        let tight = SolverConfig::new()
+            .exact_budget(1)
+            .auto_exact_jobs(0)
+            .build()
+            .unwrap();
+        let s2 = tight.solve(&inst).unwrap();
+        assert_eq!(s2.method, Method::R2Fptas);
+        assert_eq!(s2.guarantee, Guarantee::OnePlusEps(DEFAULT_EPS));
+        assert!(s2.makespan >= s.makespan);
+    }
+
+    #[test]
+    fn r3_dispatches_to_greedy() {
+        let times: Vec<Vec<u64>> = (0..3)
+            .map(|i| (0..12).map(|j| 1 + (i * 7 + j * 3) % 9).collect())
+            .collect();
+        let inst = Instance::unrelated(times, Graph::path(12)).unwrap();
+        let s = solver().solve(&inst).unwrap();
+        assert_eq!(s.method, Method::GreedyR);
+        assert_eq!(s.guarantee, Guarantee::Heuristic);
+        assert!(s.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn p3_best_of_reports_the_actual_winner() {
+        let inst = Instance::identical(
+            3,
+            vec![4, 3, 3, 2, 2, 4, 3, 2, 4, 3, 2, 2],
+            Graph::complete_bipartite(5, 7),
+        )
+        .unwrap();
+        let s = solver().solve(&inst).unwrap();
+        assert!(s.schedule.validate(&inst).is_ok());
+        // Both engines were attempted and the reported method is the one
+        // whose makespan equals the returned one.
+        let winner = s
+            .attempts
+            .iter()
+            .find(|a| a.method == s.method)
+            .expect("winner recorded");
+        assert_eq!(winner.makespan(), Some(&s.makespan));
+        for a in &s.attempts {
+            if let Some(mk) = a.makespan() {
+                assert!(*mk >= s.makespan, "{} beat the reported winner", a.method);
+            }
+        }
+        // BJW ran, so the ratio-2 bound applies to the best schedule
+        // whichever engine produced it.
+        assert!(s
+            .attempts
+            .iter()
+            .any(|a| a.method == Method::Bjw && a.makespan().is_some()));
+        assert_eq!(s.guarantee, Guarantee::Ratio(Rat::integer(2)));
+        let opt = bisched_exact::brute_force(&inst).unwrap();
+        assert!(s.makespan.ratio_to(&opt.makespan) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn small_instances_get_proven_optima() {
+        let inst =
+            Instance::identical(3, vec![4, 3, 3, 2, 2], Graph::complete_bipartite(2, 3)).unwrap();
+        let s = solver().solve(&inst).unwrap();
+        assert_eq!(s.method, Method::BranchAndBound);
+        assert_eq!(s.guarantee, Guarantee::Optimal);
+        let opt = bisched_exact::brute_force(&inst).unwrap();
+        assert_eq!(s.makespan, opt.makespan);
+    }
+
+    #[test]
+    fn forced_methods_solve_or_type_their_refusal() {
+        let q3 = Instance::uniform(vec![3, 2, 1], vec![1; 6], Graph::path(6)).unwrap();
+        let forced = SolverConfig::new().method(Method::R2Fptas).build().unwrap();
+        match forced.solve(&q3).unwrap_err() {
+            SolveError::NotApplicable { method, .. } => assert_eq!(method, Method::R2Fptas),
+            other => panic!("expected NotApplicable, got {other:?}"),
+        }
+        let alg2 = SolverConfig::new().method(Method::Alg2).build().unwrap();
+        let s = alg2.solve(&q3).unwrap();
+        assert_eq!(s.method, Method::Alg2);
+        let nonunit = Instance::uniform(vec![3, 2, 1], vec![2; 6], Graph::path(6)).unwrap();
+        assert!(matches!(
+            alg2.solve(&nonunit).unwrap_err(),
+            SolveError::NotApplicable {
+                method: Method::Alg2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn portfolio_never_loses_to_a_member() {
+        let inst =
+            Instance::uniform(vec![4, 2, 1], vec![5, 4, 4, 3, 2, 2, 1], Graph::path(7)).unwrap();
+        let members = vec![Method::GreedyLpt, Method::Alg1, Method::BranchAndBound];
+        let portfolio = SolverConfig::new()
+            .portfolio(members.clone())
+            .build()
+            .unwrap();
+        let s = portfolio.solve(&inst).unwrap();
+        assert_eq!(s.attempts.len(), members.len());
+        for (run, m) in s.attempts.iter().zip(&members) {
+            assert_eq!(run.method, *m);
+            if let Some(mk) = run.makespan() {
+                assert!(s.makespan <= *mk);
+            }
+        }
+        // Branch and bound completed, so the portfolio's best is optimal.
+        assert_eq!(s.guarantee, Guarantee::Optimal);
+    }
+
+    #[test]
+    fn batch_solves_in_order() {
+        let a = Instance::identical(2, vec![1, 2], Graph::empty(2)).unwrap();
+        let b = Instance::identical(1, vec![1, 1], Graph::from_edges(2, &[(0, 1)])).unwrap();
+        let c = Instance::unrelated(vec![vec![1, 2], vec![2, 1]], Graph::path(2)).unwrap();
+        let reports = solver().solve_batch(&[a, b, c]);
+        assert_eq!(reports.len(), 3);
+        assert!(reports[0].is_ok());
+        assert_eq!(reports[1].as_ref().unwrap_err(), &SolveError::Infeasible);
+        assert_eq!(reports[2].as_ref().unwrap().guarantee, Guarantee::Optimal);
+    }
+
+    #[test]
+    fn errors_bubble_up() {
+        let odd = Instance::identical(3, vec![1; 5], Graph::cycle(5)).unwrap();
+        assert_eq!(solver().solve(&odd).unwrap_err(), SolveError::NotBipartite);
+        let infeasible =
+            Instance::identical(1, vec![1, 1], Graph::from_edges(2, &[(0, 1)])).unwrap();
+        assert_eq!(
+            solver().solve(&infeasible).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(matches!(
+            SolverConfig::new().eps(0.0).build(),
+            Err(SolveError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            SolverConfig::new().eps(1.5).build(),
+            Err(SolveError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            SolverConfig::new().portfolio(vec![]).build(),
+            Err(SolveError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn deprecated_shim_still_works() {
+        #![allow(deprecated)]
+        let inst = Instance::uniform(vec![2, 1], vec![3, 3, 2], Graph::path(3)).unwrap();
+        #[allow(deprecated)]
+        let s = solve(&inst).unwrap();
+        assert_eq!(s.guarantee, Guarantee::Optimal);
+        assert!(s.schedule.validate(&inst).is_ok());
+    }
+}

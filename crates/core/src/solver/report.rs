@@ -1,0 +1,96 @@
+//! Structured solve results: what ran, what it promised, how long it took.
+
+use std::time::Duration;
+
+use bisched_model::{Rat, Schedule};
+
+use super::guarantee::Guarantee;
+use super::method::Method;
+
+/// One engine's outcome inside a solve (recorded even when another engine
+/// ended up producing the returned schedule).
+#[derive(Clone, Debug)]
+pub enum EngineOutcome {
+    /// The engine produced a feasible schedule.
+    Solved {
+        /// Makespan of that engine's schedule.
+        makespan: Rat,
+        /// The guarantee that engine carries on this instance.
+        guarantee: Guarantee,
+    },
+    /// The engine does not apply to this instance (wrong environment,
+    /// machine count, or job structure).
+    NotApplicable {
+        /// Human-readable precondition that failed.
+        reason: String,
+    },
+    /// The engine applied but could not produce a schedule (e.g. a node
+    /// budget ran out before any incumbent).
+    Failed {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+/// A single engine invocation: method, outcome, wall time.
+#[derive(Clone, Debug)]
+pub struct EngineRun {
+    /// The engine that ran.
+    pub method: Method,
+    /// What happened.
+    pub outcome: EngineOutcome,
+    /// Wall-clock time spent inside the engine.
+    pub wall_time: Duration,
+}
+
+impl EngineRun {
+    /// The makespan, when the engine solved.
+    pub fn makespan(&self) -> Option<&Rat> {
+        match &self.outcome {
+            EngineOutcome::Solved { makespan, .. } => Some(makespan),
+            _ => None,
+        }
+    }
+}
+
+/// The result of [`Solver::solve`](crate::Solver::solve): the schedule
+/// plus full provenance.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// Its makespan.
+    pub makespan: Rat,
+    /// The engine that produced **this** schedule (when several ran, the
+    /// one whose schedule won).
+    pub method: Method,
+    /// The strongest guarantee that provably applies to this schedule.
+    pub guarantee: Guarantee,
+    /// An unconditional lower bound on `C*_max` from
+    /// `bisched_model::bounds` (capacity bound for `P`/`Q`, per-job row
+    /// minima for `R`; ignores the incompatibility graph, so `C*` may be
+    /// strictly larger).
+    pub lower_bound: Rat,
+    /// Every engine invocation this solve performed, in execution order —
+    /// including fallbacks that lost and methods that did not apply.
+    pub attempts: Vec<EngineRun>,
+    /// Total wall time of the solve, engines plus dispatch.
+    pub total_time: Duration,
+    /// The seed the solver was configured with, recorded so runs are
+    /// attributable even once randomized engines exist (today's engines
+    /// are all deterministic).
+    pub seed: u64,
+}
+
+impl SolveReport {
+    /// `makespan / lower_bound` as `f64`, when the lower bound is
+    /// positive — a cheap optimality-gap estimate (`1.0` means provably
+    /// optimal *with respect to the graph-blind bound*).
+    pub fn gap_estimate(&self) -> Option<f64> {
+        if self.lower_bound > Rat::ZERO {
+            Some(self.makespan.ratio_to(&self.lower_bound))
+        } else {
+            None
+        }
+    }
+}

@@ -57,16 +57,8 @@ pub fn thm4_fptas_route(inst: &Instance) -> Result<Optimum, OracleError> {
 
     // Degenerate splits: everything on one machine (feasible iff no edges).
     if g.num_edges() == 0 {
-        consider(
-            Rat::new(n as u64, s1),
-            Schedule::new(vec![0; n]),
-            &mut best,
-        );
-        consider(
-            Rat::new(n as u64, s2),
-            Schedule::new(vec![1; n]),
-            &mut best,
-        );
+        consider(Rat::new(n as u64, s1), Schedule::new(vec![0; n]), &mut best);
+        consider(Rat::new(n as u64, s2), Schedule::new(vec![1; n]), &mut best);
     }
 
     // Proper splits, each checked through the FPTAS on the prepared
@@ -111,7 +103,8 @@ mod tests {
             let via_fptas = thm4_fptas_route(&inst).unwrap();
             let via_dp = q2_bipartite_exact(&inst).unwrap();
             assert_eq!(
-                via_fptas.makespan, via_dp.makespan,
+                via_fptas.makespan,
+                via_dp.makespan,
                 "routes disagree on {}",
                 inst.describe()
             );

@@ -31,11 +31,7 @@ pub fn branch_and_bound(inst: &Instance, node_limit: u64) -> BnbOutcome {
     let m = inst.num_machines();
     // LPT branching order (min-row for R).
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.sort_by(|&a, &b| {
-        inst.processing(b)
-            .cmp(&inst.processing(a))
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| inst.processing(b).cmp(&inst.processing(a)).then(a.cmp(&b)));
 
     let mut search = Search {
         inst,
@@ -260,8 +256,12 @@ mod tests {
             Instance::identical(2, vec![3, 3, 2, 2], Graph::empty(4)).unwrap(),
             Instance::identical(3, vec![1; 5], Graph::cycle(5)).unwrap(),
             Instance::uniform(vec![3, 1], vec![4, 4, 4, 1], Graph::path(4)).unwrap(),
-            Instance::uniform(vec![5, 2, 1], vec![7, 3, 3, 2, 2], Graph::complete_bipartite(2, 3))
-                .unwrap(),
+            Instance::uniform(
+                vec![5, 2, 1],
+                vec![7, 3, 3, 2, 2],
+                Graph::complete_bipartite(2, 3),
+            )
+            .unwrap(),
             Instance::unrelated(
                 vec![vec![2, 9, 4, 3], vec![7, 1, 8, 2]],
                 Graph::from_edges(4, &[(0, 1), (2, 3)]),

@@ -113,9 +113,8 @@ pub fn q_complete_bipartite_unit(inst: &Instance) -> Result<Optimum, CompleteBip
     }
     candidates.sort_unstable();
     candidates.dedup();
-    let feasible_at = |t: &Rat| -> Option<Vec<bool>> {
-        feasible_split(&floor_capacities(&speeds, t), n_a, n_b)
-    };
+    let feasible_at =
+        |t: &Rat| -> Option<Vec<bool>> { feasible_split(&floor_capacities(&speeds, t), n_a, n_b) };
     // Invariant: feasibility is monotone in t.
     let mut lo = 0usize;
     let mut hi = candidates.len() - 1;
@@ -253,8 +252,7 @@ mod tests {
     #[test]
     fn empty_side_degenerates_to_q_cmax() {
         // No edges at all: pure Q||C_max with unit jobs.
-        let inst =
-            Instance::uniform(vec![3, 1], vec![1; 8], Graph::empty(8)).unwrap();
+        let inst = Instance::uniform(vec![3, 1], vec![1; 8], Graph::empty(8)).unwrap();
         let opt = q_complete_bipartite_unit(&inst).unwrap();
         // min T with floor(3T)+floor(T) >= 8 -> T = 2.
         assert_eq!(opt.makespan, Rat::integer(2));
@@ -278,8 +276,7 @@ mod tests {
             CompleteBipartiteError::NotCompleteBipartite { .. }
         ));
         // Weighted jobs.
-        let w = Instance::uniform(vec![2, 1], vec![2, 1], Graph::complete_bipartite(1, 1))
-            .unwrap();
+        let w = Instance::uniform(vec![2, 1], vec![2, 1], Graph::complete_bipartite(1, 1)).unwrap();
         assert_eq!(
             q_complete_bipartite_unit(&w).unwrap_err(),
             CompleteBipartiteError::NotUnitJobs

@@ -183,7 +183,8 @@ mod tests {
             let fast = q2_bipartite_exact(&inst).unwrap();
             let slow = brute_force(&inst).unwrap();
             assert_eq!(
-                fast.makespan, slow.makespan,
+                fast.makespan,
+                slow.makespan,
                 "mismatch on {} (n={n}, s=({s1},{s2}))",
                 inst.describe()
             );
@@ -202,14 +203,16 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        let inst3 =
-            Instance::uniform(vec![1, 1, 1], vec![1, 1], Graph::empty(2)).unwrap();
+        let inst3 = Instance::uniform(vec![1, 1, 1], vec![1, 1], Graph::empty(2)).unwrap();
         assert_eq!(
             q2_bipartite_exact(&inst3).unwrap_err(),
             OracleError::NotTwoMachines { got: 3 }
         );
         let odd = Instance::identical(2, vec![1; 5], Graph::cycle(5)).unwrap();
-        assert_eq!(q2_bipartite_exact(&odd).unwrap_err(), OracleError::NotBipartite);
+        assert_eq!(
+            q2_bipartite_exact(&odd).unwrap_err(),
+            OracleError::NotBipartite
+        );
         let r = Instance::unrelated(vec![vec![1], vec![1]], Graph::empty(1)).unwrap();
         assert_eq!(
             q2_bipartite_exact(&r).unwrap_err(),

@@ -102,16 +102,13 @@ pub fn r2_bipartite_exact(inst: &Instance) -> Result<Optimum, OracleError> {
     let mut l2 = best_l2;
     for (k, ch) in choices.iter().enumerate().rev() {
         let prev = &layers[k];
-        let take_a = x >= ch.a.0 as usize
-            && l2 >= ch.a.1
-            && prev[x - ch.a.0 as usize] == l2 - ch.a.1;
+        let take_a =
+            x >= ch.a.0 as usize && l2 >= ch.a.1 && prev[x - ch.a.0 as usize] == l2 - ch.a.1;
         let (d, m_left, m_right) = if take_a {
             (ch.a, 0u32, 1u32)
         } else {
             debug_assert!(
-                x >= ch.b.0 as usize
-                    && l2 >= ch.b.1
-                    && prev[x - ch.b.0 as usize] == l2 - ch.b.1,
+                x >= ch.b.0 as usize && l2 >= ch.b.1 && prev[x - ch.b.0 as usize] == l2 - ch.b.1,
                 "one of the two choices must be consistent"
             );
             (ch.b, 1u32, 0u32)
@@ -142,11 +139,8 @@ mod tests {
     #[test]
     fn empty_graph_min_assignment() {
         // Every job cheap on exactly one machine.
-        let inst = Instance::unrelated(
-            vec![vec![1, 9, 1], vec![9, 1, 9]],
-            Graph::empty(3),
-        )
-        .unwrap();
+        let inst =
+            Instance::unrelated(vec![vec![1, 9, 1], vec![9, 1, 9]], Graph::empty(3)).unwrap();
         let opt = r2_bipartite_exact(&inst).unwrap();
         assert_eq!(opt.makespan, Rat::integer(2));
     }
@@ -170,7 +164,7 @@ mod tests {
     fn matches_bruteforce_randomized() {
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..40 {
-            let n = rng.gen_range(2..=9);
+            let n: usize = rng.gen_range(2..=9);
             let g = gilbert_bipartite(n / 2, n - n / 2, 0.5, &mut rng);
             let times: Vec<Vec<u64>> = (0..2)
                 .map(|_| (0..n).map(|_| rng.gen_range(1..=12)).collect())
@@ -190,32 +184,23 @@ mod tests {
             r2_bipartite_exact(&q).unwrap_err(),
             OracleError::WrongEnvironment { got: "Q" }
         );
-        let r3 = Instance::unrelated(
-            vec![vec![1], vec![1], vec![1]],
-            Graph::empty(1),
-        )
-        .unwrap();
+        let r3 = Instance::unrelated(vec![vec![1], vec![1], vec![1]], Graph::empty(1)).unwrap();
         assert_eq!(
             r2_bipartite_exact(&r3).unwrap_err(),
             OracleError::NotTwoMachines { got: 3 }
         );
-        let odd = Instance::unrelated(
-            vec![vec![1; 5], vec![1; 5]],
-            Graph::cycle(5),
-        )
-        .unwrap();
-        assert_eq!(r2_bipartite_exact(&odd).unwrap_err(), OracleError::NotBipartite);
+        let odd = Instance::unrelated(vec![vec![1; 5], vec![1; 5]], Graph::cycle(5)).unwrap();
+        assert_eq!(
+            r2_bipartite_exact(&odd).unwrap_err(),
+            OracleError::NotBipartite
+        );
     }
 
     #[test]
     fn multi_component_interplay() {
         // Two components whose best orientations compete for machine 1.
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
-        let inst = Instance::unrelated(
-            vec![vec![5, 9, 5, 9], vec![9, 5, 9, 5]],
-            g,
-        )
-        .unwrap();
+        let inst = Instance::unrelated(vec![vec![5, 9, 5, 9], vec![9, 5, 9, 5]], g).unwrap();
         // Best: component {0,1} as (0->M1, 1->M2): loads (5, 5);
         // component {2,3} likewise: total (10, 10) -> makespan 10.
         let opt = r2_bipartite_exact(&inst).unwrap();

@@ -17,12 +17,7 @@ fn q2_oracles_triangle() {
         let n = rng.gen_range(2..=9);
         let g = gilbert_bipartite(n / 2, n - n / 2, 0.45, &mut rng);
         let p = JobSizes::Uniform { lo: 1, hi: 7 }.sample(n, &mut rng);
-        let inst = Instance::uniform(
-            vec![rng.gen_range(1..=4), 1],
-            p,
-            g,
-        )
-        .unwrap();
+        let inst = Instance::uniform(vec![rng.gen_range(1..=4), 1], p, g).unwrap();
         let a = brute_force(&inst).unwrap().makespan;
         let b = q2_bipartite_exact(&inst).unwrap().makespan;
         let c = branch_and_bound(&inst, u64::MAX).optimum.unwrap().makespan;
@@ -35,7 +30,7 @@ fn q2_oracles_triangle() {
 fn r2_oracles_triangle() {
     let mut rng = StdRng::seed_from_u64(303);
     for _ in 0..25 {
-        let n = rng.gen_range(2..=8);
+        let n: usize = rng.gen_range(2..=8);
         let g = gilbert_bipartite(n / 2, n - n / 2, 0.45, &mut rng);
         let times: Vec<Vec<u64>> = (0..2)
             .map(|_| (0..n).map(|_| rng.gen_range(1..=10)).collect())
@@ -57,12 +52,8 @@ fn complete_bipartite_vs_general_oracles() {
         let b = rng.gen_range(1..=4);
         let m = rng.gen_range(2..=3);
         let speeds: Vec<u64> = (0..m).map(|_| rng.gen_range(1..=3)).collect();
-        let inst = Instance::uniform(
-            speeds,
-            vec![1; a + b],
-            Graph::complete_bipartite(a, b),
-        )
-        .unwrap();
+        let inst =
+            Instance::uniform(speeds, vec![1; a + b], Graph::complete_bipartite(a, b)).unwrap();
         let fast = q_complete_bipartite_unit(&inst).unwrap().makespan;
         let slow = brute_force(&inst).unwrap().makespan;
         assert_eq!(fast, slow, "K_({a},{b})");

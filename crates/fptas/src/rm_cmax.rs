@@ -86,7 +86,11 @@ pub fn rm_cmax_fptas(times: &[Vec<u64>], eps: f64) -> FptasResult {
 
     let delta = if n == 0 { 0.0 } else { eps / (2.0 * n as f64) };
     let trimming = delta > 0.0;
-    let inv_log = if trimming { 1.0 / (1.0 + delta).ln() } else { 0.0 };
+    let inv_log = if trimming {
+        1.0 / (1.0 + delta).ln()
+    } else {
+        0.0
+    };
 
     // Layer 0: the all-zero vector.
     let mut layers: Vec<Layer> = Vec::with_capacity(n + 1);

@@ -189,7 +189,10 @@ mod tests {
         assert!(is_bipartite(&Graph::cycle(8)));
         let g = Graph::cycle(7);
         let witness = bipartition(&g).expect_err("odd cycles are not bipartite");
-        assert!(witness.is_valid(&g), "witness {witness:?} must be a real odd cycle");
+        assert!(
+            witness.is_valid(&g),
+            "witness {witness:?} must be a real odd cycle"
+        );
     }
 
     #[test]

@@ -168,7 +168,8 @@ mod tests {
     #[test]
     fn components_flip_independently() {
         // Two stars K_{1,3}; each center must land in the minor class.
-        let (g, shift) = Graph::complete_bipartite(1, 3).disjoint_union(&Graph::complete_bipartite(1, 3));
+        let (g, shift) =
+            Graph::complete_bipartite(1, 3).disjoint_union(&Graph::complete_bipartite(1, 3));
         let col = inequitable_coloring(&g).unwrap();
         assert!(!col.is_major(0));
         assert!(!col.is_major(shift));
@@ -211,6 +212,9 @@ mod tests {
         let w = [5, 2, 9, 1, 1, 7];
         let col = inequitable_coloring_weighted(&g, &w).unwrap();
         assert!(col.major_weight() >= col.minor_weight());
-        assert_eq!(col.major_weight() + col.minor_weight(), w.iter().sum::<u64>());
+        assert_eq!(
+            col.major_weight() + col.minor_weight(),
+            w.iter().sum::<u64>()
+        );
     }
 }

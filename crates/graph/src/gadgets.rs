@@ -102,13 +102,7 @@ pub fn attach_h2(b: &mut GraphBuilder, v: Vertex, x_prime: usize, x: usize) -> H
 }
 
 /// Attaches `H3(x'', x', x)` to vertex `v`.
-pub fn attach_h3(
-    b: &mut GraphBuilder,
-    v: Vertex,
-    x_pprime: usize,
-    x_prime: usize,
-    x: usize,
-) -> H3 {
+pub fn attach_h3(b: &mut GraphBuilder, v: Vertex, x_pprime: usize, x_prime: usize, x: usize) -> H3 {
     let top = fresh_row(b, x);
     let second = fresh_row(b, x_prime);
     let third = fresh_row(b, x_pprime);

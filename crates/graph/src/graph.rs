@@ -207,7 +207,10 @@ impl GraphBuilder {
     ///
     /// [`build`]: GraphBuilder::build
     pub fn add_edge(&mut self, u: Vertex, v: Vertex) {
-        assert_ne!(u, v, "self-loops are not allowed in an incompatibility graph");
+        assert_ne!(
+            u, v,
+            "self-loops are not allowed in an incompatibility graph"
+        );
         assert!(
             (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
             "edge ({u}, {v}) out of range for {} vertices",

@@ -93,10 +93,7 @@ pub fn max_weight_is_containing(
         }
     }
     let (sub, remap) = g.induced_subgraph(&keep);
-    let sub_weights: Vec<u64> = (0..n)
-        .filter(|&v| keep[v])
-        .map(|v| weights[v])
-        .collect();
+    let sub_weights: Vec<u64> = (0..n).filter(|&v| keep[v]).map(|v| weights[v]).collect();
     let rest = max_weight_independent_set(&sub, &sub_weights);
 
     // Map back: invert `remap` (old -> new) for kept vertices.
@@ -125,8 +122,7 @@ mod tests {
         assert!(n <= 20);
         let mut best = 0u64;
         for mask in 0u32..(1 << n) {
-            let members: Vec<Vertex> =
-                (0..n as Vertex).filter(|&v| mask >> v & 1 == 1).collect();
+            let members: Vec<Vertex> = (0..n as Vertex).filter(|&v| mask >> v & 1 == 1).collect();
             if g.is_independent_set(&members) {
                 best = best.max(members.iter().map(|&v| weights[v as usize]).sum());
             }
@@ -220,8 +216,7 @@ mod tests {
             if mask >> 1 & 1 == 0 {
                 continue;
             }
-            let members: Vec<Vertex> =
-                (0..n as Vertex).filter(|&v| mask >> v & 1 == 1).collect();
+            let members: Vec<Vertex> = (0..n as Vertex).filter(|&v| mask >> v & 1 == 1).collect();
             if g.is_independent_set(&members) {
                 best = best.max(members.iter().map(|&v| w[v as usize]).sum());
             }

@@ -42,4 +42,6 @@ pub use components::Components;
 pub use graph::{Graph, GraphBuilder, Vertex};
 pub use independent::{max_weight_independent_set, max_weight_is_containing, WeightedIs};
 pub use matching::{maximum_matching, Matching};
-pub use random::{bounded_degree_bipartite, caterpillar, gilbert_bipartite, random_tree, EdgeProbability};
+pub use random::{
+    bounded_degree_bipartite, caterpillar, gilbert_bipartite, random_tree, EdgeProbability,
+};

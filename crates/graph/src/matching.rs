@@ -49,8 +49,7 @@ impl Matching {
     /// every matched pair is an edge.
     pub fn is_valid(&self, g: &Graph) -> bool {
         self.mate.iter().enumerate().all(|(u, &v)| {
-            v == NIL
-                || (self.mate[v as usize] == u as u32 && g.has_edge(u as Vertex, v))
+            v == NIL || (self.mate[v as usize] == u as u32 && g.has_edge(u as Vertex, v))
         })
     }
 }
@@ -103,9 +102,7 @@ pub fn maximum_matching(g: &Graph, bp: &Bipartition) -> Matching {
 fn try_augment(g: &Graph, u: Vertex, mate: &mut [u32], dist: &mut [u32]) -> bool {
     for &v in g.neighbors(u) {
         let w = mate[v as usize];
-        if w == NIL
-            || (dist[w as usize] == dist[u as usize] + 1 && try_augment(g, w, mate, dist))
-        {
+        if w == NIL || (dist[w as usize] == dist[u as usize] + 1 && try_augment(g, w, mate, dist)) {
             mate[u as usize] = v;
             mate[v as usize] = u;
             return true;

@@ -52,12 +52,7 @@ pub fn gilbert_bipartite_naive<R: Rng + ?Sized>(
 
 /// Batagelj–Brandes skip sampler: jumps between present edges with
 /// geometric gaps. Expected `O(n1·n2·p)`.
-pub fn gilbert_bipartite_skip<R: Rng + ?Sized>(
-    n1: usize,
-    n2: usize,
-    p: f64,
-    rng: &mut R,
-) -> Graph {
+pub fn gilbert_bipartite_skip<R: Rng + ?Sized>(n1: usize, n2: usize, p: f64, rng: &mut R) -> Graph {
     let mut b = GraphBuilder::new(n1 + n2);
     let total = (n1 as u64) * (n2 as u64);
     let log_q = (1.0 - p).ln(); // negative
@@ -291,7 +286,10 @@ mod tests {
     fn regime_eval_and_labels() {
         let sub = EdgeProbability::SubCritical { exponent: 1.5 };
         let crit = EdgeProbability::Critical { a: 2.0 };
-        let sup = EdgeProbability::SuperCritical { c: 1.0, exponent: 0.5 };
+        let sup = EdgeProbability::SuperCritical {
+            c: 1.0,
+            exponent: 0.5,
+        };
         let cons = EdgeProbability::Constant { p: 0.3 };
         assert!((sub.eval(100) - 0.001).abs() < 1e-12);
         assert!((crit.eval(100) - 0.02).abs() < 1e-12);
@@ -322,7 +320,10 @@ mod tests {
             assert_eq!(t.num_edges(), n.saturating_sub(1));
             assert!(is_bipartite(&t), "trees have no cycles at all");
             // Connected: one component.
-            assert_eq!(crate::components::Components::of(&t).count(), 1.min(n).max(usize::from(n > 0)));
+            assert_eq!(
+                crate::components::Components::of(&t).count(),
+                1.min(n).max(usize::from(n > 0))
+            );
         }
     }
 

@@ -61,7 +61,10 @@ pub fn min_time_to_cover(speeds: &[u64], demand: u64) -> Rat {
         if covered >= demand {
             return t;
         }
-        heap.push(Reverse((Rat::new(caps[i as usize] + 1, speeds[i as usize]), i)));
+        heap.push(Reverse((
+            Rat::new(caps[i as usize] + 1, speeds[i as usize]),
+            i,
+        )));
     }
 }
 
@@ -232,7 +235,10 @@ mod tests {
         // speeds (2,1), jobs 3+3+3=9: min T with floor(2T)+floor(T)>=9 is 3.
         assert_eq!(capacity_lower_bound(&[2, 1], &[3, 3, 3]), Rat::integer(3));
         // One huge job forces pmax/s1.
-        assert_eq!(capacity_lower_bound(&[2, 1], &[10, 1]), Rat::new(10, 2).max(Rat::new(11, 3)));
+        assert_eq!(
+            capacity_lower_bound(&[2, 1], &[10, 1]),
+            Rat::new(10, 2).max(Rat::new(11, 3))
+        );
     }
 
     #[test]
@@ -240,9 +246,6 @@ mod tests {
         // mins per job: 1, 2 -> total 3, m = 2 -> ceil(3/2) = 2 = max_min.
         assert_eq!(unrelated_lower_bound(&[vec![1, 5], vec![9, 2]]), 2);
         // mins 4, 4, 4 on 2 machines: ceil(12/2) = 6.
-        assert_eq!(
-            unrelated_lower_bound(&[vec![4, 9, 4], vec![7, 4, 8]]),
-            6
-        );
+        assert_eq!(unrelated_lower_bound(&[vec![4, 9, 4], vec![7, 4, 8]]), 6);
     }
 }

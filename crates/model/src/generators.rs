@@ -106,7 +106,11 @@ impl SpeedProfile {
             SpeedProfile::Geometric { ratio } => {
                 assert!(ratio >= 1);
                 (0..m)
-                    .map(|i| ratio.checked_pow((m - 1 - i) as u32).expect("speed overflow"))
+                    .map(|i| {
+                        ratio
+                            .checked_pow((m - 1 - i) as u32)
+                            .expect("speed overflow")
+                    })
                     .collect()
             }
             SpeedProfile::OneFast { factor } => {
@@ -245,7 +249,10 @@ mod tests {
             SpeedProfile::Geometric { ratio: 3 }.speeds(4),
             vec![27, 9, 3, 1]
         );
-        assert_eq!(SpeedProfile::OneFast { factor: 50 }.speeds(3), vec![50, 1, 1]);
+        assert_eq!(
+            SpeedProfile::OneFast { factor: 50 }.speeds(3),
+            vec![50, 1, 1]
+        );
         assert_eq!(
             SpeedProfile::TwoTier {
                 fast_count: 2,

@@ -279,9 +279,7 @@ impl Instance {
             MachineEnvironment::Uniform { speeds } => {
                 Rat::new(self.processing[j as usize], speeds[i as usize])
             }
-            MachineEnvironment::Unrelated { times } => {
-                Rat::integer(times[i as usize][j as usize])
-            }
+            MachineEnvironment::Unrelated { times } => Rat::integer(times[i as usize][j as usize]),
         }
     }
 

@@ -292,11 +292,7 @@ mod tests {
         assert_eq!(back.num_machines(), 3);
         assert_eq!(back.env().alpha(), "P");
 
-        let r = Instance::unrelated(
-            vec![vec![1, 2, 3], vec![3, 2, 1]],
-            Graph::path(3),
-        )
-        .unwrap();
+        let r = Instance::unrelated(vec![vec![1, 2, 3], vec![3, 2, 1]], Graph::path(3)).unwrap();
         let back = from_text(&to_text(&r)).unwrap();
         assert_eq!(back.env().alpha(), "R");
         assert_eq!(back.unrelated_time(1, 0), 3);

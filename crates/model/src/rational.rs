@@ -99,8 +99,12 @@ impl Rat {
         let g1 = gcd(self.num, other.den);
         let g2 = gcd(other.num, self.den);
         Rat::new(
-            (self.num / g1).checked_mul(other.num / g2).expect("Rat overflow"),
-            (self.den / g2).checked_mul(other.den / g1).expect("Rat overflow"),
+            (self.num / g1)
+                .checked_mul(other.num / g2)
+                .expect("Rat overflow"),
+            (self.den / g2)
+                .checked_mul(other.den / g1)
+                .expect("Rat overflow"),
         )
     }
 
@@ -108,7 +112,10 @@ impl Rat {
     pub fn div_int(&self, k: u64) -> Rat {
         assert!(k != 0);
         let g = gcd(self.num, k);
-        Rat::new(self.num / g, self.den.checked_mul(k / g).expect("Rat overflow"))
+        Rat::new(
+            self.num / g,
+            self.den.checked_mul(k / g).expect("Rat overflow"),
+        )
     }
 
     /// Lossy conversion for reporting.

@@ -52,7 +52,11 @@ impl std::fmt::Display for ScheduleError {
             ScheduleError::MachineOutOfRange { job, machine } => {
                 write!(f, "job {job} assigned to non-existent machine {machine}")
             }
-            ScheduleError::IncompatiblePair { machine, job_a, job_b } => write!(
+            ScheduleError::IncompatiblePair {
+                machine,
+                job_a,
+                job_b,
+            } => write!(
                 f,
                 "incompatible jobs {job_a} and {job_b} share machine {machine}"
             ),
@@ -161,12 +165,7 @@ mod tests {
 
     fn simple_q() -> Instance {
         // 3 jobs of sizes 4, 2, 2; speeds 2, 1; edge between jobs 0 and 1.
-        Instance::uniform(
-            vec![2, 1],
-            vec![4, 2, 2],
-            Graph::from_edges(3, &[(0, 1)]),
-        )
-        .unwrap()
+        Instance::uniform(vec![2, 1], vec![4, 2, 2], Graph::from_edges(3, &[(0, 1)])).unwrap()
     }
 
     #[test]
@@ -199,7 +198,10 @@ mod tests {
         let inst = simple_q();
         assert!(matches!(
             Schedule::new(vec![0, 1]).validate(&inst),
-            Err(ScheduleError::WrongLength { got: 2, expected: 3 })
+            Err(ScheduleError::WrongLength {
+                got: 2,
+                expected: 3
+            })
         ));
         assert!(matches!(
             Schedule::new(vec![0, 1, 7]).validate(&inst),
@@ -209,11 +211,8 @@ mod tests {
 
     #[test]
     fn unrelated_loads_use_matrix() {
-        let inst = Instance::unrelated(
-            vec![vec![10, 1, 1], vec![1, 10, 10]],
-            Graph::empty(3),
-        )
-        .unwrap();
+        let inst =
+            Instance::unrelated(vec![vec![10, 1, 1], vec![1, 10, 10]], Graph::empty(3)).unwrap();
         let s = Schedule::new(vec![1, 0, 0]);
         assert_eq!(s.loads(&inst), vec![2, 1]);
         assert_eq!(s.makespan(&inst), Rat::integer(2));

@@ -112,8 +112,7 @@ pub fn alg2_ratio_experiment(
             let mut rng = StdRng::seed_from_u64(seed_base + s as u64);
             let g = gilbert_bipartite(n, n, p, &mut rng);
             let stats = GraphStats::measure(&g, n);
-            let inst = Instance::uniform(speeds.clone(), vec![1; 2 * n], g)
-                .expect("unit instance");
+            let inst = Instance::uniform(speeds.clone(), vec![1; 2 * n], g).expect("unit instance");
             let r = alg2_random_graph(&inst).expect("bipartite");
             // Graph-aware LB: all 2n jobs covered by all machines AND the
             // μ jobs that must avoid M1 covered by M2..Mm; pmax = 1.
@@ -142,12 +141,7 @@ mod tests {
 
     #[test]
     fn statistics_row_is_consistent() {
-        let row = random_graph_statistics(
-            64,
-            EdgeProbability::Critical { a: 2.0 },
-            8,
-            1000,
-        );
+        let row = random_graph_statistics(64, EdgeProbability::Critical { a: 2.0 }, 8, 1000);
         assert_eq!(row.seeds, 8);
         assert!((row.p - 2.0 / 64.0).abs() < 1e-12);
         assert!(row.minor_fraction_mean >= 0.0 && row.minor_fraction_mean <= 1.0);
@@ -166,7 +160,11 @@ mod tests {
             6,
             2000,
         );
-        assert!(row.ratio_mean >= 1.0 - 1e-9, "ratio below 1: {}", row.ratio_mean);
+        assert!(
+            row.ratio_mean >= 1.0 - 1e-9,
+            "ratio below 1: {}",
+            row.ratio_mean
+        );
         assert!(row.ratio_max < 4.0, "wildly bad ratio {}", row.ratio_max);
         assert!(row.k_mean >= 2.0);
     }

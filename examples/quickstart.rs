@@ -1,4 +1,5 @@
-//! Quickstart: build an instance, solve it, inspect the schedule.
+//! Quickstart: build an instance, solve it through the `Solver` engine,
+//! inspect the report.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -6,21 +7,29 @@ use bisched::prelude::*;
 
 fn main() {
     // Eight jobs. Edges say "these two must not share a machine".
-    let graph = Graph::from_edges(
-        8,
-        &[(0, 4), (0, 5), (1, 5), (2, 6), (3, 7), (1, 6)],
-    );
+    let graph = Graph::from_edges(8, &[(0, 4), (0, 5), (1, 5), (2, 6), (3, 7), (1, 6)]);
     let processing = vec![9, 7, 6, 5, 4, 3, 2, 2];
 
-    // --- Uniform machines: one fast, two slow -------------------------
+    // --- Uniform machines: the default Auto policy --------------------
     let inst = Instance::uniform(vec![4, 1, 1], processing.clone(), graph.clone()).unwrap();
-    let solution = solve(&inst).unwrap();
-    solution.schedule.validate(&inst).expect("feasible");
+    let report = Solver::new().solve(&inst).unwrap();
+    report.schedule.validate(&inst).expect("feasible");
     println!("instance: {}", inst.describe());
-    println!("method:   {:?} — {}", solution.method, solution.guarantee);
-    println!("C_max:    {}", solution.makespan);
+    println!("method:   {} — {}", report.method, report.guarantee);
+    println!(
+        "C_max:    {}  (lower bound {})",
+        report.makespan, report.lower_bound
+    );
+    for attempt in &report.attempts {
+        println!(
+            "  tried {:<16} {:?}  ({:.2?})",
+            attempt.method.name(),
+            attempt.makespan().map(Rat::to_f64),
+            attempt.wall_time
+        );
+    }
     for i in 0..inst.num_machines() as u32 {
-        let jobs = solution.schedule.jobs_on(i);
+        let jobs = report.schedule.jobs_on(i);
         let load: u64 = jobs.iter().map(|&j| inst.processing(j)).sum();
         println!(
             "  M{} (speed {}): jobs {:?}, load {}, time {}",
@@ -32,12 +41,42 @@ fn main() {
         );
     }
 
-    // --- Two unrelated machines: the Theorem 22 FPTAS ------------------
+    // --- Two unrelated machines: forcing methods ----------------------
     let times = vec![vec![3, 9, 4, 8, 2, 7, 5, 1], vec![8, 2, 7, 3, 9, 1, 4, 6]];
     let r2 = Instance::unrelated(times, graph).unwrap();
-    let fast = r2_fptas(&r2, 0.05).unwrap();
-    let rough = r2_two_approx(&r2).unwrap();
-    println!("\nR2 FPTAS (ε=0.05): C_max = {}", fast.makespan(&r2));
-    println!("R2 2-approx:       C_max = {}", rough.makespan(&r2));
-    assert!(fast.makespan(&r2) <= rough.makespan(&r2));
+    let fine = SolverConfig::new()
+        .eps(0.05)
+        .method(Method::R2Fptas)
+        .build()
+        .unwrap()
+        .solve(&r2)
+        .unwrap();
+    let rough = SolverConfig::new()
+        .method(Method::R2TwoApprox)
+        .build()
+        .unwrap()
+        .solve(&r2)
+        .unwrap();
+    println!(
+        "\nR2 FPTAS (ε=0.05): C_max = {} ({})",
+        fine.makespan, fine.guarantee
+    );
+    println!(
+        "R2 2-approx:       C_max = {} ({})",
+        rough.makespan, rough.guarantee
+    );
+    assert!(fine.makespan <= rough.makespan);
+
+    // --- A portfolio keeps the best of its members --------------------
+    let portfolio = SolverConfig::new()
+        .portfolio(vec![Method::R2TwoApprox, Method::R2Fptas, Method::ExactR2])
+        .build()
+        .unwrap()
+        .solve(&r2)
+        .unwrap();
+    println!(
+        "portfolio:         C_max = {} via {} ({})",
+        portfolio.makespan, portfolio.method, portfolio.guarantee
+    );
+    assert!(portfolio.makespan <= fine.makespan);
 }

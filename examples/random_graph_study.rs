@@ -12,7 +12,10 @@ fn main() {
         EdgeProbability::SubCritical { exponent: 1.5 },
         EdgeProbability::Critical { a: 1.0 },
         EdgeProbability::Critical { a: 4.0 },
-        EdgeProbability::SuperCritical { c: 1.0, exponent: 0.5 },
+        EdgeProbability::SuperCritical {
+            c: 1.0,
+            exponent: 0.5,
+        },
         EdgeProbability::Constant { p: 0.2 },
     ];
 

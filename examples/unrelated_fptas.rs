@@ -44,9 +44,7 @@ fn main() {
         let dt = t0.elapsed();
         let mk = s.makespan(&inst);
         let ratio = mk.ratio_to(&exact.makespan);
-        println!(
-            "Algorithm 5 ε={eps:<5}: C_max = {mk:>5}   ratio {ratio:.4}  ({dt:.2?})"
-        );
+        println!("Algorithm 5 ε={eps:<5}: C_max = {mk:>5}   ratio {ratio:.4}  ({dt:.2?})");
         assert!(ratio <= 1.0 + eps + 1e-9, "FPTAS guarantee violated");
     }
     println!("\nTheorem 22: every ε row is within (1+ε) of the oracle.");

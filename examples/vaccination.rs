@@ -38,7 +38,9 @@ fn main() {
     // Algorithm 2 is the tool for random conflict graphs (Theorem 19:
     // a.a.s. within twice the optimal campaign length).
     let plan = alg2_random_graph(&inst).expect("conflict graph is bipartite");
-    plan.schedule.validate(&inst).expect("no conflicts co-located");
+    plan.schedule
+        .validate(&inst)
+        .expect("no conflicts co-located");
 
     // The no-conflicts lower bound: pure capacity.
     let capacity_lb = min_time_to_cover(&capacities, 2 * n as u64);

@@ -14,21 +14,69 @@
 //!
 //! ## Quick start
 //!
+//! Solving goes through the [`Solver`](core::Solver) engine, built from a
+//! [`SolverConfig`](core::SolverConfig):
+//!
 //! ```
-//! use bisched::graph::Graph;
-//! use bisched::model::Instance;
-//! use bisched::core::solve;
+//! use bisched::prelude::*;
 //!
 //! // Four jobs; 0–1 and 2–3 must not share a machine.
 //! let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
 //! // Two uniform machines, the first twice as fast.
 //! let inst = Instance::uniform(vec![2, 1], vec![4, 3, 2, 3], g).unwrap();
 //!
-//! let solution = solve(&inst).unwrap();
-//! assert!(solution.schedule.validate(&inst).is_ok());
-//! println!("C_max = {} via {:?} ({})",
-//!          solution.makespan, solution.method, solution.guarantee);
+//! let report = Solver::new().solve(&inst).unwrap();
+//! assert!(report.schedule.validate(&inst).is_ok());
+//! println!("C_max = {} via {} ({})", report.makespan, report.method, report.guarantee);
 //! ```
+//!
+//! Tuning, forcing a method, and portfolios:
+//!
+//! ```
+//! use bisched::prelude::*;
+//!
+//! let inst = Instance::unrelated(
+//!     vec![vec![3, 9, 4, 8], vec![8, 2, 7, 3]],
+//!     Graph::from_edges(4, &[(0, 1), (2, 3)]),
+//! )
+//! .unwrap();
+//!
+//! // A sharper FPTAS and a forced method.
+//! let solver = SolverConfig::new()
+//!     .eps(0.05)
+//!     .method(Method::R2Fptas)
+//!     .build()
+//!     .unwrap();
+//! let report = solver.solve(&inst).unwrap();
+//! assert_eq!(report.method, Method::R2Fptas);
+//! assert_eq!(report.guarantee, Guarantee::OnePlusEps(0.05));
+//!
+//! // A portfolio keeps the best of its members and is never worse than
+//! // any of them.
+//! let portfolio = SolverConfig::new()
+//!     .portfolio(vec![Method::R2TwoApprox, Method::R2Fptas])
+//!     .build()
+//!     .unwrap();
+//! let best = portfolio.solve(&inst).unwrap();
+//! assert!(best.makespan <= report.makespan);
+//!
+//! // Batch solving for bulk workloads.
+//! let reports = Solver::new().solve_batch(&[inst]);
+//! assert!(reports[0].is_ok());
+//! ```
+//!
+//! ## Guarantees and where they come from
+//!
+//! Every report carries a typed [`Guarantee`](core::Guarantee) tied to the
+//! paper:
+//!
+//! | [`Guarantee`](core::Guarantee) | provenance |
+//! |---|---|
+//! | `Optimal` | exact oracles — the `Q2`/`R2` DPs (Theorem 4 covers the polynomial `Q2, p_j = 1` regime) and complete branch & bound |
+//! | `Ratio(2)` | BJW [3] on `P`, `m ≥ 3` (best possible there) and Algorithm 4 / Theorem 21 on `R2` |
+//! | `SqrtSumP` | Algorithm 1 / Theorem 9, matching Theorem 8's `Ω(n^{1/2−ε})` inapproximability wall |
+//! | `OnePlusEps(ε)` | Algorithm 5 / Theorem 22, the `R2` FPTAS |
+//! | `Heuristic` | no worst-case promise; for `R`, `m ≥ 3` Theorem 24 proves none is possible |
 //!
 //! ## Crate map
 //!
@@ -42,8 +90,8 @@
 //! * [`fptas`] — the `Rm || C_max` FPTAS substrate;
 //! * [`baselines`] — graph-aware LPT and the Bodlaender–Jansen–Woeginger
 //!   2-approximation;
-//! * [`core`] — the paper's Algorithms 1–5, Theorem 4, and the Theorem
-//!   8/24 gap reductions;
+//! * [`core`] — the paper's Algorithms 1–5, Theorem 4, the Theorem 8/24
+//!   gap reductions, and the [`Solver`](core::Solver) engine;
 //! * [`random`] — Section 4.1's random-graph analysis.
 
 #![warn(missing_docs)]
@@ -59,7 +107,8 @@ pub use bisched_random as random;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use bisched_core::{
-        alg1_sqrt_approx, alg2_random_graph, r2_fptas, r2_two_approx, solve, Method, Solution,
+        alg1_sqrt_approx, alg2_random_graph, r2_fptas, r2_two_approx, Guarantee, Method,
+        MethodPolicy, SolveError, SolveReport, Solver, SolverConfig,
     };
     pub use bisched_graph::{Graph, GraphBuilder};
     pub use bisched_model::{Instance, Rat, Schedule};

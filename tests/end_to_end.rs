@@ -3,7 +3,7 @@
 
 use bisched::baselines::{bjw_two_approx, coloring_split, greedy_lpt};
 use bisched::core::{
-    alg1_sqrt_approx, alg2_random_graph, r2_fptas, r2_two_approx, solve, thm4_fptas_route,
+    alg1_sqrt_approx, alg2_random_graph, r2_fptas, r2_two_approx, thm4_fptas_route, Solver,
 };
 use bisched::exact::{brute_force, q2_bipartite_exact, r2_bipartite_exact};
 use bisched::graph::{gilbert_bipartite, Graph};
@@ -19,12 +19,7 @@ fn every_engine_beats_nothing_and_validates_q() {
         let m = rng.gen_range(3..=4);
         let g = gilbert_bipartite(n / 2, n - n / 2, 0.4, &mut rng);
         let p = JobSizes::Uniform { lo: 1, hi: 10 }.sample(n, &mut rng);
-        let inst = Instance::uniform(
-            SpeedProfile::Geometric { ratio: 2 }.speeds(m),
-            p,
-            g,
-        )
-        .unwrap();
+        let inst = Instance::uniform(SpeedProfile::Geometric { ratio: 2 }.speeds(m), p, g).unwrap();
         let opt = brute_force(&inst).unwrap();
 
         // The paper's Algorithm 1.
@@ -45,10 +40,11 @@ fn every_engine_beats_nothing_and_validates_q() {
             assert!(bjw.validate(&inst).is_ok());
         }
 
-        // The façade picks something feasible and sane.
-        let sol = solve(&inst).unwrap();
+        // The engine picks something feasible and sane.
+        let sol = Solver::new().solve(&inst).unwrap();
         assert!(sol.schedule.validate(&inst).is_ok());
         assert!(sol.makespan >= opt.makespan);
+        assert!(sol.lower_bound <= opt.makespan);
     }
 }
 
@@ -61,7 +57,7 @@ fn q2_exact_routes_and_facade_agree() {
         let inst = Instance::uniform(vec![3, 1], vec![1; n], g).unwrap();
         let dp = q2_bipartite_exact(&inst).unwrap();
         let fptas_route = thm4_fptas_route(&inst).unwrap();
-        let facade = solve(&inst).unwrap();
+        let facade = Solver::new().solve(&inst).unwrap();
         assert_eq!(dp.makespan, fptas_route.makespan);
         assert_eq!(facade.makespan, dp.makespan);
         let bf = brute_force(&inst).unwrap();
@@ -127,7 +123,7 @@ fn infeasibility_is_detected_consistently() {
     let q = Instance::uniform(vec![2, 1, 1], vec![1; 7], g.clone()).unwrap();
     assert!(alg1_sqrt_approx(&q).is_err());
     assert!(alg2_random_graph(&q).is_err());
-    assert!(solve(&q).is_err());
+    assert!(Solver::new().solve(&q).is_err());
     let r = Instance::unrelated(vec![vec![1; 7], vec![2; 7]], g).unwrap();
     assert!(r2_two_approx(&r).is_err());
     assert!(r2_fptas(&r, 0.5).is_err());

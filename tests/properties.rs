@@ -3,10 +3,9 @@
 use bisched::core::{alg1_sqrt_approx, r2_fptas, r2_two_approx};
 use bisched::exact::{q2_bipartite_exact, r2_bipartite_exact};
 use bisched::graph::{
-    bipartition, inequitable_coloring_weighted, max_weight_independent_set, maximum_matching,
-    Graph,
+    bipartition, inequitable_coloring_weighted, max_weight_independent_set, maximum_matching, Graph,
 };
-use bisched::model::{min_time_to_cover, floor_capacities, Instance, Rat};
+use bisched::model::{floor_capacities, min_time_to_cover, Instance, Rat};
 use proptest::prelude::*;
 
 /// Strategy: a random bipartite graph given part sizes and an edge mask.

@@ -4,8 +4,8 @@
 
 use bisched::core::{reduce_1prext_to_qm, reduce_1prext_to_rm};
 use bisched::exact::{
-    branch_and_bound, claw_no_instance, greedy_incumbent, path_yes_instance,
-    precoloring_extension, standard_pins,
+    branch_and_bound, claw_no_instance, greedy_incumbent, path_yes_instance, precoloring_extension,
+    standard_pins,
 };
 use bisched::graph::{gilbert_bipartite, Graph, Vertex};
 use rand::rngs::StdRng;
@@ -52,9 +52,7 @@ fn thm24_gap_matches_prext_answer_exactly() {
 fn thm24_optimal_schedule_decodes_iff_yes() {
     for (g, pins, yes) in sample_instances(8, 223) {
         let red = reduce_1prext_to_rm(&g, pins, 64, 4);
-        let opt = branch_and_bound(&red.instance, 50_000_000)
-            .optimum
-            .unwrap();
+        let opt = branch_and_bound(&red.instance, 50_000_000).optimum.unwrap();
         if yes {
             assert!(opt.makespan < red.no_bound());
             assert!(

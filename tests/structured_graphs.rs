@@ -2,7 +2,7 @@
 //! related-work section: trees [3], bounded-degree ("bisubquartic") graphs
 //! [23], caterpillars, and complete bipartite graphs [20]/[24].
 
-use bisched::core::{alg1_sqrt_approx, alg2_random_graph, solve};
+use bisched::core::{alg1_sqrt_approx, alg2_random_graph, Solver};
 use bisched::exact::{brute_force, q_complete_bipartite_unit};
 use bisched::graph::{bounded_degree_bipartite, caterpillar, random_tree, Graph};
 use bisched::model::{Instance, JobSizes, SpeedProfile};
@@ -47,7 +47,7 @@ fn bounded_degree_graphs_all_engines() {
         let n = g.num_vertices();
         let p = JobSizes::Uniform { lo: 1, hi: 6 }.sample(n, &mut rng);
         let inst = Instance::uniform(vec![3, 2, 1], p, g).unwrap();
-        let sol = solve(&inst).unwrap();
+        let sol = Solver::new().solve(&inst).unwrap();
         assert!(sol.schedule.validate(&inst).is_ok());
         let opt = brute_force(&inst).unwrap();
         assert!(sol.makespan >= opt.makespan);
@@ -65,12 +65,8 @@ fn complete_bipartite_specialist_beats_generalists_runtime_domain() {
         let b = rng.gen_range(2..=6);
         let m = rng.gen_range(2..=4);
         let speeds: Vec<u64> = (0..m).map(|_| rng.gen_range(1..=5)).collect();
-        let inst = Instance::uniform(
-            speeds,
-            vec![1; a + b],
-            Graph::complete_bipartite(a, b),
-        )
-        .unwrap();
+        let inst =
+            Instance::uniform(speeds, vec![1; a + b], Graph::complete_bipartite(a, b)).unwrap();
         let exact = q_complete_bipartite_unit(&inst).unwrap();
         let approx = alg1_sqrt_approx(&inst).unwrap();
         assert!(approx.makespan >= exact.makespan);

@@ -1,0 +1,67 @@
+//! Offline stand-in for `rayon` (subset; see `vendor/README.md`).
+//!
+//! `into_par_iter()` simply forwards to `into_iter()`: every "parallel"
+//! pipeline in the workspace runs sequentially but produces identical
+//! results. Swap in real rayon to restore parallelism — call sites need no
+//! change.
+
+/// The rayon prelude: parallel-iterator entry points.
+pub mod prelude {
+    /// Types convertible into a (here: sequential) parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Converts `self` into an iterator (sequential in this stand-in).
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing counterpart of [`IntoParallelIterator`].
+    pub trait IntoParallelRefIterator<'a> {
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item: 'a;
+        /// Iterates `&self` (sequential in this stand-in).
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_semantics_match() {
+        let doubled: Vec<i32> = (0..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,281 @@
+//! The owned JSON value model shared by the `serde` and `serde_json`
+//! stand-ins.
+
+/// A JSON number: unsigned, signed, or floating.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// Wraps a `u64`.
+    pub fn from_u64(n: u64) -> Self {
+        Number::U64(n)
+    }
+
+    /// Wraps an `i64`, normalizing non-negatives to `U64`.
+    pub fn from_i64(n: i64) -> Self {
+        if n >= 0 {
+            Number::U64(n as u64)
+        } else {
+            Number::I64(n)
+        }
+    }
+
+    /// Wraps an `f64`.
+    pub fn from_f64(x: f64) -> Self {
+        Number::F64(x)
+    }
+
+    /// As `u64` if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
+                Some(x as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// As `i64` if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::I64(n) => Some(n),
+            Number::F64(x) if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 => {
+                Some(x as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// As `f64` (always possible, may lose precision).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(n) => n as f64,
+            Number::I64(n) => n as f64,
+            Number::F64(x) => x,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_u64(), other.as_u64()) {
+            (Some(a), Some(b)) => return a == b,
+            (Some(_), None) | (None, Some(_)) => {}
+            (None, None) => {}
+        }
+        if let (Some(a), Some(b)) = (self.as_i64(), other.as_i64()) {
+            return a == b;
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Number::U64(n) => write!(f, "{n}"),
+            Number::I64(n) => write!(f, "{n}"),
+            Number::F64(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (the `serde_json::Map` shape).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V> Map<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts, replacing any existing entry with an equal key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a value by key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: PartialEq + ?Sized,
+    {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.borrow() == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (K, V)> {
+        self.entries.iter()
+    }
+}
+
+impl<K: PartialEq, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// An owned JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// The object's map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+}
+
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::fmt::Display for Value {
+    /// Renders compact JSON.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => {
+                let mut buf = String::new();
+                escape_into(&mut buf, s);
+                write!(f, "{buf}")
+            }
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut key = String::new();
+                    escape_into(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Supports structs with named fields. Honoured field attributes:
+//!
+//! * `#[serde(default)]` — a missing key deserializes via `Default`;
+//! * `#[serde(skip_serializing_if = "path")]` — the field is omitted from
+//!   the output object when `path(&self.field)` is true.
+//!
+//! Implemented with hand-rolled token walking (no `syn`/`quote`), which is
+//! enough for the shapes this workspace derives.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+    /// Path from `#[serde(skip_serializing_if = "…")]`, if present.
+    skip_if: Option<String>,
+}
+
+/// Extracts the struct name and its named fields from the derive input.
+fn parse_struct(input: TokenStream) -> (String, Vec<Field>) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility until the `struct` keyword.
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "struct" {
+                break;
+            }
+        }
+        i += 1;
+    }
+    assert!(i < tokens.len(), "serde_derive: only structs are supported");
+    let name = match &tokens[i + 1] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct name, got {other}"),
+    };
+    let body = tokens[i + 1..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("serde_derive: only structs with named fields are supported");
+    (name, parse_fields(body))
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Gather this field's attributes.
+        let mut default = false;
+        let mut skip_if = None;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        let text = g.stream().to_string();
+                        if text.starts_with("serde") {
+                            if text.contains("default") {
+                                default = true;
+                            }
+                            if let Some(pos) = text.find("skip_serializing_if") {
+                                let rest = &text[pos..];
+                                let lo = rest.find('"').expect("skip_serializing_if needs a path");
+                                let hi = rest[lo + 1..]
+                                    .find('"')
+                                    .expect("unterminated skip_serializing_if");
+                                skip_if = Some(rest[lo + 1..lo + 1 + hi].to_string());
+                            }
+                        }
+                        i += 2;
+                    } else {
+                        panic!("serde_derive: stray `#`");
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Skip visibility (`pub`, optionally followed by `(crate)` etc.).
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after {name}, got {other}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default,
+            skip_if,
+        });
+    }
+    fields
+}
+
+/// Derives `serde::Serialize` (the stand-in's value-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let mut body = String::new();
+    for f in &fields {
+        let insert = format!(
+            "map.insert(\"{n}\".to_string(), serde::Serialize::to_json_value(&self.{n}));",
+            n = f.name
+        );
+        match &f.skip_if {
+            Some(path) => body.push_str(&format!(
+                "if !({path})(&self.{n}) {{ {insert} }}\n",
+                n = f.name
+            )),
+            None => {
+                body.push_str(&insert);
+                body.push('\n');
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> serde::value::Value {{\n\
+                 let mut map = serde::value::Map::new();\n\
+                 {body}\
+                 serde::value::Value::Object(map)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (the stand-in's value-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let mut body = String::new();
+    for f in &fields {
+        let missing = if f.default || f.skip_if.is_some() {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(serde::DeError(\"missing field `{}`\".to_string()))",
+                f.name
+            )
+        };
+        body.push_str(&format!(
+            "{n}: match obj.get(\"{n}\") {{\n\
+                 ::std::option::Option::Some(x) => serde::Deserialize::from_json_value(x)?,\n\
+                 ::std::option::Option::None => {missing},\n\
+             }},\n",
+            n = f.name
+        ));
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_json_value(v: &serde::value::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                 let obj = v.as_object().ok_or_else(|| serde::DeError(\"expected object\".to_string()))?;\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {body}\
+                 }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl failed to parse")
+}
