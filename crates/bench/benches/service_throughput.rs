@@ -1,0 +1,82 @@
+//! Service-level throughput: round-trip latency through a live
+//! `bisched-service` daemon on loopback — cache-hit path, miss path
+//! (`no_cache`), and the canonicalizer that fronts the cache.
+
+use bisched_graph::gilbert_bipartite;
+use bisched_model::{canonicalize, Instance, InstanceData, JobSizes, SpeedProfile};
+use bisched_service::{Client, Request, ServeOptions, Service};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(n: usize) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(0xBE9C);
+    (0..n)
+        .map(|k| {
+            let jobs = 10 + k % 4;
+            let g = gilbert_bipartite(jobs / 2, jobs - jobs / 2, 0.3, &mut rng);
+            let sizes = JobSizes::Uniform { lo: 1, hi: 30 }.sample(jobs, &mut rng);
+            Instance::uniform(
+                SpeedProfile::Geometric { ratio: 2 }.speeds(2 + k % 3),
+                sizes,
+                g,
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        batch: 8,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let addr = service.local_addr();
+    let instances = workload(8);
+    let data: Vec<InstanceData> = instances.iter().map(InstanceData::from_instance).collect();
+
+    // Warm the cache so the hit path measures pure service overhead.
+    let mut client = Client::connect(addr).expect("connect");
+    for d in &data {
+        client.solve(d.clone()).expect("warm");
+    }
+
+    c.bench_function("service_roundtrip_cache_hit", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            let resp = client.solve(data[k % data.len()].clone()).expect("solve");
+            k += 1;
+            black_box(resp.makespan_num)
+        })
+    });
+
+    c.bench_function("service_roundtrip_no_cache", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            let mut req = Request::solve(data[k % data.len()].clone());
+            req.no_cache = Some(true);
+            let resp = client.request(&req).expect("solve");
+            k += 1;
+            black_box(resp.makespan_num)
+        })
+    });
+
+    c.bench_function("canonicalize_q_instance", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            let canon = canonicalize(&instances[k % instances.len()]);
+            k += 1;
+            black_box(canon.fingerprint)
+        })
+    });
+
+    client.shutdown_server().expect("shutdown");
+    drop(client);
+    service.join();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

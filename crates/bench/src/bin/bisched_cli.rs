@@ -7,6 +7,10 @@
 //! bisched_cli solve <file> [--method <m>] [--portfolio <m1,m2,…>]
 //!                          [--eps <e>] [--node-limit <nodes>]
 //!                          [--exact-budget <mass>] [--json]
+//! bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
+//!                   [--cache-cap <n>] [--queue-cap <n>]
+//! bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>]
+//!                    [--no-cache] [--shutdown]
 //! ```
 //!
 //! `solve` runs the `Solver` engine. `--method` names one engine
@@ -19,10 +23,17 @@
 //! timings — as a single JSON object for experiment scripts.
 //!
 //! Instances use the text format of `bisched_model::io` (see its docs).
+//! `serve` runs the `bisched-service` daemon until a `shutdown` request
+//! arrives; `submit` pushes a JSONL workload (one `InstanceData` object
+//! per line) through a running daemon, validates every returned schedule
+//! client-side, and prints a throughput summary — `--repeat` replays the
+//! file K times so cache behaviour shows up in the hit rate.
 
 use bisched_core::{EngineOutcome, Guarantee, Method, SolveReport, SolverConfig};
 use bisched_graph::{gilbert_bipartite, is_bipartite, Components};
-use bisched_model::{from_text, to_text, Instance, JobSizes, Rat, SpeedProfile, UnrelatedFamily};
+use bisched_model::{
+    from_text, to_text, Instance, JobSizes, Rat, Schedule, SpeedProfile, UnrelatedFamily,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::{Map, Value};
@@ -34,6 +45,8 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
     match result {
@@ -52,7 +65,10 @@ const USAGE: &str = "usage:
   bisched_cli solve <file> [--method auto|exact-q2|exact-r2|branch-and-bound|alg1|alg2|
                             bjw|fptas|twoapprox|greedy-lpt|greedy]
                            [--portfolio <m1,m2,...>] [--eps <e>] [--node-limit <nodes>]
-                           [--exact-budget <mass>] [--json]";
+                           [--exact-budget <mass>] [--json]
+  bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
+                    [--cache-cap <n>] [--queue-cap <n>]
+  bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>] [--no-cache] [--shutdown]";
 
 fn parse<T: std::str::FromStr>(s: Option<&String>, what: &str) -> Result<T, String> {
     s.ok_or_else(|| format!("missing {what}\n{USAGE}"))?
@@ -234,6 +250,160 @@ fn report_to_json(inst: &Instance, report: &SolveReport) -> Value {
         ),
     );
     Value::Object(obj)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use bisched_service::{ServeOptions, Service};
+    let mut opts = ServeOptions {
+        addr: "127.0.0.1:7878".into(),
+        ..ServeOptions::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = parse(it.next(), "--addr value")?,
+            "--workers" => opts.workers = parse(it.next(), "--workers value")?,
+            "--batch" => opts.batch = parse(it.next(), "--batch value")?,
+            "--cache-cap" => opts.cache_cap = parse(it.next(), "--cache-cap value")?,
+            "--queue-cap" => opts.queue_cap = parse(it.next(), "--queue-cap value")?,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let workers = opts.workers;
+    let service = Service::start(opts).map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "bisched-service listening on {} ({} workers); send {{\"verb\":\"shutdown\"}} to stop",
+        service.local_addr(),
+        workers
+    );
+    service.join(); // blocks until a shutdown request; logs final stats
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    use bisched_service::{Client, Request};
+    let mut addr: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut repeat: usize = 1;
+    let mut no_cache = false;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse(it.next(), "--addr value")?),
+            "--repeat" => repeat = parse(it.next(), "--repeat value")?,
+            "--no-cache" => no_cache = true,
+            "--shutdown" => shutdown = true,
+            other if !other.starts_with("--") => file = Some(other.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("submit requires --addr\n{USAGE}"))?;
+    let path = file.ok_or_else(|| format!("submit requires a .jsonl file\n{USAGE}"))?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let mut workload: Vec<(bisched_model::InstanceData, Instance)> = Vec::new();
+    for (k, line) in text.lines().enumerate() {
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let data: bisched_model::InstanceData =
+            serde_json::from_str(line).map_err(|e| format!("{path}:{}: {e}", k + 1))?;
+        let inst = data
+            .clone()
+            .into_instance()
+            .map_err(|e| format!("{path}:{}: {e}", k + 1))?;
+        workload.push((data, inst));
+    }
+    if workload.is_empty() {
+        return Err(format!("{path}: no instances"));
+    }
+    let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut requests = 0u64;
+    let mut ok = 0u64;
+    let mut busy = 0u64;
+    let mut errors = 0u64;
+    let mut invalid = 0u64;
+    let mut hits = 0u64;
+    let t0 = std::time::Instant::now();
+    for round in 0..repeat.max(1) {
+        for (k, (data, inst)) in workload.iter().enumerate() {
+            let mut req = Request::solve(data.clone());
+            req.id = Some((round * workload.len() + k) as u64);
+            if no_cache {
+                req.no_cache = Some(true);
+            }
+            requests += 1;
+            // Backpressure: retry `busy` a few times with a short pause
+            // before counting the request as dropped.
+            let mut resp = client.request(&req).map_err(|e| format!("submit: {e}"))?;
+            for _ in 0..3 {
+                if resp.status != "busy" {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                resp = client.request(&req).map_err(|e| format!("submit: {e}"))?;
+            }
+            match resp.status.as_str() {
+                "ok" => {
+                    let valid = resp
+                        .assignment
+                        .as_ref()
+                        .is_some_and(|a| Schedule::new(a.clone()).validate(inst).is_ok());
+                    if valid {
+                        ok += 1;
+                    } else {
+                        invalid += 1;
+                        eprintln!("request {k} (round {round}): invalid schedule returned");
+                    }
+                    if resp.cached == Some(true) {
+                        hits += 1;
+                    }
+                }
+                "busy" => busy += 1,
+                _ => {
+                    errors += 1;
+                    eprintln!(
+                        "request {k} (round {round}): {}",
+                        resp.error.unwrap_or_default()
+                    );
+                }
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!("requests    {requests}");
+    println!("validated   {ok}/{requests}");
+    println!("invalid     {invalid}");
+    println!("busy        {busy}");
+    println!("errors      {errors}");
+    println!("cache hits  {hits}");
+    println!(
+        "hit rate    {:.2}",
+        if requests > 0 {
+            hits as f64 / requests as f64
+        } else {
+            0.0
+        }
+    );
+    println!("elapsed     {elapsed:.3} s");
+    println!(
+        "throughput  {:.1} req/s",
+        requests as f64 / elapsed.max(1e-9)
+    );
+    if shutdown {
+        client
+            .shutdown_server()
+            .map_err(|e| format!("shutdown: {e}"))?;
+        println!("server shutdown requested");
+    }
+    // A dropped (still-busy) request is a failure too: exit 0 must mean
+    // the whole workload was solved and validated.
+    if invalid > 0 || errors > 0 || busy > 0 {
+        return Err(format!(
+            "{invalid} invalid schedules, {errors} errors, {busy} dropped busy"
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {

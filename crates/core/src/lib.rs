@@ -39,8 +39,6 @@ pub use r2_fptas::r2_fptas;
 pub use r2_reduction::{reduce_r2, Orientation, ReducedR2};
 pub use reduction_thm24::{reduce_1prext_to_rm, Thm24Reduction};
 pub use reduction_thm8::{reduce_1prext_to_qm, Thm8Reduction};
-#[allow(deprecated)]
-pub use solver::{solve, Solution};
 pub use solver::{
     EngineOutcome, EngineRun, Guarantee, Method, MethodPolicy, SolveError, SolveReport, Solver,
     SolverConfig,

@@ -67,6 +67,7 @@ use std::time::Instant;
 use bisched_model::{
     capacity_lower_bound, unrelated_lower_bound, Instance, MachineEnvironment, Rat,
 };
+use rayon::prelude::*;
 
 use engines::{run_method, EngineFailure, EngineSolution};
 
@@ -203,9 +204,15 @@ impl Solver {
     }
 
     /// Solves a batch of instances, one report (or error) per instance,
-    /// in input order.
+    /// **in input order**.
+    ///
+    /// The batch fans out over rayon (`Solver` is `Send + Sync`, so one
+    /// solver serves every worker); indexed collection keeps the output
+    /// deterministic and identical to solving the slice sequentially.
+    /// This is the hot path of `bisched-service`'s micro-batching worker
+    /// pool.
     pub fn solve_batch(&self, instances: &[Instance]) -> Vec<Result<SolveReport, SolveError>> {
-        instances.iter().map(|inst| self.solve(inst)).collect()
+        instances.par_iter().map(|inst| self.solve(inst)).collect()
     }
 
     /// Runs one engine, recording the attempt; returns the solution when
@@ -373,19 +380,16 @@ fn graph_blind_lower_bound(inst: &Instance) -> Rat {
     }
 }
 
-/// Solves `inst` with the default [`Solver`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Solver::new().solve(inst)` or `SolverConfig::new()…build()` — \
-            the free function is a thin shim and will be removed"
-)]
-pub fn solve(inst: &Instance) -> Result<SolveReport, SolveError> {
-    Solver::new().solve(inst)
-}
-
-/// Old name of [`SolveReport`], kept for the deprecation window.
-#[deprecated(since = "0.2.0", note = "renamed to `SolveReport`")]
-pub type Solution = SolveReport;
+// `Solver` is shared across the service's worker threads and `SolveReport`s
+// cross thread boundaries through its response channels; keep both facts
+// checked at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Solver>();
+    assert_send_sync::<SolverConfig>();
+    assert_send_sync::<SolveReport>();
+    assert_send_sync::<SolveError>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -586,12 +590,53 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shim_still_works() {
-        #![allow(deprecated)]
-        let inst = Instance::uniform(vec![2, 1], vec![3, 3, 2], Graph::path(3)).unwrap();
-        #[allow(deprecated)]
-        let s = solve(&inst).unwrap();
-        assert_eq!(s.guarantee, Guarantee::Optimal);
-        assert!(s.schedule.validate(&inst).is_ok());
+    fn parallel_batch_matches_sequential_on_64_instances() {
+        use bisched_model::{JobSizes, SpeedProfile, UnrelatedFamily};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(0xBA7C4);
+        let mut instances = Vec::new();
+        for k in 0..64u64 {
+            let n = 6 + (k as usize % 7);
+            let g = bisched_graph::gilbert_bipartite(n / 2, n - n / 2, 0.4, &mut rng);
+            let inst = match k % 3 {
+                0 => Instance::identical(
+                    2 + (k as usize % 3),
+                    JobSizes::Uniform { lo: 1, hi: 20 }.sample(n, &mut rng),
+                    g,
+                ),
+                1 => Instance::uniform(
+                    SpeedProfile::Geometric { ratio: 2 }.speeds(2 + (k as usize % 3)),
+                    JobSizes::Uniform { lo: 1, hi: 20 }.sample(n, &mut rng),
+                    g,
+                ),
+                _ => {
+                    let m = 2 + rng.gen_range(0..2usize);
+                    Instance::unrelated(
+                        UnrelatedFamily::Uncorrelated { lo: 1, hi: 30 }.sample(m, n, &mut rng),
+                        g,
+                    )
+                }
+            }
+            .unwrap();
+            instances.push(inst);
+        }
+        let s = solver();
+        let batch = s.solve_batch(&instances);
+        let sequential: Vec<_> = instances.iter().map(|inst| s.solve(inst)).collect();
+        assert_eq!(batch.len(), sequential.len());
+        for (b, q) in batch.iter().zip(&sequential) {
+            match (b, q) {
+                (Ok(br), Ok(qr)) => {
+                    assert_eq!(br.makespan, qr.makespan);
+                    assert_eq!(br.method, qr.method);
+                    assert_eq!(br.guarantee, qr.guarantee);
+                    assert_eq!(br.schedule.assignment(), qr.schedule.assignment());
+                }
+                (Err(be), Err(qe)) => assert_eq!(be, qe),
+                other => panic!("batch/sequential disagree: {other:?}"),
+            }
+        }
     }
 }

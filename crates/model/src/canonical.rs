@@ -1,0 +1,621 @@
+//! Canonical normal form and fingerprint for instances.
+//!
+//! Two instances that differ only in how jobs are numbered (and, for `R`,
+//! how machines are numbered) describe the same scheduling problem. The
+//! canonicalizer maps every member of such an isomorphism class to one
+//! **normal form** — jobs renumbered by an invariant canonical order,
+//! `R` machine rows sorted — and hashes its byte certificate to a stable
+//! 128-bit [`fingerprint`](Canonical::fingerprint). That key is what lets
+//! a solve cache serve a relabeled resubmission without re-solving.
+//!
+//! The canonical job order comes from iterated color refinement (jobs
+//! start with invariant colors derived from their processing data, then
+//! repeatedly absorb the multiset of their neighbors' colors) followed by
+//! an individualization search over the remaining ties that keeps the
+//! lexicographically smallest certificate. Fully interchangeable tie
+//! cells — every outside job adjacent to all or none of the cell, the
+//! cell itself complete or empty — are ordered directly without
+//! branching, which covers the common symmetric families (empty graphs,
+//! complete bipartite blocks, equal-size job classes) in linear time.
+//! A node budget bounds the search on adversarially symmetric inputs;
+//! past it the canonical form is still deterministic and self-consistent
+//! but may distinguish some relabelings (costing a cache miss, never a
+//! wrong answer — caches must compare [`Canonical::certificate`] bytes
+//! on lookup, not just the fingerprint).
+
+use crate::instance::{Instance, MachineEnvironment};
+use crate::io::InstanceData;
+use crate::schedule::Schedule;
+use bisched_graph::Graph;
+
+/// Search budget: maximum number of candidate certificates the
+/// individualization search materializes before falling back to
+/// first-candidate-only exploration.
+const SEARCH_BUDGET: usize = 4096;
+
+/// Maximum number of `R` machine-row orderings enumerated when several
+/// rows share the same sorted-multiset key.
+const MACHINE_ORDER_BUDGET: usize = 48;
+
+/// The canonical form of an instance plus everything needed to translate
+/// answers between the original and canonical labelings.
+#[derive(Clone, Debug)]
+pub struct Canonical {
+    /// The instance in normal form: jobs renumbered canonically and, for
+    /// `R`, machine rows sorted.
+    pub instance: Instance,
+    /// `job_perm[c]` = the original id of the job at canonical position
+    /// `c`.
+    pub job_perm: Vec<u32>,
+    /// `machine_perm[c]` = the original id of the machine at canonical
+    /// position `c` (identity for `P`/`Q`, whose machine order is already
+    /// canonical).
+    pub machine_perm: Vec<u32>,
+    /// Byte certificate of the normal form; equal bytes ⇔ identical
+    /// canonical instances. Cache lookups must compare this, not only the
+    /// fingerprint, so hash collisions degrade to misses.
+    pub certificate: Vec<u8>,
+    /// 128-bit FNV-1a hash of [`certificate`](Self::certificate).
+    pub fingerprint: u128,
+}
+
+impl Canonical {
+    /// Translates a schedule expressed over the **canonical** labeling
+    /// back to the original labeling: original job `job_perm[c]` goes to
+    /// original machine `machine_perm[assignment[c]]`.
+    pub fn schedule_to_original(&self, canonical: &Schedule) -> Schedule {
+        let mut assignment = vec![0u32; canonical.num_jobs()];
+        for (c, &machine) in canonical.assignment().iter().enumerate() {
+            assignment[self.job_perm[c] as usize] = self.machine_perm[machine as usize];
+        }
+        Schedule::new(assignment)
+    }
+}
+
+/// Computes the canonical form of `inst`. Deterministic; invariant under
+/// job (and `R` machine) relabelings for all but search-budget-exceeding
+/// pathologically symmetric inputs (see the module docs).
+pub fn canonicalize(inst: &Instance) -> Canonical {
+    match inst.env() {
+        MachineEnvironment::Unrelated { times } => canonicalize_unrelated(inst, times),
+        _ => canonicalize_pq(inst),
+    }
+}
+
+/// `P`/`Q`: machines are already canonical (anonymous / speed-sorted), so
+/// only the job order is searched.
+fn canonicalize_pq(inst: &Instance) -> Canonical {
+    let n = inst.num_jobs();
+    let init: Vec<u64> = (0..n)
+        .map(|j| mix(0x9e37_79b9, inst.processing(j as u32)))
+        .collect();
+    let order = canonical_job_order(inst.graph(), &init);
+    let machine_perm: Vec<u32> = (0..inst.num_machines() as u32).collect();
+    build_canonical(inst, order, machine_perm)
+}
+
+/// `R`: machine rows are keyed by their sorted multiset; ties between
+/// rows are broken by enumerating their orderings (bounded) and keeping
+/// the smallest certificate.
+fn canonicalize_unrelated(inst: &Instance, times: &[Vec<u64>]) -> Canonical {
+    // Invariant machine key: the sorted multiset of the row.
+    let mut keyed: Vec<(Vec<u64>, u32)> = times
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut k = row.clone();
+            k.sort_unstable();
+            (k, i as u32)
+        })
+        .collect();
+    keyed.sort();
+    // Tie classes of machines with identical keys.
+    let mut classes: Vec<Vec<u32>> = Vec::new();
+    for (k, i) in keyed {
+        match classes.last_mut() {
+            Some(last)
+                if {
+                    let mut lk = times[last[0] as usize].clone();
+                    lk.sort_unstable();
+                    lk == k
+                } =>
+            {
+                last.push(i)
+            }
+            _ => classes.push(vec![i]),
+        }
+    }
+    let mut best: Option<Canonical> = None;
+    for machine_perm in enumerate_machine_orders(&classes, MACHINE_ORDER_BUDGET) {
+        // With a fixed machine order, a job's exact column is invariant
+        // job data; hash it into the initial color.
+        let n = inst.num_jobs();
+        let init: Vec<u64> = (0..n)
+            .map(|j| {
+                let mut h = 0xc0de_u64;
+                for &i in &machine_perm {
+                    h = mix(h, times[i as usize][j]);
+                }
+                h
+            })
+            .collect();
+        let order = canonical_job_order(inst.graph(), &init);
+        let cand = build_canonical(inst, order, machine_perm);
+        if best
+            .as_ref()
+            .is_none_or(|b| cand.certificate < b.certificate)
+        {
+            best = Some(cand);
+        }
+    }
+    best.expect("at least one machine order")
+}
+
+/// All machine orders compatible with the sorted tie classes, capped at
+/// `budget` (the identity-within-class order always comes first, so the
+/// fallback past the cap stays deterministic).
+fn enumerate_machine_orders(classes: &[Vec<u32>], budget: usize) -> Vec<Vec<u32>> {
+    let mut orders: Vec<Vec<u32>> = vec![Vec::new()];
+    for class in classes {
+        let mut next = Vec::new();
+        for prefix in &orders {
+            for perm in permutations(class, budget.div_ceil(orders.len().max(1))) {
+                let mut o = prefix.clone();
+                o.extend_from_slice(&perm);
+                next.push(o);
+                if next.len() >= budget {
+                    break;
+                }
+            }
+            if next.len() >= budget {
+                break;
+            }
+        }
+        orders = next;
+    }
+    orders
+}
+
+/// Up to `cap` permutations of `items`, in a deterministic order starting
+/// from the identity (Heap's algorithm order).
+fn permutations(items: &[u32], cap: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    let n = work.len();
+    let mut c = vec![0usize; n];
+    out.push(work.clone());
+    let mut i = 0;
+    while i < n && out.len() < cap.max(1) {
+        if c[i] < i {
+            if i % 2 == 0 {
+                work.swap(0, i);
+            } else {
+                work.swap(c[i], i);
+            }
+            out.push(work.clone());
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Assembles the canonical instance + certificate from a job order and a
+/// machine order.
+fn build_canonical(inst: &Instance, order: Vec<u32>, machine_perm: Vec<u32>) -> Canonical {
+    let n = inst.num_jobs();
+    let mut inv = vec![0u32; n];
+    for (c, &j) in order.iter().enumerate() {
+        inv[j as usize] = c as u32;
+    }
+    // Edges in canonical indices, normalized and sorted.
+    let mut edges: Vec<(u32, u32)> = inst
+        .graph()
+        .edges()
+        .map(|(u, v)| {
+            let (a, b) = (inv[u as usize], inv[v as usize]);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    edges.sort_unstable();
+    let data = match inst.env() {
+        MachineEnvironment::Identical { m } => InstanceData {
+            env: "P".into(),
+            machines: Some(*m),
+            speeds: None,
+            processing: Some(order.iter().map(|&j| inst.processing(j)).collect()),
+            times: None,
+            jobs: n,
+            edges,
+        },
+        MachineEnvironment::Uniform { speeds } => InstanceData {
+            env: "Q".into(),
+            machines: None,
+            speeds: Some(speeds.clone()),
+            processing: Some(order.iter().map(|&j| inst.processing(j)).collect()),
+            times: None,
+            jobs: n,
+            edges,
+        },
+        MachineEnvironment::Unrelated { times } => InstanceData {
+            env: "R".into(),
+            machines: None,
+            speeds: None,
+            processing: None,
+            times: Some(
+                machine_perm
+                    .iter()
+                    .map(|&i| {
+                        order
+                            .iter()
+                            .map(|&j| times[i as usize][j as usize])
+                            .collect()
+                    })
+                    .collect(),
+            ),
+            jobs: n,
+            edges,
+        },
+    };
+    let certificate = certificate_bytes(&data);
+    let fingerprint = fnv128(&certificate);
+    let instance = data.into_instance().expect("canonical relabeling is valid");
+    Canonical {
+        instance,
+        job_perm: order,
+        machine_perm,
+        certificate,
+        fingerprint,
+    }
+}
+
+/// Stable byte encoding of a canonical [`InstanceData`].
+fn certificate_bytes(data: &InstanceData) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(data.env.as_bytes());
+    let push = |out: &mut Vec<u8>, x: u64| out.extend_from_slice(&x.to_le_bytes());
+    push(&mut out, data.jobs as u64);
+    if let Some(m) = data.machines {
+        out.push(b'm');
+        push(&mut out, m as u64);
+    }
+    if let Some(speeds) = &data.speeds {
+        out.push(b's');
+        push(&mut out, speeds.len() as u64);
+        speeds.iter().for_each(|&s| push(&mut out, s));
+    }
+    if let Some(p) = &data.processing {
+        out.push(b'p');
+        p.iter().for_each(|&x| push(&mut out, x));
+    }
+    if let Some(times) = &data.times {
+        out.push(b't');
+        push(&mut out, times.len() as u64);
+        for row in times {
+            row.iter().for_each(|&x| push(&mut out, x));
+        }
+    }
+    out.push(b'e');
+    push(&mut out, data.edges.len() as u64);
+    for &(u, v) in &data.edges {
+        push(&mut out, u as u64);
+        push(&mut out, v as u64);
+    }
+    out
+}
+
+/// 128-bit FNV-1a — the hash behind [`Canonical::fingerprint`], exposed
+/// so callers composing cache keys (e.g. the service's config-aware key)
+/// use the same construction.
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// 64-bit hash combiner (splitmix-style finalization).
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed ^ x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Canonical job order: color refinement, then individualization search
+/// over the remaining ties keeping the smallest certificate.
+fn canonical_job_order(graph: &Graph, init: &[u64]) -> Vec<u32> {
+    let mut budget = SEARCH_BUDGET;
+    let mut best: Option<(Vec<u8>, Vec<u32>)> = None;
+    search_order(graph, init.to_vec(), &mut budget, &mut best);
+    best.expect("search yields at least one order").1
+}
+
+/// One search node: refine, shortcut or branch on the first tied cell.
+fn search_order(
+    graph: &Graph,
+    mut colors: Vec<u64>,
+    budget: &mut usize,
+    best: &mut Option<(Vec<u8>, Vec<u32>)>,
+) {
+    refine(graph, &mut colors);
+    loop {
+        let cells = tied_cells(&colors);
+        let Some(cell) = cells.first().cloned() else {
+            // Discrete: order by color (all distinct).
+            let mut order: Vec<u32> = (0..colors.len() as u32).collect();
+            order.sort_unstable_by_key(|&j| colors[j as usize]);
+            let key = order_key(graph, &colors, &order);
+            if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
+                *best = Some((key, order));
+            }
+            return;
+        };
+        if is_interchangeable_cell(graph, &colors, &cell) {
+            // Any ordering of the cell yields the same certificate:
+            // individualize all members at once, in current order, and
+            // keep refining without branching.
+            for (rank, &j) in cell.iter().enumerate() {
+                colors[j as usize] = mix(colors[j as usize], rank as u64 + 1);
+            }
+            refine(graph, &mut colors);
+            continue;
+        }
+        // Branch: individualize each candidate in the cell.
+        let candidates: &[u32] = if *budget == 0 { &cell[..1] } else { &cell };
+        for &j in candidates {
+            if *budget > 0 {
+                *budget -= 1;
+            }
+            let mut next = colors.clone();
+            next[j as usize] = mix(next[j as usize], 0x1d1f);
+            search_order(graph, next, budget, best);
+        }
+        return;
+    }
+}
+
+/// Stable refinement: each round every job absorbs the sorted multiset of
+/// its neighbors' colors; stops when the partition stops growing.
+fn refine(graph: &Graph, colors: &mut [u64]) {
+    let mut distinct = count_distinct(colors);
+    loop {
+        let mut next = vec![0u64; colors.len()];
+        for j in 0..colors.len() {
+            let mut nb: Vec<u64> = graph
+                .neighbors(j as u32)
+                .iter()
+                .map(|&v| colors[v as usize])
+                .collect();
+            nb.sort_unstable();
+            let mut h = mix(0xace1, colors[j]);
+            for c in nb {
+                h = mix(h, c);
+            }
+            next[j] = h;
+        }
+        let d = count_distinct(&next);
+        colors.copy_from_slice(&next);
+        if d == distinct {
+            return;
+        }
+        distinct = d;
+    }
+}
+
+fn count_distinct(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Non-singleton color classes, ordered by color value, members by id.
+fn tied_cells(colors: &[u64]) -> Vec<Vec<u32>> {
+    let mut by_color: Vec<(u64, u32)> = colors
+        .iter()
+        .enumerate()
+        .map(|(j, &c)| (c, j as u32))
+        .collect();
+    by_color.sort_unstable();
+    let mut cells = Vec::new();
+    let mut i = 0;
+    while i < by_color.len() {
+        let mut k = i + 1;
+        while k < by_color.len() && by_color[k].0 == by_color[i].0 {
+            k += 1;
+        }
+        if k - i > 1 {
+            cells.push(by_color[i..k].iter().map(|&(_, j)| j).collect());
+        }
+        i = k;
+    }
+    cells
+}
+
+/// Whether every job outside the cell is adjacent to all or none of it,
+/// and the cell's induced subgraph is complete or empty — i.e. the cell's
+/// members are fully interchangeable and need no branching.
+fn is_interchangeable_cell(graph: &Graph, colors: &[u64], cell: &[u32]) -> bool {
+    let k = cell.len();
+    let in_cell: Vec<bool> = {
+        let mut mask = vec![false; colors.len()];
+        for &j in cell {
+            mask[j as usize] = true;
+        }
+        mask
+    };
+    let mut inner_edges = 0usize;
+    let mut outside_counts = std::collections::HashMap::new();
+    for &j in cell {
+        for &v in graph.neighbors(j) {
+            if in_cell[v as usize] {
+                inner_edges += 1;
+            } else {
+                *outside_counts.entry(v).or_insert(0usize) += 1;
+            }
+        }
+    }
+    inner_edges /= 2;
+    if inner_edges != 0 && inner_edges != k * (k - 1) / 2 {
+        return false;
+    }
+    outside_counts.values().all(|&c| c == k)
+}
+
+/// Certificate key of a discrete order: per-job initial-invariant colors
+/// would already be equal inside former ties, so the distinguishing data
+/// is the edge relation (plus the colors for cross-cell stability).
+fn order_key(graph: &Graph, colors: &[u64], order: &[u32]) -> Vec<u8> {
+    let n = order.len();
+    let mut inv = vec![0u32; n];
+    for (c, &j) in order.iter().enumerate() {
+        inv[j as usize] = c as u32;
+    }
+    let mut edges: Vec<(u32, u32)> = graph
+        .edges()
+        .map(|(u, v)| {
+            let (a, b) = (inv[u as usize], inv[v as usize]);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    edges.sort_unstable();
+    let mut key = Vec::with_capacity(n * 8 + edges.len() * 8);
+    for &j in order {
+        key.extend_from_slice(&colors[j as usize].to_le_bytes());
+    }
+    for (u, v) in edges {
+        key.extend_from_slice(&u.to_le_bytes());
+        key.extend_from_slice(&v.to_le_bytes());
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_graph::Graph;
+
+    fn fp(inst: &Instance) -> u128 {
+        canonicalize(inst).fingerprint
+    }
+
+    #[test]
+    fn relabeled_path_shares_fingerprint() {
+        // 0-1-2-3 with distinct sizes, vs. the reversed labeling.
+        let a = Instance::identical(2, vec![5, 3, 8, 2], Graph::path(4)).unwrap();
+        let b = Instance::identical(
+            2,
+            vec![2, 8, 3, 5],
+            Graph::from_edges(4, &[(3, 2), (2, 1), (1, 0)]),
+        )
+        .unwrap();
+        assert_eq!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn different_instances_differ() {
+        let a = Instance::identical(2, vec![5, 3, 8, 2], Graph::path(4)).unwrap();
+        let b = Instance::identical(2, vec![5, 3, 8, 2], Graph::empty(4)).unwrap();
+        let c = Instance::identical(3, vec![5, 3, 8, 2], Graph::path(4)).unwrap();
+        assert_ne!(fp(&a), fp(&b));
+        assert_ne!(fp(&a), fp(&c));
+    }
+
+    #[test]
+    fn matching_inside_tied_class_is_resolved_by_search() {
+        // Four unit jobs, edges forming a perfect matching 0-1, 2-3 vs the
+        // crossed matching 0-2, 1-3: isomorphic, and WL alone cannot pick
+        // an invariant order inside the single color class.
+        let a =
+            Instance::identical(2, vec![1; 4], Graph::from_edges(4, &[(0, 1), (2, 3)])).unwrap();
+        let b =
+            Instance::identical(2, vec![1; 4], Graph::from_edges(4, &[(0, 2), (1, 3)])).unwrap();
+        assert_eq!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn unrelated_machine_rows_are_interchangeable() {
+        let a = Instance::unrelated(vec![vec![1, 2, 3], vec![4, 5, 6]], Graph::path(3)).unwrap();
+        let b = Instance::unrelated(vec![vec![4, 5, 6], vec![1, 2, 3]], Graph::path(3)).unwrap();
+        assert_eq!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn unrelated_job_and_machine_relabeling() {
+        // Swap jobs 0 and 2 (columns) and the two machines (rows).
+        let a = Instance::unrelated(
+            vec![vec![3, 5, 2], vec![7, 1, 9]],
+            Graph::from_edges(3, &[(0, 1)]),
+        )
+        .unwrap();
+        let b = Instance::unrelated(
+            vec![vec![9, 1, 7], vec![2, 5, 3]],
+            Graph::from_edges(3, &[(2, 1)]),
+        )
+        .unwrap();
+        assert_eq!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn schedule_maps_back_to_original_labels() {
+        let orig = Instance::uniform(
+            vec![3, 1],
+            vec![4, 9, 2, 7, 5],
+            Graph::from_edges(5, &[(0, 3), (1, 4), (2, 3)]),
+        )
+        .unwrap();
+        let canon = canonicalize(&orig);
+        // A feasible canonical schedule: put each edge endpoint apart by
+        // 2-coloring the canonical graph greedily.
+        let cg = canon.instance.graph();
+        let mut assign = vec![0u32; canon.instance.num_jobs()];
+        for (u, v) in cg.edges() {
+            if assign[u as usize] == assign[v as usize] {
+                assign[v as usize] = 1 - assign[v as usize];
+            }
+        }
+        let cs = Schedule::new(assign);
+        if cs.validate(&canon.instance).is_ok() {
+            let os = canon.schedule_to_original(&cs);
+            assert!(os.validate(&orig).is_ok());
+            assert_eq!(os.makespan(&orig), cs.makespan(&canon.instance));
+        }
+    }
+
+    #[test]
+    fn empty_graph_symmetric_classes_fast_path() {
+        // Fully symmetric tie classes: must resolve via the
+        // interchangeable-cell shortcut, not the branching search.
+        let mut sizes = vec![7u64; 20];
+        sizes.extend(vec![3u64; 20]);
+        let a = Instance::identical(4, sizes, Graph::empty(40)).unwrap();
+        let interleaved: Vec<u64> = (0..40).map(|j| if j % 2 == 0 { 7 } else { 3 }).collect();
+        let b = Instance::identical(4, interleaved, Graph::empty(40)).unwrap();
+        assert_eq!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn idempotent() {
+        let inst = Instance::unrelated(
+            vec![vec![3, 5, 2, 8], vec![7, 1, 9, 2], vec![4, 4, 4, 4]],
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]),
+        )
+        .unwrap();
+        let once = canonicalize(&inst);
+        let twice = canonicalize(&once.instance);
+        assert_eq!(once.certificate, twice.certificate);
+        assert_eq!(once.fingerprint, twice.fingerprint);
+        assert_eq!(
+            InstanceData::from_instance(&once.instance),
+            InstanceData::from_instance(&twice.instance)
+        );
+    }
+}

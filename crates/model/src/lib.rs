@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod canonical;
 pub mod generators;
 pub mod instance;
 pub mod io;
@@ -20,6 +21,7 @@ pub use bounds::{
     capacity_lower_bound, cstar_double_max, floor_capacities, floor_capacity, min_time_to_cover,
     unrelated_lower_bound,
 };
+pub use canonical::{canonicalize, Canonical};
 pub use generators::{JobSizes, SpeedProfile, UnrelatedFamily};
 pub use instance::{Instance, InstanceError, JobId, MachineEnvironment, MachineId};
 pub use io::{from_text, to_text, InstanceData, IoError};

@@ -132,3 +132,169 @@ proptest! {
         prop_assert!(out.iter().all(|&i| (i as usize) < speeds.len()));
     }
 }
+
+/// Deterministic Fisher–Yates driven by a splitmix64 stream, so the
+/// relabeling proptests need no extra dependencies.
+fn shuffled(n: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let k = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, k);
+    }
+    perm
+}
+
+/// Builds the edge list selected by `mask` over all pairs of `n` jobs.
+fn edges_from_mask(n: usize, mask: &[bool]) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    let mut idx = 0;
+    for u in 0..n {
+        for v in u + 1..n {
+            if idx < mask.len() && mask[idx] {
+                edges.push((u as u32, v as u32));
+            }
+            idx += 1;
+        }
+    }
+    edges
+}
+
+/// Applies the job permutation `perm` (new id of old job `j` is
+/// `perm[j]`) to an edge list.
+fn relabel_edges(edges: &[(u32, u32)], perm: &[u32]) -> Vec<(u32, u32)> {
+    edges
+        .iter()
+        .map(|&(u, v)| (perm[u as usize], perm[v as usize]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn text_roundtrip_arbitrary_p_and_r(
+        m in 1usize..5,
+        processing in proptest::collection::vec(1u64..50, 1..10),
+        edge_mask in proptest::collection::vec(any::<bool>(), 45),
+        times_flat in proptest::collection::vec(1u64..60, 40),
+    ) {
+        let n = processing.len();
+        let edges = edges_from_mask(n, &edge_mask);
+        let p = Instance::identical(m, processing, Graph::from_edges(n, &edges)).unwrap();
+        let back = from_text(&to_text(&p)).unwrap();
+        prop_assert_eq!(back.num_machines(), p.num_machines());
+        prop_assert_eq!(back.processing_all(), p.processing_all());
+        prop_assert_eq!(back.graph(), p.graph());
+
+        let times: Vec<Vec<u64>> = (0..m)
+            .map(|i| (0..n).map(|j| times_flat[(i * n + j) % times_flat.len()]).collect())
+            .collect();
+        let r = Instance::unrelated(times.clone(), Graph::from_edges(n, &edges)).unwrap();
+        let back = from_text(&to_text(&r)).unwrap();
+        prop_assert_eq!(back.graph(), r.graph());
+        for i in 0..m as u32 {
+            for j in 0..n as u32 {
+                prop_assert_eq!(back.unrelated_time(i, j), r.unrelated_time(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalize_twice_equals_canonicalize_once(
+        kind in 0u8..3,
+        m in 1usize..4,
+        processing in proptest::collection::vec(1u64..6, 1..10),
+        speeds in proptest::collection::vec(1u64..5, 1..4),
+        edge_mask in proptest::collection::vec(any::<bool>(), 45),
+        times_flat in proptest::collection::vec(1u64..8, 40),
+    ) {
+        let n = processing.len();
+        let g = Graph::from_edges(n, &edges_from_mask(n, &edge_mask));
+        let inst = match kind {
+            0 => Instance::identical(m, processing, g).unwrap(),
+            1 => Instance::uniform(speeds, processing, g).unwrap(),
+            _ => {
+                let times: Vec<Vec<u64>> = (0..m)
+                    .map(|i| (0..n).map(|j| times_flat[(i * n + j) % times_flat.len()]).collect())
+                    .collect();
+                Instance::unrelated(times, g).unwrap()
+            }
+        };
+        let once = bisched_model::canonicalize(&inst);
+        let twice = bisched_model::canonicalize(&once.instance);
+        prop_assert_eq!(&once.certificate, &twice.certificate);
+        prop_assert_eq!(once.fingerprint, twice.fingerprint);
+        // The canonical instance is its own normal form.
+        prop_assert_eq!(
+            InstanceData::from_instance(&once.instance),
+            InstanceData::from_instance(&twice.instance)
+        );
+    }
+
+    #[test]
+    fn isomorphic_relabelings_share_a_fingerprint(
+        kind in 0u8..3,
+        m in 1usize..4,
+        processing in proptest::collection::vec(1u64..6, 1..10),
+        speeds in proptest::collection::vec(1u64..5, 1..4),
+        edge_mask in proptest::collection::vec(any::<bool>(), 45),
+        times_flat in proptest::collection::vec(1u64..8, 40),
+        seed in 0u64..10_000,
+    ) {
+        let n = processing.len();
+        let edges = edges_from_mask(n, &edge_mask);
+        let jp = shuffled(n, seed); // new id of old job j
+        let relabeled_p: Vec<u64> = {
+            let mut p = vec![0u64; n];
+            for j in 0..n {
+                p[jp[j] as usize] = processing[j];
+            }
+            p
+        };
+        let g = Graph::from_edges(n, &edges);
+        let rg = Graph::from_edges(n, &relabel_edges(&edges, &jp));
+        let (a, b) = match kind {
+            0 => (
+                Instance::identical(m, processing, g).unwrap(),
+                Instance::identical(m, relabeled_p, rg).unwrap(),
+            ),
+            1 => (
+                Instance::uniform(speeds.clone(), processing, g).unwrap(),
+                Instance::uniform(speeds, relabeled_p, rg).unwrap(),
+            ),
+            _ => {
+                let times: Vec<Vec<u64>> = (0..m)
+                    .map(|i| (0..n).map(|j| times_flat[(i * n + j) % times_flat.len()]).collect())
+                    .collect();
+                let mp = shuffled(m, seed ^ 0xABCD); // new id of old machine i
+                let mut rt = vec![vec![0u64; n]; m];
+                for i in 0..m {
+                    for j in 0..n {
+                        rt[mp[i] as usize][jp[j] as usize] = times[i][j];
+                    }
+                }
+                (
+                    Instance::unrelated(times, g).unwrap(),
+                    Instance::unrelated(rt, rg).unwrap(),
+                )
+            }
+        };
+        let ca = bisched_model::canonicalize(&a);
+        let cb = bisched_model::canonicalize(&b);
+        prop_assert_eq!(ca.fingerprint, cb.fingerprint);
+        prop_assert_eq!(&ca.certificate, &cb.certificate);
+        // Both canonical instances are literally the same data.
+        prop_assert_eq!(
+            InstanceData::from_instance(&ca.instance),
+            InstanceData::from_instance(&cb.instance)
+        );
+    }
+}

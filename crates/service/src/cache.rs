@@ -1,0 +1,251 @@
+//! Bounded LRU memo cache keyed by canonical fingerprints.
+//!
+//! The cache stores [`SolveReport`]s for **canonical** instances (see
+//! [`bisched_model::canonical`]), so any job/machine relabeling of a
+//! previously solved instance hits. Lookups compare the full canonical
+//! certificate, not just the 128-bit fingerprint — a hash collision
+//! degrades to a miss, never to a wrong schedule.
+//!
+//! Implementation: a slab of entries threaded on an intrusive doubly
+//! linked list (most-recent at the head) plus a `HashMap` from
+//! fingerprint to slab slot. `get`, `insert`, and eviction are all
+//! `O(1)` (amortized).
+
+use bisched_core::SolveReport;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: u128,
+    certificate: Vec<u8>,
+    value: Arc<SolveReport>,
+    prev: usize,
+    next: usize,
+}
+
+/// Counters the cache keeps about itself (snapshot via
+/// [`LruCache::counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that returned a report.
+    pub hits: u64,
+    /// Lookups that found nothing (or a certificate mismatch).
+    pub misses: u64,
+    /// Entries displaced by capacity.
+    pub evictions: u64,
+    /// Successful `insert`s.
+    pub insertions: u64,
+}
+
+/// A bounded least-recently-used map from canonical fingerprint to solve
+/// report.
+pub struct LruCache {
+    cap: usize,
+    map: HashMap<u128, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    counters: CacheCounters,
+}
+
+impl LruCache {
+    /// An empty cache holding at most `cap` reports (`cap == 0` disables
+    /// caching: every lookup misses, inserts are dropped).
+    pub fn new(cap: usize) -> Self {
+        LruCache {
+            cap,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Number of cached reports.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The cache's own counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Looks up `key`, verifying the stored certificate matches; a hit
+    /// refreshes the entry's recency.
+    pub fn get(&mut self, key: u128, certificate: &[u8]) -> Option<Arc<SolveReport>> {
+        match self.map.get(&key).copied() {
+            Some(slot) if self.slots[slot].certificate == certificate => {
+                self.unlink(slot);
+                self.push_front(slot);
+                self.counters.hits += 1;
+                Some(Arc::clone(&self.slots[slot].value))
+            }
+            _ => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the report for `key`, evicting the least
+    /// recently used entry when at capacity.
+    pub fn insert(&mut self, key: u128, certificate: Vec<u8>, value: Arc<SolveReport>) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            // Replace in place (covers certificate-collision overwrites).
+            self.slots[slot].certificate = certificate;
+            self.slots[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.map.len() == self.cap {
+            let lru = self.tail;
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+            self.counters.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Slot {
+                    key,
+                    certificate,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    certificate,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        self.counters.insertions += 1;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_core::Solver;
+    use bisched_graph::Graph;
+    use bisched_model::Instance;
+
+    fn report(p: u64) -> Arc<SolveReport> {
+        let inst = Instance::identical(2, vec![p, 1], Graph::empty(2)).unwrap();
+        Arc::new(Solver::new().solve(&inst).unwrap())
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(2);
+        c.insert(1, vec![1], report(1));
+        c.insert(2, vec![2], report(2));
+        assert!(c.get(1, &[1]).is_some()); // 1 now most recent
+        c.insert(3, vec![3], report(3)); // evicts 2
+        assert!(c.get(2, &[2]).is_none());
+        assert!(c.get(1, &[1]).is_some());
+        assert!(c.get(3, &[3]).is_some());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.counters().evictions, 1);
+    }
+
+    #[test]
+    fn certificate_mismatch_is_a_miss() {
+        let mut c = LruCache::new(4);
+        c.insert(7, vec![1, 2, 3], report(1));
+        assert!(c.get(7, &[9, 9]).is_none());
+        assert!(c.get(7, &[1, 2, 3]).is_some());
+        let n = c.counters();
+        assert_eq!((n.hits, n.misses), (1, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert(1, vec![1], report(1));
+        assert!(c.get(1, &[1]).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn replace_in_place_keeps_len() {
+        let mut c = LruCache::new(2);
+        c.insert(1, vec![1], report(1));
+        c.insert(1, vec![1, 1], report(2));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(1, &[1]).is_none());
+        assert!(c.get(1, &[1, 1]).is_some());
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        let mut c = LruCache::new(8);
+        let r = report(3);
+        for k in 0..1000u128 {
+            c.insert(k, vec![k as u8], Arc::clone(&r));
+            assert!(c.len() <= 8);
+        }
+        assert_eq!(c.counters().evictions, 992);
+        // The last 8 keys survive, most-recent first.
+        for k in 992..1000u128 {
+            assert!(c.get(k, &[k as u8]).is_some());
+        }
+    }
+}

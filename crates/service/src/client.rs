@@ -1,0 +1,86 @@
+//! A minimal blocking client for the JSON-lines protocol, used by
+//! `bisched_cli submit`, the CI smoke test, and the end-to-end tests.
+
+use crate::protocol::{Request, Response, StatsData};
+use bisched_model::InstanceData;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent something unparseable, or an unexpected shape.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a running service; requests are answered in order
+/// on the same stream.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running service.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request and reads its response line.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let text = serde_json::to_string(req)
+            .map_err(|e| ClientError::Protocol(format!("encode: {e}")))?;
+        writeln!(self.writer, "{text}")?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        serde_json::from_str(&line).map_err(|e| ClientError::Protocol(format!("decode: {e}")))
+    }
+
+    /// Submits one instance with optional overrides already applied to
+    /// `req`.
+    pub fn solve(&mut self, instance: InstanceData) -> Result<Response, ClientError> {
+        self.request(&Request::solve(instance))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::verb("ping"))
+    }
+
+    /// Fetches the metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsData, ClientError> {
+        let resp = self.request(&Request::verb("stats"))?;
+        resp.stats
+            .ok_or_else(|| ClientError::Protocol("stats response missing payload".into()))
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::verb("shutdown"))
+    }
+}

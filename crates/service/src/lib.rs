@@ -1,0 +1,52 @@
+//! # bisched-service
+//!
+//! The high-throughput solve daemon: a long-running TCP service (plain
+//! `std::net`, JSON-lines protocol — see `PROTOCOL.md`) in front of the
+//! [`bisched_core::Solver`] engine, built for bulk workloads:
+//!
+//! * **Canonicalization cache** — every instance is reduced to the
+//!   normal form of [`bisched_model::canonical`] and memoized in a
+//!   bounded LRU keyed by its 128-bit fingerprint, so repeated *and
+//!   relabeled/isomorphic* submissions are answered without re-solving
+//!   (the cached schedule is translated back through the request's
+//!   labeling).
+//! * **Micro-batching worker pool** — N solver threads over a bounded
+//!   MPSC queue; each wake-up drains up to B queued requests into one
+//!   [`Solver::solve_batch`](bisched_core::Solver::solve_batch) call.
+//! * **Backpressure** — a full queue yields a typed `busy` response
+//!   instead of unbounded buffering.
+//! * **Stats** — the `stats` verb (and shutdown log) reports requests
+//!   served, cache hit rate, p50/p99 latency, and per-engine win counts.
+//! * **Graceful shutdown** — the `shutdown` verb stops intake, drains
+//!   every accepted request, and joins all threads.
+//!
+//! ```no_run
+//! use bisched_service::{Client, Request, ServeOptions, Service};
+//! use bisched_model::{Instance, InstanceData};
+//! use bisched_graph::Graph;
+//!
+//! let service = Service::start(ServeOptions::default()).unwrap();
+//! let mut client = Client::connect(service.local_addr()).unwrap();
+//!
+//! let inst = Instance::identical(2, vec![3, 2, 4], Graph::path(3)).unwrap();
+//! let resp = client.solve(InstanceData::from_instance(&inst)).unwrap();
+//! assert_eq!(resp.status, "ok");
+//!
+//! client.shutdown_server().unwrap();
+//! service.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+mod worker;
+
+pub use cache::{CacheCounters, LruCache};
+pub use client::{Client, ClientError};
+pub use metrics::{LatencyHist, Metrics};
+pub use protocol::{Request, Response, StatsData};
+pub use server::{serve, ServeOptions, Service};

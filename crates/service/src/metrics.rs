@@ -1,0 +1,195 @@
+//! Service metrics: counters, a log-bucketed latency histogram for
+//! p50/p99, and per-engine win counts. Everything is cheap enough to
+//! update on the request hot path.
+
+use crate::protocol::StatsData;
+use bisched_core::Method;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Power-of-two latency buckets over microseconds: bucket `b` holds
+/// samples in `[2^(b-1), 2^b)` µs, so 64 buckets span nanoseconds to
+/// hours. Quantiles report the bucket's upper bound — within 2× of the
+/// true value, which is plenty for service dashboards.
+#[derive(Debug)]
+pub struct LatencyHist {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHist {
+    /// Records one sample.
+    pub fn record(&mut self, micros: u64) {
+        let b = (64 - micros.leading_zeros()) as usize; // 0 µs -> bucket 0
+        self.buckets[b.min(63)] += 1;
+        self.count += 1;
+    }
+
+    /// Upper bound of the bucket containing quantile `q ∈ [0, 1]`, in
+    /// milliseconds; 0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (1u64 << b) as f64 / 1000.0;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Aggregate service metrics; one instance shared by every handler and
+/// worker thread.
+#[derive(Debug)]
+pub struct Metrics {
+    /// All requests received, any verb.
+    pub requests: AtomicU64,
+    /// Solve requests answered `ok`.
+    pub solved: AtomicU64,
+    /// Solve requests answered `error`.
+    pub errors: AtomicU64,
+    /// Solve requests rejected with `busy`.
+    pub busy: AtomicU64,
+    /// Micro-batches executed by the worker pool.
+    pub batches: AtomicU64,
+    /// Jobs carried by those batches.
+    pub batched_jobs: AtomicU64,
+    started: Instant,
+    hist: Mutex<LatencyHist>,
+    wins: Mutex<HashMap<Method, u64>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            solved: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            started: Instant::now(),
+            hist: Mutex::new(LatencyHist::default()),
+            wins: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl Metrics {
+    /// Records one served solve's latency.
+    pub fn record_latency(&self, micros: u64) {
+        self.hist.lock().unwrap().record(micros);
+    }
+
+    /// Credits `method` with a win (it produced a freshly solved
+    /// schedule).
+    pub fn record_win(&self, method: Method) {
+        *self.wins.lock().unwrap().entry(method).or_insert(0) += 1;
+    }
+
+    /// Snapshot of everything, merged with the cache's counters, as the
+    /// `stats` verb's payload.
+    pub fn snapshot(&self, cache: crate::cache::CacheCounters, cache_len: usize) -> StatsData {
+        let hist = self.hist.lock().unwrap();
+        let mut method_wins: Vec<(String, u64)> = self
+            .wins
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(m, &n)| (m.name().to_string(), n))
+            .collect();
+        method_wins.sort();
+        let lookups = cache.hits + cache.misses;
+        StatsData {
+            requests: self.requests.load(Ordering::Relaxed),
+            solved: self.solved.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_len: cache_len as u64,
+            hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                cache.hits as f64 / lookups as f64
+            },
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
+            p50_ms: hist.quantile_ms(0.50),
+            p99_ms: hist.quantile_ms(0.99),
+            method_wins,
+            uptime_s: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHist::default();
+        for us in [10, 20, 30, 40, 50, 1000, 2000, 100_000, 100_000, 100_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_ms(0.5);
+        // Median sample is 50 µs; its bucket's upper bound is 64 µs.
+        assert!((0.05..=0.128).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ms(0.99);
+        assert!(p99 >= 0.1, "p99 = {p99}");
+        assert!(h.quantile_ms(1.0) >= p99);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHist::default();
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_merges_cache_counters() {
+        let m = Metrics::default();
+        m.requests.store(5, Ordering::Relaxed);
+        m.record_win(Method::Alg1);
+        m.record_win(Method::Alg1);
+        m.record_latency(500);
+        let s = m.snapshot(
+            crate::cache::CacheCounters {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+                insertions: 1,
+            },
+            1,
+        );
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.cache_hits, 3);
+        assert!((s.hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(s.method_wins, vec![("alg1".to_string(), 2)]);
+        assert!(s.p50_ms > 0.0);
+    }
+}

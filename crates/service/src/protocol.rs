@@ -1,0 +1,210 @@
+//! The JSON-lines wire protocol: one request object per line in, one
+//! response object per line out. See `PROTOCOL.md` for the full schema
+//! and examples.
+
+use bisched_core::{Method, MethodPolicy, SolveError, SolverConfig};
+use bisched_model::InstanceData;
+use serde::{Deserialize, Serialize};
+
+/// A client request. `verb` selects the action; the remaining fields are
+/// verb-specific and optional on the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// `"solve"`, `"stats"`, `"ping"`, or `"shutdown"`.
+    pub verb: String,
+    /// Client correlation id, echoed verbatim in the response.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub id: Option<u64>,
+    /// The instance to solve (`solve` only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub instance: Option<InstanceData>,
+    /// Per-request FPTAS accuracy override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub eps: Option<f64>,
+    /// Per-request forced method (engine name, e.g. `"fptas"`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub method: Option<String>,
+    /// Per-request portfolio (engine names; wins over `method`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub portfolio: Option<Vec<String>>,
+    /// Skip the cache lookup (the result is still stored).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub no_cache: Option<bool>,
+}
+
+impl Request {
+    /// A bare request with just a verb.
+    pub fn verb(verb: &str) -> Self {
+        Request {
+            verb: verb.to_string(),
+            id: None,
+            instance: None,
+            eps: None,
+            method: None,
+            portfolio: None,
+            no_cache: None,
+        }
+    }
+
+    /// A solve request for `instance`.
+    pub fn solve(instance: InstanceData) -> Self {
+        let mut r = Request::verb("solve");
+        r.instance = Some(instance);
+        r
+    }
+
+    /// Resolves the per-request overrides against the server's base
+    /// configuration.
+    pub fn solver_config(&self, base: &SolverConfig) -> Result<SolverConfig, String> {
+        let mut config = base.clone();
+        if let Some(eps) = self.eps {
+            config = config.eps(eps);
+        }
+        if let Some(names) = &self.portfolio {
+            let methods: Vec<Method> = names
+                .iter()
+                .map(|n| n.parse())
+                .collect::<Result<_, String>>()?;
+            config = config.portfolio(methods);
+        } else if let Some(name) = &self.method {
+            if name == "auto" {
+                // Explicitly requested Auto dispatch, whatever policy the
+                // server was started with.
+                config = config.policy(MethodPolicy::Auto);
+            } else {
+                config = config.method(name.parse()?);
+            }
+        }
+        // Validate eagerly so the worker never sees a bad config.
+        config.clone().build().map_err(|e| e.to_string())?;
+        Ok(config)
+    }
+}
+
+/// A server response. `status` is `"ok"`, `"busy"`, or `"error"`; solve
+/// results carry the schedule and provenance, `stats` responses carry a
+/// [`StatsData`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Response {
+    /// `"ok"`, `"busy"`, or `"error"`.
+    pub status: String,
+    /// Echo of the request's correlation id.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub id: Option<u64>,
+    /// Winning engine name (solve).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub method: Option<String>,
+    /// Human-readable guarantee of the returned schedule (solve).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub guarantee: Option<String>,
+    /// Makespan numerator (solve; exact rational).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub makespan_num: Option<u64>,
+    /// Makespan denominator (solve).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub makespan_den: Option<u64>,
+    /// Graph-blind lower bound numerator (solve).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub lower_bound_num: Option<u64>,
+    /// Graph-blind lower bound denominator (solve).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub lower_bound_den: Option<u64>,
+    /// `assignment[j]` = machine of job `j`, in the **request's** job
+    /// numbering (solve).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub assignment: Option<Vec<u32>>,
+    /// Whether the result came from the canonicalization cache (solve).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cached: Option<bool>,
+    /// Server-side wall time for this request, milliseconds (solve).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub time_ms: Option<f64>,
+    /// Error detail (`status != "ok"`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// Metrics snapshot (`stats`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stats: Option<StatsData>,
+}
+
+impl Response {
+    fn bare(status: &str, id: Option<u64>) -> Self {
+        Response {
+            status: status.to_string(),
+            id,
+            method: None,
+            guarantee: None,
+            makespan_num: None,
+            makespan_den: None,
+            lower_bound_num: None,
+            lower_bound_den: None,
+            assignment: None,
+            cached: None,
+            time_ms: None,
+            error: None,
+            stats: None,
+        }
+    }
+
+    /// A plain `ok` (ping, shutdown acks).
+    pub fn ok(id: Option<u64>) -> Self {
+        Response::bare("ok", id)
+    }
+
+    /// A typed backpressure rejection: the bounded queue is full.
+    pub fn busy(id: Option<u64>) -> Self {
+        let mut r = Response::bare("busy", id);
+        r.error = Some("request queue is full, retry later".into());
+        r
+    }
+
+    /// An error response.
+    pub fn error(id: Option<u64>, message: impl Into<String>) -> Self {
+        let mut r = Response::bare("error", id);
+        r.error = Some(message.into());
+        r
+    }
+
+    /// An error response from a typed [`SolveError`].
+    pub fn solve_error(id: Option<u64>, e: &SolveError) -> Self {
+        Response::error(id, e.to_string())
+    }
+}
+
+/// The `stats` verb's payload: the service's aggregate counters since
+/// start.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StatsData {
+    /// Requests received (all verbs).
+    pub requests: u64,
+    /// Solve requests answered `ok`.
+    pub solved: u64,
+    /// Solve requests answered `error`.
+    pub errors: u64,
+    /// Solve requests rejected `busy` (backpressure).
+    pub busy: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Entries evicted from the cache.
+    pub cache_evictions: u64,
+    /// Entries currently cached.
+    pub cache_len: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when empty.
+    pub hit_rate: f64,
+    /// Micro-batches the worker pool executed.
+    pub batches: u64,
+    /// Solve jobs that went through those batches.
+    pub batched_jobs: u64,
+    /// Median request latency over all `ok` solves, cache hits included,
+    /// in milliseconds (bucketed upper bound).
+    pub p50_ms: f64,
+    /// 99th-percentile request latency (same population as
+    /// [`p50_ms`](Self::p50_ms)), milliseconds (bucketed upper bound).
+    pub p99_ms: f64,
+    /// Per-engine win counts as `[name, wins]` pairs, sorted by name.
+    pub method_wins: Vec<(String, u64)>,
+    /// Seconds since the service started.
+    pub uptime_s: f64,
+}

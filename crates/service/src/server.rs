@@ -1,0 +1,452 @@
+//! The daemon: a `std::net` TCP listener speaking the JSON-lines
+//! protocol, one handler thread per connection, backed by the shared
+//! canonicalization cache and the micro-batching worker pool.
+//!
+//! Lifecycle: [`Service::start`] binds and spawns everything;
+//! [`Service::join`] blocks until a `shutdown` request (or a programmatic
+//! [`Service::shutdown`]) arrives, drains the queue, joins every thread,
+//! logs the final stats to stderr, and returns them.
+
+use crate::cache::LruCache;
+use crate::metrics::Metrics;
+use crate::protocol::{Request, Response, StatsData};
+use crate::worker::{spawn_workers, Job, JobReply};
+use bisched_core::SolverConfig;
+use bisched_model::canonical::fnv128;
+use bisched_model::canonicalize;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Service::start`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`Service::local_addr`]).
+    pub addr: String,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Maximum jobs one worker drains into a single `solve_batch` call.
+    pub batch: usize,
+    /// Canonicalization-cache capacity (reports); `0` disables caching.
+    pub cache_cap: usize,
+    /// Bounded queue depth; past it, solve requests get a `busy`
+    /// response (backpressure).
+    pub queue_cap: usize,
+    /// Base solver configuration; per-request `eps`/`method`/`portfolio`
+    /// override it.
+    pub base_config: SolverConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get().min(8))
+                .unwrap_or(2),
+            batch: 16,
+            cache_cap: 4096,
+            queue_cap: 1024,
+            base_config: SolverConfig::new(),
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection handler, and the
+/// worker pool.
+pub(crate) struct Shared {
+    pub(crate) base_config: SolverConfig,
+    pub(crate) cache: Mutex<LruCache>,
+    pub(crate) metrics: Metrics,
+    /// `None` once shutdown began: dropping the sender closes the queue,
+    /// letting workers drain and exit.
+    queue: Mutex<Option<SyncSender<Job>>>,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Snapshot for the `stats` verb.
+    pub(crate) fn stats(&self) -> StatsData {
+        let cache = self.cache.lock().unwrap();
+        self.metrics.snapshot(cache.counters(), cache.len())
+    }
+
+    /// Idempotent shutdown trigger: refuse new work, close the queue,
+    /// poke the accept loop awake.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        *self.queue.lock().unwrap() = None;
+        // Unblock `accept` so the loop observes the flag. A wildcard bind
+        // address (0.0.0.0 / ::) is not connectable everywhere; poke via
+        // loopback on the same port instead.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(match poke.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_secs(1));
+    }
+}
+
+/// A running solve daemon. Dropping the handle does **not** stop it; call
+/// [`Service::shutdown`] (or send the `shutdown` verb) and then
+/// [`Service::join`].
+pub struct Service {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Service {
+    /// Binds, spawns the worker pool and the accept loop, and returns the
+    /// running service.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Service> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue_cap.max(1));
+        let shared = Arc::new(Shared {
+            base_config: opts.base_config.clone(),
+            cache: Mutex::new(LruCache::new(opts.cache_cap)),
+            metrics: Metrics::default(),
+            queue: Mutex::new(Some(tx)),
+            shutting_down: AtomicBool::new(false),
+            addr,
+        });
+        let workers = spawn_workers(opts.workers.max(1), opts.batch, rx, Arc::clone(&shared));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("bisched-accept".into())
+                .spawn(move || accept_loop(listener, shared, handlers))
+                .expect("spawn accept thread")
+        };
+        Ok(Service {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current metrics snapshot (same payload as the `stats` verb).
+    pub fn stats(&self) -> StatsData {
+        self.shared.stats()
+    }
+
+    /// Initiates graceful shutdown: new solves are refused, queued ones
+    /// drain. Follow with [`Service::join`].
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the service has shut down (a `shutdown` request or
+    /// [`Service::shutdown`]), joins every thread, logs the final stats
+    /// to stderr, and returns them.
+    pub fn join(mut self) -> StatsData {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        let stats = self.shared.stats();
+        eprintln!(
+            "bisched-service: shut down after {:.1}s — {} requests, {} solved ({} cached, hit rate {:.2}), {} busy, {} errors, p50 {:.3}ms p99 {:.3}ms",
+            stats.uptime_s,
+            stats.requests,
+            stats.solved,
+            stats.cache_hits,
+            stats.hit_rate,
+            stats.busy,
+            stats.errors,
+            stats.p50_ms,
+            stats.p99_ms,
+        );
+        stats
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("bisched-conn".into())
+            .spawn(move || handle_connection(stream, &shared))
+            .expect("spawn connection handler");
+        // Reap finished handlers as we go so a long-lived daemon serving
+        // short connections doesn't accumulate dead JoinHandles.
+        let mut guard = handlers.lock().unwrap();
+        guard.retain(|h| !h.is_finished());
+        guard.push(handle);
+    }
+}
+
+/// Reads newline-delimited requests until EOF, error, or shutdown;
+/// answers each on the same stream. Reads poll with a short timeout so
+/// idle connections notice shutdown promptly instead of pinning
+/// [`Service::join`].
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    // Accumulate raw bytes, not a String: `read_line`'s UTF-8 guard
+    // discards already-consumed bytes when a poll timeout splits a
+    // multi-byte character, which would desynchronize the stream.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    let response = handle_request(trimmed, shared);
+                    let Ok(text) = serde_json::to_string(&response) else {
+                        break;
+                    };
+                    if writeln!(writer, "{text}").is_err() {
+                        break;
+                    }
+                }
+                line.clear();
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break; // close the connection once shutdown is underway
+                }
+            }
+            // Poll timeout: partial bytes stay in `line` and the next
+            // read continues the same request.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_request(line: &str, shared: &Shared) -> Response {
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let req: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => return Response::error(None, format!("bad request: {e}")),
+    };
+    match req.verb.as_str() {
+        "ping" => Response::ok(req.id),
+        "stats" => {
+            let mut r = Response::ok(req.id);
+            r.stats = Some(shared.stats());
+            r
+        }
+        "shutdown" => {
+            shared.begin_shutdown();
+            Response::ok(req.id)
+        }
+        "solve" => handle_solve(&req, shared),
+        other => Response::error(req.id, format!("unknown verb {other:?}")),
+    }
+}
+
+fn handle_solve(req: &Request, shared: &Shared) -> Response {
+    let t0 = Instant::now();
+    let id = req.id;
+    let fail = |r: Response, shared: &Shared| {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        r
+    };
+    let Some(data) = req.instance.clone() else {
+        return fail(Response::error(id, "solve requires `instance`"), shared);
+    };
+    let config = match req.solver_config(&shared.base_config) {
+        Ok(c) => c,
+        Err(e) => return fail(Response::error(id, e), shared),
+    };
+    // `Instance::uniform` sorts speeds, so a `Q` request with unsorted
+    // speeds gets its machines renumbered internally; keep the submitted
+    // order to translate machine ids back in the response.
+    let submitted_speeds = data.speeds.clone();
+    let instance = match data.into_instance() {
+        Ok(i) => i,
+        Err(e) => return fail(Response::error(id, e.to_string()), shared),
+    };
+    let mut canonical = canonicalize(&instance);
+    if let Some(submitted) = &submitted_speeds {
+        let map = sorted_to_submitted(&instance.speeds(), submitted);
+        for m in canonical.machine_perm.iter_mut() {
+            *m = map[*m as usize];
+        }
+    }
+    // The cache key covers the *effective solver configuration* too: a
+    // report produced under `method: greedy` must never answer a request
+    // that forced an exact engine (or a different eps), and vice versa.
+    let cfg_bytes = config_cache_bytes(&config);
+    let cache_key = canonical.fingerprint ^ fnv128(&cfg_bytes);
+    let cache_cert: Vec<u8> = {
+        let mut c = canonical.certificate.clone();
+        c.extend_from_slice(&cfg_bytes);
+        c
+    };
+
+    // Fast path: serve relabelings of anything already solved straight
+    // from the cache, translated back to the request's labeling.
+    if !req.no_cache.unwrap_or(false) {
+        let hit = shared.cache.lock().unwrap().get(cache_key, &cache_cert);
+        if let Some(report) = hit {
+            return finish_solve(id, &canonical, &report, true, t0, shared);
+        }
+    }
+
+    // Miss: enqueue for the worker pool (bounded — `busy` on overflow).
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        instance: canonical.instance.clone(),
+        fingerprint: cache_key,
+        certificate: cache_cert,
+        config,
+        reply: reply_tx,
+    };
+    let send_result = {
+        let queue = shared.queue.lock().unwrap();
+        match queue.as_ref() {
+            None => Err(None),
+            Some(tx) => tx.try_send(job).map_err(Some),
+        }
+    };
+    match send_result {
+        Ok(()) => {}
+        Err(Some(TrySendError::Full(_))) => {
+            shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+            return Response::busy(id);
+        }
+        Err(Some(TrySendError::Disconnected(_))) | Err(None) => {
+            return fail(Response::error(id, "service is shutting down"), shared);
+        }
+    }
+    match reply_rx.recv() {
+        Ok(JobReply::Solved(report)) => finish_solve(id, &canonical, &report, false, t0, shared),
+        Ok(JobReply::Failed(e)) => fail(Response::solve_error(id, &e), shared),
+        Err(_) => fail(Response::error(id, "worker dropped the request"), shared),
+    }
+}
+
+/// Builds the `ok` solve response in the request's labeling.
+fn finish_solve(
+    id: Option<u64>,
+    canonical: &bisched_model::Canonical,
+    report: &bisched_core::SolveReport,
+    cached: bool,
+    t0: Instant,
+    shared: &Shared,
+) -> Response {
+    let schedule = canonical.schedule_to_original(&report.schedule);
+    let mut r = Response::ok(id);
+    r.method = Some(report.method.name().to_string());
+    r.guarantee = Some(report.guarantee.to_string());
+    r.makespan_num = Some(report.makespan.num());
+    r.makespan_den = Some(report.makespan.den());
+    r.lower_bound_num = Some(report.lower_bound.num());
+    r.lower_bound_den = Some(report.lower_bound.den());
+    r.assignment = Some(schedule.assignment().to_vec());
+    r.cached = Some(cached);
+    let elapsed = t0.elapsed();
+    r.time_ms = Some(elapsed.as_secs_f64() * 1e3);
+    shared.metrics.solved.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.record_latency(elapsed.as_micros() as u64);
+    r
+}
+
+/// Maps each position of the server's sorted `Q` speeds vector to a
+/// submitted machine index with the same speed (duplicates consumed in
+/// submission order — equal-speed machines are interchangeable).
+fn sorted_to_submitted(sorted: &[u64], submitted: &[u64]) -> Vec<u32> {
+    let mut buckets: std::collections::HashMap<u64, std::collections::VecDeque<u32>> =
+        std::collections::HashMap::new();
+    for (i, &s) in submitted.iter().enumerate() {
+        buckets.entry(s).or_default().push_back(i as u32);
+    }
+    sorted
+        .iter()
+        .map(|s| {
+            buckets
+                .get_mut(s)
+                .and_then(|q| q.pop_front())
+                .expect("sorted speeds are a permutation of the submitted speeds")
+        })
+        .collect()
+}
+
+/// Stable byte encoding of everything in a [`SolverConfig`] that can
+/// change a solve's outcome — part of the cache key.
+fn config_cache_bytes(config: &SolverConfig) -> Vec<u8> {
+    use bisched_core::MethodPolicy;
+    let mut out = Vec::new();
+    out.extend_from_slice(&config.eps.to_bits().to_le_bytes());
+    out.extend_from_slice(&config.exact_budget.to_le_bytes());
+    out.extend_from_slice(&config.bnb_node_limit.to_le_bytes());
+    out.extend_from_slice(&(config.auto_exact_jobs as u64).to_le_bytes());
+    out.extend_from_slice(&config.seed.to_le_bytes());
+    match &config.policy {
+        MethodPolicy::Auto => out.push(0),
+        MethodPolicy::Force(m) => {
+            out.push(1);
+            out.extend_from_slice(m.name().as_bytes());
+        }
+        MethodPolicy::Portfolio(methods) => {
+            out.push(2);
+            for m in methods {
+                out.extend_from_slice(m.name().as_bytes());
+                out.push(b',');
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: starts a service on `addr` with default options.
+pub fn serve<A: ToSocketAddrs + std::fmt::Display>(addr: A) -> std::io::Result<Service> {
+    Service::start(ServeOptions {
+        addr: addr.to_string(),
+        ..ServeOptions::default()
+    })
+}

@@ -1,0 +1,137 @@
+//! The solver worker pool: N threads over one shared MPSC queue, each
+//! draining up to `batch_max` queued jobs per wake-up into a single
+//! [`Solver::solve_batch`] call (the micro-batching collector).
+//!
+//! Workers solve **canonical** instances and publish the reports into the
+//! shared cache before replying. There is no single-flight deduplication:
+//! k *concurrent* identical misses may each be solved before the first
+//! insert lands; every submission after that is a cache hit. When the
+//! server drops the queue's sender
+//! during shutdown, each worker finishes draining whatever was already
+//! accepted and exits — no accepted job is dropped.
+
+use crate::server::Shared;
+use bisched_core::{SolveError, SolveReport, Solver, SolverConfig};
+use bisched_model::Instance;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued solve: the canonicalized request plus its reply channel.
+/// The handler keeps the label permutations; the worker only needs the
+/// canonical instance and its cache key.
+pub(crate) struct Job {
+    /// The instance in canonical form.
+    pub instance: Instance,
+    /// Cache key of the canonical form.
+    pub fingerprint: u128,
+    /// Canonical certificate bytes (stored with the cache entry).
+    pub certificate: Vec<u8>,
+    /// Fully resolved solver configuration for this request.
+    pub config: SolverConfig,
+    /// Oneshot reply channel back to the connection handler.
+    pub reply: Sender<JobReply>,
+}
+
+/// What a worker sends back (in **canonical** labeling; the handler maps
+/// it through its [`Canonical`] perms).
+pub(crate) enum JobReply {
+    /// The canonical instance's solve report.
+    Solved(Arc<SolveReport>),
+    /// The solve failed.
+    Failed(SolveError),
+}
+
+/// Spawns `n` workers over `rx`.
+pub(crate) fn spawn_workers(
+    n: usize,
+    batch_max: usize,
+    rx: Receiver<Job>,
+    shared: Arc<Shared>,
+) -> Vec<JoinHandle<()>> {
+    let rx = Arc::new(Mutex::new(rx));
+    (0..n)
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("bisched-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &shared, batch_max))
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared, batch_max: usize) {
+    loop {
+        let mut batch = Vec::new();
+        {
+            // Hold the receiver only while collecting; solving happens
+            // unlocked so other workers keep draining.
+            let guard = rx.lock().unwrap();
+            match guard.recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => return, // queue closed and drained: shutdown
+            }
+            while batch.len() < batch_max.max(1) {
+                match guard.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        process_batch(batch, shared);
+    }
+}
+
+/// Solves one collected batch: jobs are grouped by configuration (each
+/// group shares one `Solver` and one `solve_batch` call), results are
+/// cached and replied per job.
+fn process_batch(batch: Vec<Job>, shared: &Shared) {
+    shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .batched_jobs
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let mut groups: Vec<(SolverConfig, Vec<Job>)> = Vec::new();
+    for job in batch {
+        match groups.iter_mut().find(|(c, _)| *c == job.config) {
+            Some((_, jobs)) => jobs.push(job),
+            None => {
+                let config = job.config.clone();
+                groups.push((config, vec![job]));
+            }
+        }
+    }
+    for (config, jobs) in groups {
+        let solver: Solver = match config.build() {
+            Ok(s) => s,
+            Err(e) => {
+                for job in jobs {
+                    let _ = job.reply.send(JobReply::Failed(e.clone()));
+                }
+                continue;
+            }
+        };
+        let instances: Vec<Instance> = jobs.iter().map(|j| j.instance.clone()).collect();
+        let reports = solver.solve_batch(&instances);
+        for (job, result) in jobs.into_iter().zip(reports) {
+            match result {
+                Ok(report) => {
+                    let report = Arc::new(report);
+                    shared.metrics.record_win(report.method);
+                    shared.cache.lock().unwrap().insert(
+                        job.fingerprint,
+                        job.certificate,
+                        Arc::clone(&report),
+                    );
+                    let _ = job.reply.send(JobReply::Solved(report));
+                }
+                Err(e) => {
+                    let _ = job.reply.send(JobReply::Failed(e));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! End-to-end service tests: a daemon on an ephemeral loopback port, a
+//! mixed {P,Q,R} × {2,3,8} workload pushed concurrently from several
+//! client threads, response validation against the original instances,
+//! cache-hit accounting, and a graceful drain on shutdown.
+
+use bisched_graph::gilbert_bipartite;
+use bisched_model::{
+    Instance, InstanceData, JobSizes, Rat, Schedule, SpeedProfile, UnrelatedFamily,
+};
+use bisched_service::{Client, Request, ServeOptions, Service};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Two instances for every (env, m) pair of {P,Q,R} × {2,3,8}.
+fn mixed_workload() -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(0x5EEE);
+    let mut out = Vec::new();
+    for &m in &[2usize, 3, 8] {
+        for round in 0..2u64 {
+            // n ≥ 11 keeps Auto off the exhaustive branch-and-bound path,
+            // which is slow in debug builds.
+            let n = 11 + (m + round as usize) % 4;
+            let g = gilbert_bipartite(n / 2, n - n / 2, 0.35, &mut rng);
+            let sizes = JobSizes::Uniform { lo: 1, hi: 25 }.sample(n, &mut rng);
+            out.push(Instance::identical(m, sizes, g.clone()).unwrap());
+
+            let g = gilbert_bipartite(n / 2, n - n / 2, 0.35, &mut rng);
+            let sizes = JobSizes::Uniform { lo: 1, hi: 25 }.sample(n, &mut rng);
+            let speeds = SpeedProfile::Geometric { ratio: 2 }.speeds(m);
+            out.push(Instance::uniform(speeds, sizes, g).unwrap());
+
+            let g = gilbert_bipartite(n / 2, n - n / 2, 0.35, &mut rng);
+            let times = UnrelatedFamily::Uncorrelated { lo: 1, hi: 40 }.sample(m, n, &mut rng);
+            out.push(Instance::unrelated(times, g).unwrap());
+        }
+    }
+    out
+}
+
+/// Submits the whole workload on one connection, validating every
+/// response against its instance; returns (ok, cached) counts.
+fn submit_all(addr: std::net::SocketAddr, workload: &[Instance]) -> (usize, usize) {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut ok = 0;
+    let mut cached = 0;
+    for (k, inst) in workload.iter().enumerate() {
+        let mut req = Request::solve(InstanceData::from_instance(inst));
+        req.id = Some(k as u64);
+        let resp = client.request(&req).expect("response");
+        assert_eq!(resp.status, "ok", "request {k}: {:?}", resp.error);
+        assert_eq!(resp.id, Some(k as u64));
+        let assignment = resp.assignment.clone().expect("assignment");
+        let schedule = Schedule::new(assignment);
+        schedule
+            .validate(inst)
+            .unwrap_or_else(|e| panic!("request {k} returned an invalid schedule: {e}"));
+        // The reported makespan must be the mapped schedule's actual
+        // makespan — this catches bad cache-hit label translation.
+        let reported = Rat::new(resp.makespan_num.unwrap(), resp.makespan_den.unwrap());
+        assert_eq!(
+            schedule.makespan(inst),
+            reported,
+            "request {k}: reported makespan disagrees with the returned schedule"
+        );
+        ok += 1;
+        if resp.cached == Some(true) {
+            cached += 1;
+        }
+    }
+    (ok, cached)
+}
+
+#[test]
+fn concurrent_mixed_workload_validates_hits_cache_and_drains() {
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 3,
+        batch: 4,
+        cache_cap: 256,
+        queue_cap: 512,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let addr = service.local_addr();
+    let workload = Arc::new(mixed_workload());
+    assert_eq!(workload.len(), 18); // {P,Q,R} x {2,3,8} x 2 rounds
+
+    // Four client threads submit the *same* workload concurrently, so
+    // every instance is solved at most a handful of times and served
+    // from the cache afterwards.
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let workload = Arc::clone(&workload);
+            std::thread::spawn(move || submit_all(addr, &workload))
+        })
+        .collect();
+    let mut total_ok = 0;
+    let mut total_cached = 0;
+    for t in threads {
+        let (ok, cached) = t.join().expect("client thread");
+        total_ok += ok;
+        total_cached += cached;
+    }
+    assert_eq!(total_ok, 4 * workload.len(), "every request answered ok");
+    assert!(
+        total_cached > 0,
+        "duplicate submissions must be served from the cache"
+    );
+
+    // Stats agree: hits observed, everything solved, nothing dropped.
+    let mut client = Client::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    assert!(stats.cache_hits > 0, "stats must report cache hits");
+    assert_eq!(stats.solved, 4 * workload.len() as u64);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.batches > 0);
+    assert!(stats.batched_jobs >= stats.cache_misses);
+    assert!(stats.hit_rate > 0.0 && stats.hit_rate < 1.0);
+
+    // Graceful shutdown over the wire; join must drain and return the
+    // final numbers without losing anything accepted.
+    let resp = client.shutdown_server().expect("shutdown ack");
+    assert_eq!(resp.status, "ok");
+    drop(client);
+    let final_stats = service.join();
+    assert_eq!(final_stats.solved, 4 * workload.len() as u64);
+    assert_eq!(final_stats.errors, 0);
+}
+
+#[test]
+fn isomorphic_relabelings_hit_the_cache() {
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        batch: 1,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let mut client = Client::connect(service.local_addr()).expect("connect");
+
+    // Same instance under two different job labelings.
+    let a = Instance::identical(
+        2,
+        vec![5, 3, 8, 2, 9],
+        bisched_graph::Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]),
+    )
+    .unwrap();
+    let b = Instance::identical(
+        2,
+        vec![9, 2, 8, 3, 5],
+        bisched_graph::Graph::from_edges(5, &[(4, 3), (3, 2), (1, 0)]),
+    )
+    .unwrap();
+
+    let ra = client.solve(InstanceData::from_instance(&a)).expect("a");
+    assert_eq!(ra.status, "ok");
+    assert_eq!(ra.cached, Some(false));
+    let rb = client.solve(InstanceData::from_instance(&b)).expect("b");
+    assert_eq!(rb.status, "ok");
+    assert_eq!(rb.cached, Some(true), "relabeling must hit the cache");
+    // And the cached answer is translated into b's labeling correctly.
+    let schedule = Schedule::new(rb.assignment.unwrap());
+    assert!(schedule.validate(&b).is_ok());
+    assert_eq!(
+        (rb.makespan_num, rb.makespan_den),
+        (ra.makespan_num, ra.makespan_den),
+        "isomorphic instances share their makespan"
+    );
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn per_request_overrides_and_errors() {
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        batch: 4,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let mut client = Client::connect(service.local_addr()).expect("connect");
+
+    // Forced method that does not apply -> typed error response.
+    let q3 = Instance::uniform(vec![3, 2, 1], vec![1; 6], bisched_graph::Graph::path(6)).unwrap();
+    let mut req = Request::solve(InstanceData::from_instance(&q3));
+    req.method = Some("fptas".into());
+    let resp = client.request(&req).expect("response");
+    assert_eq!(resp.status, "error");
+    assert!(resp.error.unwrap().contains("not applicable"));
+
+    // Unknown engine name rejected up front.
+    let mut req = Request::solve(InstanceData::from_instance(&q3));
+    req.method = Some("no-such-engine".into());
+    let resp = client.request(&req).expect("response");
+    assert_eq!(resp.status, "error");
+
+    // Non-bipartite instance -> typed solve error.
+    let odd = Instance::identical(3, vec![1; 5], bisched_graph::Graph::cycle(5)).unwrap();
+    let resp = client
+        .solve(InstanceData::from_instance(&odd))
+        .expect("response");
+    assert_eq!(resp.status, "error");
+    assert!(resp.error.unwrap().contains("bipartite"));
+
+    // Garbage line on a raw socket -> typed error response, and the same
+    // connection stays usable for a valid request afterwards.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut raw = std::net::TcpStream::connect(service.local_addr()).expect("raw connect");
+        let mut lines = BufReader::new(raw.try_clone().expect("clone"));
+        writeln!(raw, "this is not json \u{1F41B}").expect("write garbage");
+        let mut line = String::new();
+        lines.read_line(&mut line).expect("error response");
+        assert!(line.contains("\"status\":\"error\""), "got: {line}");
+        writeln!(raw, "{{\"verb\":\"ping\",\"id\":9}}").expect("write ping");
+        line.clear();
+        lines.read_line(&mut line).expect("ping response");
+        assert!(line.contains("\"status\":\"ok\""), "got: {line}");
+    }
+    let ping = client.ping().expect("ping after errors");
+    assert_eq!(ping.status, "ok");
+
+    // `method: "auto"` restores Auto dispatch even when it was already
+    // resolved (it is not silently ignored).
+    let mut req = Request::solve(InstanceData::from_instance(&q3));
+    req.method = Some("auto".into());
+    let resp = client.request(&req).expect("auto method");
+    assert_eq!(resp.status, "ok");
+
+    // Different solver configurations never share cache entries: a
+    // default-config (Auto) report must not answer a forced-method
+    // request for the same instance, and each configuration caches
+    // independently.
+    let r2 = Instance::unrelated(
+        vec![vec![3, 5, 2, 4, 6, 3], vec![4, 2, 6, 3, 2, 5]],
+        bisched_graph::Graph::path(6),
+    )
+    .unwrap();
+    let auto = client
+        .solve(InstanceData::from_instance(&r2))
+        .expect("auto");
+    assert_eq!(auto.cached, Some(false));
+    let mut forced = Request::solve(InstanceData::from_instance(&r2));
+    forced.method = Some("twoapprox".into());
+    let f1 = client.request(&forced).expect("forced 1");
+    assert_eq!(
+        (f1.status.as_str(), f1.cached, f1.method.as_deref()),
+        ("ok", Some(false), Some("twoapprox")),
+        "a forced method must not be served the Auto report"
+    );
+    let f2 = client.request(&forced).expect("forced 2");
+    assert_eq!(
+        (f2.cached, f2.method.as_deref()),
+        (Some(true), Some("twoapprox"))
+    );
+    let auto2 = client
+        .solve(InstanceData::from_instance(&r2))
+        .expect("auto 2");
+    assert_eq!(auto2.cached, Some(true));
+    assert_eq!(auto2.method, auto.method);
+
+    // no_cache forces a re-solve but still stores/refreshes.
+    let mut req = Request::solve(InstanceData::from_instance(&q3));
+    req.no_cache = Some(true);
+    let r1 = client.request(&req).expect("r1");
+    assert_eq!(r1.cached, Some(false));
+    let r2 = client.solve(InstanceData::from_instance(&q3)).expect("r2");
+    assert_eq!(r2.cached, Some(true));
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn unsorted_q_speeds_answered_in_submitted_machine_order() {
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        batch: 1,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let mut client = Client::connect(service.local_addr()).expect("connect");
+
+    // Submitted speeds are [1, 3]: the server sorts them internally, so
+    // without translation machine ids would silently refer to the wrong
+    // machines. The reported makespan must match the schedule evaluated
+    // under the *submitted* speed order.
+    let data = InstanceData {
+        env: "Q".into(),
+        machines: None,
+        speeds: Some(vec![1, 3]),
+        processing: Some(vec![4, 4, 2]),
+        times: None,
+        jobs: 3,
+        edges: vec![(0, 1)],
+    };
+    let resp = client.solve(data).expect("solve");
+    assert_eq!(resp.status, "ok", "{:?}", resp.error);
+    let assignment = resp.assignment.expect("assignment");
+    assert_ne!(assignment[0], assignment[1], "edge (0,1) must split");
+    let mut loads = [0u64; 2];
+    for (j, &m) in assignment.iter().enumerate() {
+        loads[m as usize] += [4u64, 4, 2][j];
+    }
+    let submitted_speeds = [1u64, 3];
+    let makespan = (0..2)
+        .map(|i| Rat::new(loads[i], submitted_speeds[i]))
+        .max()
+        .unwrap();
+    let reported = Rat::new(resp.makespan_num.unwrap(), resp.makespan_den.unwrap());
+    assert_eq!(
+        makespan, reported,
+        "assignment must be expressed in the submitted machine order"
+    );
+
+    service.shutdown();
+    service.join();
+}

@@ -65,6 +65,41 @@
 //! assert!(reports[0].is_ok());
 //! ```
 //!
+//! ## Running as a service
+//!
+//! For bulk traffic, [`service`] wraps the solver in a long-running
+//! daemon (JSON-lines over TCP — see `crates/service/PROTOCOL.md`): a
+//! worker pool micro-batches requests into
+//! [`Solver::solve_batch`](core::Solver::solve_batch), and a
+//! canonicalization cache (instances reduced to the normal form of
+//! [`model::canonical`]) answers repeated *and isomorphically relabeled*
+//! submissions without re-solving:
+//!
+//! ```
+//! use bisched::prelude::*;
+//! use bisched::model::InstanceData;
+//! use bisched::service::{Client, ServeOptions, Service};
+//!
+//! let service = Service::start(ServeOptions::default()).unwrap();
+//! let mut client = Client::connect(service.local_addr()).unwrap();
+//!
+//! let inst = Instance::identical(2, vec![3, 2, 4], Graph::path(3)).unwrap();
+//! let first = client.solve(InstanceData::from_instance(&inst)).unwrap();
+//! assert_eq!(first.status, "ok");
+//! let again = client.solve(InstanceData::from_instance(&inst)).unwrap();
+//! assert_eq!(again.cached, Some(true)); // served from the cache
+//!
+//! client.shutdown_server().unwrap();
+//! service.join(); // drains the queue, logs final stats
+//! ```
+//!
+//! From the command line: `bisched_cli serve --addr 127.0.0.1:7878`
+//! starts the daemon; `bisched_cli submit --addr 127.0.0.1:7878
+//! workload.jsonl --repeat 2` pushes a JSONL workload through it,
+//! validates every returned schedule, and prints req/s and the cache
+//! hit rate. The `stats` verb exposes requests served, hit rate,
+//! p50/p99 latency, and per-engine win counts.
+//!
 //! ## Guarantees and where they come from
 //!
 //! Every report carries a typed [`Guarantee`](core::Guarantee) tied to the
@@ -92,7 +127,9 @@
 //!   2-approximation;
 //! * [`core`] — the paper's Algorithms 1–5, Theorem 4, the Theorem 8/24
 //!   gap reductions, and the [`Solver`](core::Solver) engine;
-//! * [`random`] — Section 4.1's random-graph analysis.
+//! * [`random`] — Section 4.1's random-graph analysis;
+//! * [`service`] — the solve daemon: JSON-lines TCP protocol,
+//!   canonicalization cache, micro-batching worker pool, stats.
 
 #![warn(missing_docs)]
 
@@ -103,6 +140,7 @@ pub use bisched_fptas as fptas;
 pub use bisched_graph as graph;
 pub use bisched_model as model;
 pub use bisched_random as random;
+pub use bisched_service as service;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
