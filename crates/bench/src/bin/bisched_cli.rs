@@ -10,7 +10,12 @@
 //! bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
 //!                   [--cache-cap <n>] [--queue-cap <n>]
 //! bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>]
-//!                    [--no-cache] [--shutdown]
+//!                    [--no-cache] [--shutdown] [--json]
+//! bisched_cli lab list
+//! bisched_cli lab run --suite quick|full|paper-sec4 [--out <path>]
+//!                     [--reps <n>] [--warmup <n>] [--seq]
+//! bisched_cli lab compare <old.json> <new.json> [--fail-threshold <pct>]
+//!                         [--quality-threshold <pct>]
 //! ```
 //!
 //! `solve` runs the `Solver` engine. `--method` names one engine
@@ -27,7 +32,15 @@
 //! arrives; `submit` pushes a JSONL workload (one `InstanceData` object
 //! per line) through a running daemon, validates every returned schedule
 //! client-side, and prints a throughput summary — `--repeat` replays the
-//! file K times so cache behaviour shows up in the hit rate.
+//! file K times so cache behaviour shows up in the hit rate, and
+//! `--json` swaps the summary for one machine-readable JSON object
+//! (req/s, hit rate, client-side p50/p99 latency) so load runs can be
+//! scripted alongside the in-process lab suites.
+//!
+//! `lab` drives the `bisched-lab` benchmark harness: `list` prints the
+//! scenario corpus, `run` executes a suite and writes
+//! `BENCH_<suite>.json` plus a Markdown summary, and `compare` is the
+//! perf-regression gate (nonzero exit on regression).
 
 use bisched_core::{EngineOutcome, Guarantee, Method, SolveReport, SolverConfig};
 use bisched_graph::{gilbert_bipartite, is_bipartite, Components};
@@ -47,6 +60,7 @@ fn main() -> ExitCode {
         Some("solve") => cmd_solve(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("lab") => cmd_lab(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
     match result {
@@ -68,7 +82,13 @@ const USAGE: &str = "usage:
                            [--exact-budget <mass>] [--json]
   bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
                     [--cache-cap <n>] [--queue-cap <n>]
-  bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>] [--no-cache] [--shutdown]";
+  bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>] [--no-cache] [--shutdown]
+                     [--json]
+  bisched_cli lab list
+  bisched_cli lab run --suite quick|full|paper-sec4 [--out <path>] [--reps <n>] [--warmup <n>]
+                      [--seq]
+  bisched_cli lab compare <old.json> <new.json> [--fail-threshold <pct>]
+                          [--quality-threshold <pct>]";
 
 fn parse<T: std::str::FromStr>(s: Option<&String>, what: &str) -> Result<T, String> {
     s.ok_or_else(|| format!("missing {what}\n{USAGE}"))?
@@ -287,6 +307,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut repeat: usize = 1;
     let mut no_cache = false;
     let mut shutdown = false;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -294,6 +315,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             "--repeat" => repeat = parse(it.next(), "--repeat value")?,
             "--no-cache" => no_cache = true,
             "--shutdown" => shutdown = true,
+            "--json" => json = true,
             other if !other.starts_with("--") => file = Some(other.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -324,6 +346,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut errors = 0u64;
     let mut invalid = 0u64;
     let mut hits = 0u64;
+    let mut latencies_ms: Vec<f64> = Vec::new();
     let t0 = std::time::Instant::now();
     for round in 0..repeat.max(1) {
         for (k, (data, inst)) in workload.iter().enumerate() {
@@ -335,6 +358,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             requests += 1;
             // Backpressure: retry `busy` a few times with a short pause
             // before counting the request as dropped.
+            let t_req = std::time::Instant::now();
             let mut resp = client.request(&req).map_err(|e| format!("submit: {e}"))?;
             for _ in 0..3 {
                 if resp.status != "busy" {
@@ -342,6 +366,9 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
                 }
                 std::thread::sleep(std::time::Duration::from_millis(20));
                 resp = client.request(&req).map_err(|e| format!("submit: {e}"))?;
+            }
+            if resp.status == "ok" {
+                latencies_ms.push(t_req.elapsed().as_secs_f64() * 1e3);
             }
             match resp.status.as_str() {
                 "ok" => {
@@ -371,30 +398,53 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         }
     }
     let elapsed = t0.elapsed().as_secs_f64();
-    println!("requests    {requests}");
-    println!("validated   {ok}/{requests}");
-    println!("invalid     {invalid}");
-    println!("busy        {busy}");
-    println!("errors      {errors}");
-    println!("cache hits  {hits}");
-    println!(
-        "hit rate    {:.2}",
-        if requests > 0 {
-            hits as f64 / requests as f64
-        } else {
-            0.0
-        }
-    );
-    println!("elapsed     {elapsed:.3} s");
-    println!(
-        "throughput  {:.1} req/s",
-        requests as f64 / elapsed.max(1e-9)
-    );
+    let hit_rate = if requests > 0 {
+        hits as f64 / requests as f64
+    } else {
+        0.0
+    };
+    let req_per_s = requests as f64 / elapsed.max(1e-9);
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let p50_ms = bisched_lab::percentile(&latencies_ms, 50.0);
+    let p99_ms = bisched_lab::percentile(&latencies_ms, 99.0);
+    if json {
+        // One machine-readable object so the lab (and CI) can script
+        // service-level load runs alongside the in-process suites.
+        let float = |x: f64| Value::Number(serde_json::Number::from_f64(x));
+        let int = |x: u64| Value::Number(serde_json::Number::from_u64(x));
+        let mut obj = Map::new();
+        obj.insert("requests".into(), int(requests));
+        obj.insert("validated".into(), int(ok));
+        obj.insert("invalid".into(), int(invalid));
+        obj.insert("busy".into(), int(busy));
+        obj.insert("errors".into(), int(errors));
+        obj.insert("cache_hits".into(), int(hits));
+        obj.insert("hit_rate".into(), float(hit_rate));
+        obj.insert("elapsed_s".into(), float(elapsed));
+        obj.insert("req_per_s".into(), float(req_per_s));
+        obj.insert("p50_ms".into(), float(p50_ms));
+        obj.insert("p99_ms".into(), float(p99_ms));
+        println!("{}", Value::Object(obj));
+    } else {
+        println!("requests    {requests}");
+        println!("validated   {ok}/{requests}");
+        println!("invalid     {invalid}");
+        println!("busy        {busy}");
+        println!("errors      {errors}");
+        println!("cache hits  {hits}");
+        println!("hit rate    {hit_rate:.2}");
+        println!("elapsed     {elapsed:.3} s");
+        println!("throughput  {req_per_s:.1} req/s");
+        println!("p50 latency {p50_ms:.3} ms");
+        println!("p99 latency {p99_ms:.3} ms");
+    }
     if shutdown {
         client
             .shutdown_server()
             .map_err(|e| format!("shutdown: {e}"))?;
-        println!("server shutdown requested");
+        if !json {
+            println!("server shutdown requested");
+        }
     }
     // A dropped (still-busy) request is a failure too: exit 0 must mean
     // the whole workload was solved and validated.
@@ -404,6 +454,135 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+fn cmd_lab(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_lab_list(),
+        Some("run") => cmd_lab_run(&args[1..]),
+        Some("compare") => cmd_lab_compare(&args[1..]),
+        _ => Err(format!("lab needs list|run|compare\n{USAGE}")),
+    }
+}
+
+fn cmd_lab_list() -> Result<(), String> {
+    for name in bisched_lab::suite_names() {
+        let suite = bisched_lab::suite(name).expect("registered suite");
+        let configs: Vec<&str> = suite.configs.iter().map(|c| c.name.as_str()).collect();
+        println!(
+            "suite {:<12} {} scenarios x {} configs [{}]{}",
+            suite.name,
+            suite.scenarios.len(),
+            suite.configs.len(),
+            configs.join(", "),
+            if suite.sec4.is_some() {
+                "  + Section 4.1 tables"
+            } else {
+                ""
+            }
+        );
+        for scenario in &suite.scenarios {
+            println!("  {}", scenario.describe());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_lab_run(args: &[String]) -> Result<(), String> {
+    let mut suite_name: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut opts = bisched_lab::RunOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--suite" => suite_name = Some(parse(it.next(), "--suite value")?),
+            "--out" => out = Some(parse(it.next(), "--out value")?),
+            "--reps" => opts.reps = parse(it.next(), "--reps value")?,
+            "--warmup" => opts.warmup = parse(it.next(), "--warmup value")?,
+            "--seq" => opts.parallel = false,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let name = suite_name.ok_or_else(|| format!("lab run requires --suite\n{USAGE}"))?;
+    let suite = bisched_lab::suite(&name).ok_or_else(|| {
+        format!(
+            "unknown suite {name:?}; registered: {}",
+            bisched_lab::suite_names().join(", ")
+        )
+    })?;
+    let report = bisched_lab::run_suite(&suite, &opts);
+    let errored: Vec<&bisched_lab::CellReport> =
+        report.cells.iter().filter(|c| c.error.is_some()).collect();
+    for cell in &errored {
+        eprintln!(
+            "cell {} failed: {}",
+            cell.key(),
+            cell.error.as_deref().unwrap_or("?")
+        );
+    }
+    let json_path = std::path::PathBuf::from(out.unwrap_or_else(|| format!("BENCH_{name}.json")));
+    let md_path = report
+        .write_files(&json_path)
+        .map_err(|e| format!("{}: {e}", json_path.display()))?;
+    println!(
+        "suite {:<12} {} cells in {:.2} s  ->  {} + {}",
+        report.suite,
+        report.cells.len(),
+        report.total_wall_s,
+        json_path.display(),
+        md_path.display()
+    );
+    if !errored.is_empty() {
+        return Err(format!("{} cells failed to solve", errored.len()));
+    }
+    Ok(())
+}
+
+fn cmd_lab_compare(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut opts = bisched_lab::CompareOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fail-threshold" => {
+                opts.fail_threshold_pct = parse(it.next(), "--fail-threshold value")?
+            }
+            "--quality-threshold" => {
+                opts.quality_threshold_pct = parse(it.next(), "--quality-threshold value")?
+            }
+            other if !other.starts_with("--") => paths.push(arg),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err(format!("lab compare needs <old.json> <new.json>\n{USAGE}"));
+    };
+    let load = |path: &str| -> Result<bisched_lab::LabReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    println!(
+        "comparing {} ({} cells) vs {} ({} cells), fail threshold +{}% p50, +{}% quality",
+        old_path,
+        old.cells.len(),
+        new_path,
+        new.cells.len(),
+        opts.fail_threshold_pct,
+        opts.quality_threshold_pct
+    );
+    let outcome = bisched_lab::compare(&old, &new, &opts);
+    print!("{}", outcome.render());
+    if outcome.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf gate failed: {} regressions, {} missing cells",
+            outcome.regressions.len(),
+            outcome.missing.len()
+        ))
+    }
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {

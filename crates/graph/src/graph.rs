@@ -52,6 +52,23 @@ impl Graph {
         builder.build()
     }
 
+    /// The crown graph `S_n^0`: `K_{n,n}` minus a perfect matching (left
+    /// `i` is compatible with right `n + i` only). The uniform-machine
+    /// scheduling line of Furmańczyk–Kubale (arXiv:1602.01867) studies
+    /// exactly this family; its inequitable colorings are maximally
+    /// constrained while every vertex still has one private partner.
+    pub fn crown(n: usize) -> Self {
+        let mut builder = GraphBuilder::new(2 * n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    builder.add_edge(u as Vertex, (n + v) as Vertex);
+                }
+            }
+        }
+        builder.build()
+    }
+
     /// A simple path `0 - 1 - ... - (n-1)`; bipartite, handy in tests.
     pub fn path(n: usize) -> Self {
         let edges: Vec<_> = (1..n as Vertex).map(|v| (v - 1, v)).collect();
@@ -264,6 +281,20 @@ mod tests {
     #[should_panic(expected = "self-loops")]
     fn self_loop_rejected() {
         Graph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn crown_is_complete_bipartite_minus_perfect_matching() {
+        let g = Graph::crown(4);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 4 * 3);
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 3);
+            assert!(!g.has_edge(v, 4 + v), "private partner must stay free");
+        }
+        // Degenerate sizes are fine.
+        assert_eq!(Graph::crown(0).num_vertices(), 0);
+        assert_eq!(Graph::crown(1).num_edges(), 0);
     }
 
     #[test]

@@ -43,5 +43,6 @@ pub use graph::{Graph, GraphBuilder, Vertex};
 pub use independent::{max_weight_independent_set, max_weight_is_containing, WeightedIs};
 pub use matching::{maximum_matching, Matching};
 pub use random::{
-    bounded_degree_bipartite, caterpillar, gilbert_bipartite, random_tree, EdgeProbability,
+    bounded_degree_bipartite, caterpillar, gilbert_bipartite, random_forest, random_tree,
+    regular_bipartite, EdgeProbability,
 };

@@ -159,6 +159,41 @@ fn shuffle<R: Rng + ?Sized>(v: &mut [Vertex], rng: &mut R) {
     }
 }
 
+/// A random `d`-regular bipartite graph on `n + n` vertices, built as the
+/// union of `d` pairwise-disjoint perfect matchings: matching `s` joins
+/// left `i` to right `π((i + s) mod n)` for a random permutation `π`.
+/// Distinct shifts hit distinct right partners, so every vertex has degree
+/// exactly `d`. `d = 3` gives the cubic bipartite graphs of the
+/// Furmańczyk–Kubale uniform-machine line (arXiv:1502.04240).
+pub fn regular_bipartite<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(d <= n, "a d-regular bipartite side needs n >= d");
+    let mut pi: Vec<Vertex> = (0..n as Vertex).collect();
+    shuffle(&mut pi, rng);
+    let mut b = GraphBuilder::new(2 * n);
+    for s in 0..d {
+        for i in 0..n {
+            b.add_edge(i as Vertex, n as Vertex + pi[(i + s) % n]);
+        }
+    }
+    b.build()
+}
+
+/// A random labelled forest: `trees` independent uniform random trees over
+/// `n` vertices total (sizes as equal as possible). Forests are the
+/// tree-structured bipartite subclass the related work ([3]) solves
+/// exactly; here they exercise the component-wise paths of the general
+/// algorithms.
+pub fn random_forest<R: Rng + ?Sized>(n: usize, trees: usize, rng: &mut R) -> Graph {
+    assert!(trees >= 1);
+    let mut g = Graph::empty(0);
+    let (base, extra) = (n / trees, n % trees);
+    for t in 0..trees {
+        let size = base + usize::from(t < extra);
+        g = g.disjoint_union(&random_tree(size, rng)).0;
+    }
+    g
+}
+
 /// The three `p(n)` regimes the paper analyses, plus the constant regime of
 /// Corollary 16. Parameterised so experiment sweeps can name them.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -344,6 +379,38 @@ mod tests {
         // Interior spine vertices have degree legs + 2.
         assert_eq!(g.degree(1), 5);
         assert_eq!(g.degree(0), 4);
+    }
+
+    #[test]
+    fn regular_bipartite_is_exactly_regular() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for (n, d) in [(5usize, 0usize), (6, 1), (9, 3), (12, 5)] {
+            let g = regular_bipartite(n, d, &mut rng);
+            assert!(is_bipartite(&g));
+            assert_eq!(g.num_vertices(), 2 * n);
+            assert_eq!(g.num_edges(), n * d);
+            for v in g.vertices() {
+                assert_eq!(g.degree(v), d, "vertex {v} not {d}-regular");
+            }
+            for (u, v) in g.edges() {
+                assert!((u as usize) < n && (v as usize) >= n);
+            }
+        }
+    }
+
+    #[test]
+    fn random_forest_has_forest_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for (n, trees) in [(12usize, 1usize), (20, 3), (7, 7)] {
+            let f = random_forest(n, trees, &mut rng);
+            assert_eq!(f.num_vertices(), n);
+            assert_eq!(f.num_edges(), n - trees.min(n));
+            assert!(is_bipartite(&f));
+            assert_eq!(
+                crate::components::Components::of(&f).count(),
+                trees.min(n).max(1)
+            );
+        }
     }
 
     #[test]

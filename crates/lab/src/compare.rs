@@ -1,0 +1,297 @@
+//! The perf-regression gate: `old.json` vs `new.json`, cell by cell.
+//!
+//! A cell regresses when its median wall time grows by more than the
+//! failure threshold (and by more than an absolute noise floor), when its
+//! solution quality (`C/LB`) degrades past the quality threshold, when it
+//! starts erroring, or when it disappears from the new report. Faster
+//! cells are reported as improvements and never fail the gate.
+
+use crate::report::{CellReport, LabReport};
+use std::collections::BTreeMap;
+
+/// Gate thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct CompareOptions {
+    /// Fail when `p50_ms` grows by more than this percentage.
+    pub fail_threshold_pct: f64,
+    /// Fail when `ratio_lb` grows by more than this percentage.
+    pub quality_threshold_pct: f64,
+    /// Absolute wall-time growth (ms) below which a cell never fails —
+    /// keeps micro-cells from tripping the gate on scheduler jitter.
+    pub min_abs_ms: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            fail_threshold_pct: 75.0,
+            quality_threshold_pct: 10.0,
+            min_abs_ms: 0.02,
+        }
+    }
+}
+
+/// One per-cell finding (regression or improvement).
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Cell key (`scenario/config`).
+    pub cell: String,
+    /// `"p50_ms"`, `"ratio_lb"`, or `"error"`.
+    pub metric: String,
+    /// Old value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// Relative change in percent (`(new - old) / old * 100`).
+    pub delta_pct: f64,
+}
+
+impl Finding {
+    fn describe(&self) -> String {
+        format!(
+            "{:<40} {:>9}  {:>10.4} -> {:>10.4}  ({:+.1}%)",
+            self.cell, self.metric, self.old, self.new, self.delta_pct
+        )
+    }
+}
+
+/// The gate's verdict.
+#[derive(Clone, Debug, Default)]
+pub struct CompareOutcome {
+    /// Cells that regressed (time, quality, or new errors).
+    pub regressions: Vec<Finding>,
+    /// Cells that improved past the same thresholds.
+    pub improvements: Vec<Finding>,
+    /// Cell keys present in the old report but missing from the new one
+    /// (lost coverage — fails the gate).
+    pub missing: Vec<String>,
+    /// Cell keys new in the new report (fine; noted for the log).
+    pub added: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// `true` when the gate passes (no regressions, no lost coverage).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Human-readable verdict for CI logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.regressions.is_empty() {
+            out.push_str(&format!("REGRESSIONS ({}):\n", self.regressions.len()));
+            for f in &self.regressions {
+                out.push_str(&format!("  {}\n", f.describe()));
+            }
+        }
+        if !self.missing.is_empty() {
+            out.push_str(&format!(
+                "MISSING CELLS ({}): {}\n",
+                self.missing.len(),
+                self.missing.join(", ")
+            ));
+        }
+        if !self.improvements.is_empty() {
+            out.push_str(&format!("improvements ({}):\n", self.improvements.len()));
+            for f in &self.improvements {
+                out.push_str(&format!("  {}\n", f.describe()));
+            }
+        }
+        if !self.added.is_empty() {
+            out.push_str(&format!(
+                "new cells ({}): {}\n",
+                self.added.len(),
+                self.added.join(", ")
+            ));
+        }
+        out.push_str(if self.passed() {
+            "gate: PASS\n"
+        } else {
+            "gate: FAIL\n"
+        });
+        out
+    }
+}
+
+fn pct(old: f64, new: f64) -> f64 {
+    if old <= 0.0 {
+        if new <= 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new - old) / old * 100.0
+    }
+}
+
+/// Compares two reports under the gate thresholds.
+pub fn compare(old: &LabReport, new: &LabReport, opts: &CompareOptions) -> CompareOutcome {
+    let index = |r: &LabReport| -> BTreeMap<String, CellReport> {
+        r.cells.iter().map(|c| (c.key(), c.clone())).collect()
+    };
+    let old_cells = index(old);
+    let new_cells = index(new);
+    let mut outcome = CompareOutcome::default();
+    for key in new_cells.keys() {
+        if !old_cells.contains_key(key) {
+            outcome.added.push(key.clone());
+        }
+    }
+    for (key, o) in &old_cells {
+        let Some(n) = new_cells.get(key) else {
+            outcome.missing.push(key.clone());
+            continue;
+        };
+        match (&o.error, &n.error) {
+            (None, Some(_)) => {
+                // A cell that used to solve and now errors is the worst
+                // regression there is.
+                outcome.regressions.push(Finding {
+                    cell: key.clone(),
+                    metric: "error".into(),
+                    old: 0.0,
+                    new: 1.0,
+                    delta_pct: f64::INFINITY,
+                });
+                continue;
+            }
+            (Some(_), _) => continue, // was already broken; nothing to gate
+            (None, None) => {}
+        }
+        let time_delta = pct(o.p50_ms, n.p50_ms);
+        let time_finding = Finding {
+            cell: key.clone(),
+            metric: "p50_ms".into(),
+            old: o.p50_ms,
+            new: n.p50_ms,
+            delta_pct: time_delta,
+        };
+        // A shrink can never pass -100%, so a generous fail threshold
+        // (CI uses several hundred percent) must not silence the
+        // improvement log; cap the improvement side at -50%.
+        let improve_threshold_pct = opts.fail_threshold_pct.min(50.0);
+        if time_delta > opts.fail_threshold_pct && n.p50_ms - o.p50_ms > opts.min_abs_ms {
+            outcome.regressions.push(time_finding);
+        } else if time_delta < -improve_threshold_pct && o.p50_ms - n.p50_ms > opts.min_abs_ms {
+            outcome.improvements.push(time_finding);
+        }
+        let q_delta = pct(o.ratio_lb, n.ratio_lb);
+        if q_delta > opts.quality_threshold_pct {
+            outcome.regressions.push(Finding {
+                cell: key.clone(),
+                metric: "ratio_lb".into(),
+                old: o.ratio_lb,
+                new: n.ratio_lb,
+                delta_pct: q_delta,
+            });
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SCHEMA_VERSION;
+
+    fn cell(key: &str, p50: f64, ratio: f64) -> CellReport {
+        CellReport {
+            scenario: key.into(),
+            config: "auto".into(),
+            model: "P".into(),
+            family: "K{2,2}".into(),
+            jobs: 4,
+            machines: 2,
+            reps: 3,
+            mean_ms: p50,
+            p50_ms: p50,
+            p90_ms: p50 * 1.2,
+            max_ms: p50 * 1.5,
+            makespan: 10.0 * ratio,
+            lower_bound: 10.0,
+            ratio_lb: ratio,
+            ratio_opt: None,
+            method: "alg1".into(),
+            guarantee: "heuristic".into(),
+            error: None,
+        }
+    }
+
+    fn report(cells: Vec<CellReport>) -> LabReport {
+        LabReport {
+            schema: SCHEMA_VERSION,
+            suite: "quick".into(),
+            warmup: 1,
+            reps: 3,
+            total_wall_s: 1.0,
+            cells,
+            sec4_graph: None,
+            sec4_alg2: None,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![cell("a", 1.0, 1.1), cell("b", 0.2, 1.0)]);
+        let out = compare(&r, &r, &CompareOptions::default());
+        assert!(out.passed(), "{}", out.render());
+        assert!(out.regressions.is_empty() && out.missing.is_empty());
+    }
+
+    #[test]
+    fn doubled_times_fail_the_default_gate() {
+        let old = report(vec![cell("a", 1.0, 1.1), cell("b", 0.2, 1.0)]);
+        let mut degraded = old.clone();
+        for c in &mut degraded.cells {
+            c.p50_ms *= 2.0; // the synthetic 2x-slower copy
+            c.mean_ms *= 2.0;
+        }
+        let out = compare(&old, &degraded, &CompareOptions::default());
+        assert!(!out.passed());
+        assert_eq!(out.regressions.len(), 2);
+        assert!(out.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn small_jitter_under_the_noise_floor_passes() {
+        let old = report(vec![cell("a", 0.001, 1.0)]);
+        let new = report(vec![cell("a", 0.0025, 1.0)]); // +150% but 1.5 us
+        let out = compare(&old, &new, &CompareOptions::default());
+        assert!(out.passed(), "{}", out.render());
+    }
+
+    #[test]
+    fn quality_degradation_fails_independently_of_time() {
+        let old = report(vec![cell("a", 1.0, 1.1)]);
+        let new = report(vec![cell("a", 1.0, 1.5)]);
+        let out = compare(&old, &new, &CompareOptions::default());
+        assert!(!out.passed());
+        assert_eq!(out.regressions[0].metric, "ratio_lb");
+    }
+
+    #[test]
+    fn missing_and_errored_cells_fail_added_cells_pass() {
+        let old = report(vec![cell("a", 1.0, 1.0), cell("b", 1.0, 1.0)]);
+        let mut new = report(vec![cell("a", 1.0, 1.0), cell("c", 1.0, 1.0)]);
+        let out = compare(&old, &new, &CompareOptions::default());
+        assert!(!out.passed());
+        assert_eq!(out.missing, vec!["b/auto".to_string()]);
+        assert_eq!(out.added, vec!["c/auto".to_string()]);
+
+        new = report(vec![cell("a", 1.0, 1.0), cell("b", 1.0, 1.0)]);
+        new.cells[1].error = Some("boom".into());
+        let out = compare(&old, &new, &CompareOptions::default());
+        assert!(!out.passed());
+        assert_eq!(out.regressions[0].metric, "error");
+    }
+
+    #[test]
+    fn improvements_are_reported_not_failed() {
+        let old = report(vec![cell("a", 2.0, 1.0)]);
+        let new = report(vec![cell("a", 0.4, 1.0)]);
+        let out = compare(&old, &new, &CompareOptions::default());
+        assert!(out.passed());
+        assert_eq!(out.improvements.len(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Solution-quality assessment: how far a schedule sits from the
+//! graph-blind lower bound, and — where a complete search is feasible —
+//! from the true optimum.
+
+use bisched_exact::branch_and_bound;
+use bisched_model::Instance;
+
+/// Quality numbers for one solved cell.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Quality {
+    /// `C_max / LB` against the graph-blind lower bound the report
+    /// carries (≥ 1; equality means the bound is tight here).
+    pub ratio_lb: f64,
+    /// `C_max / C*_max` against a *proven* optimum, when the exact search
+    /// completed within its budget.
+    pub ratio_opt: Option<f64>,
+}
+
+/// Options for the exact-optimum side channel.
+#[derive(Clone, Copy, Debug)]
+pub struct QualityOptions {
+    /// Job-count ceiling above which no exact search is attempted.
+    pub exact_cap_jobs: usize,
+    /// Branch-and-bound node budget; an incomplete search yields no
+    /// `ratio_opt` (an incumbent is not an optimum).
+    pub exact_node_limit: u64,
+}
+
+impl Default for QualityOptions {
+    fn default() -> Self {
+        QualityOptions {
+            exact_cap_jobs: 22,
+            exact_node_limit: 400_000,
+        }
+    }
+}
+
+/// Assesses a solve report against its lower bound and, when feasible,
+/// the exact optimum.
+pub fn assess(
+    inst: &Instance,
+    report: &bisched_core::SolveReport,
+    opts: &QualityOptions,
+) -> Quality {
+    let lb = &report.lower_bound;
+    let ratio_lb = if lb.num() == 0 {
+        1.0
+    } else {
+        report.makespan.ratio_to(lb)
+    };
+    let ratio_opt = exact_optimum(inst, opts).map(|opt| report.makespan.ratio_to(&opt));
+    Quality {
+        ratio_lb,
+        ratio_opt,
+    }
+}
+
+/// A proven optimal makespan, or `None` when the instance is too big or
+/// the search budget ran out before completing.
+pub fn exact_optimum(inst: &Instance, opts: &QualityOptions) -> Option<bisched_model::Rat> {
+    if inst.num_jobs() > opts.exact_cap_jobs {
+        return None;
+    }
+    let outcome = branch_and_bound(inst, opts.exact_node_limit);
+    if !outcome.complete {
+        return None;
+    }
+    outcome.optimum.map(|o| o.makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_core::Solver;
+    use bisched_graph::Graph;
+
+    #[test]
+    fn optimal_solves_score_ratio_one() {
+        let inst = Instance::identical(2, vec![3, 3, 2, 2], Graph::path(4)).unwrap();
+        let report = Solver::new().solve(&inst).unwrap();
+        let q = assess(&inst, &report, &QualityOptions::default());
+        assert!(q.ratio_lb >= 1.0 - 1e-9);
+        let r = q.ratio_opt.expect("4 jobs is well within the exact cap");
+        assert!((r - 1.0).abs() < 1e-9, "optimal engine scored {r}");
+    }
+
+    #[test]
+    fn cap_suppresses_exact_side_channel() {
+        let inst = Instance::identical(2, vec![1; 30], Graph::empty(30)).unwrap();
+        let opts = QualityOptions {
+            exact_cap_jobs: 10,
+            ..QualityOptions::default()
+        };
+        assert!(exact_optimum(&inst, &opts).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Corpus-level properties of the scenario registry: every registered
+//! scenario generates structurally valid instances (the bipartite
+//! incompatibility invariants hold and solved schedules validate), and
+//! regenerates byte-identically from its fixed seed.
+
+use bisched_core::{Method, SolverConfig};
+use bisched_graph::{bipartition, is_bipartite};
+use bisched_lab::{suite, suite_names, Scenario};
+use bisched_model::InstanceData;
+use proptest::prelude::*;
+
+/// Every scenario of every registered suite, deduplicated by name.
+fn corpus() -> Vec<Scenario> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for name in suite_names() {
+        for scenario in suite(name).expect("registered").scenarios {
+            if seen.insert(scenario.name.clone()) {
+                out.push(scenario);
+            }
+        }
+    }
+    assert!(!out.is_empty(), "registry must not be empty");
+    out
+}
+
+/// Structural invariants every generated instance must satisfy.
+fn assert_structurally_valid(scenario: &Scenario, inst: &bisched_model::Instance) {
+    let g = inst.graph();
+    assert_eq!(
+        g.num_vertices(),
+        inst.num_jobs(),
+        "{}: graph vertices != jobs",
+        scenario.name
+    );
+    assert!(is_bipartite(g), "{}: graph not bipartite", scenario.name);
+    assert!(
+        bipartition(g).is_ok(),
+        "{}: no 2-coloring witness",
+        scenario.name
+    );
+    assert!(inst.num_machines() >= 1, "{}: no machines", scenario.name);
+    assert!(
+        (0..inst.num_jobs() as u32).all(|j| inst.processing(j) >= 1)
+            || matches!(
+                inst.env(),
+                bisched_model::MachineEnvironment::Unrelated { .. }
+            ),
+        "{}: zero-size job",
+        scenario.name
+    );
+    if let bisched_model::MachineEnvironment::Unrelated { times } = inst.env() {
+        assert_eq!(times.len(), inst.num_machines());
+        assert!(times.iter().all(|row| row.len() == inst.num_jobs()));
+        assert!(
+            times.iter().flatten().all(|&t| t >= 1),
+            "{}: zero unrelated time",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn every_registered_scenario_regenerates_byte_identically() {
+    for scenario in corpus() {
+        let a = serde_json::to_string(&InstanceData::from_instance(&scenario.build())).unwrap();
+        let b = serde_json::to_string(&InstanceData::from_instance(&scenario.build())).unwrap();
+        assert_eq!(a, b, "{} not deterministic", scenario.name);
+    }
+}
+
+#[test]
+fn every_registered_scenario_is_structurally_valid_and_solvable() {
+    // The cheap portfolio covers all three machine models (LPT
+    // everywhere, min-completion greedy on R).
+    let solver = SolverConfig::new()
+        .portfolio(vec![Method::GreedyLpt, Method::GreedyR])
+        .build()
+        .unwrap();
+    for scenario in corpus() {
+        let inst = scenario.build();
+        assert_structurally_valid(&scenario, &inst);
+        let report = solver
+            .solve(&inst)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        report
+            .schedule
+            .validate(&inst)
+            .unwrap_or_else(|e| panic!("{}: invalid schedule: {e}", scenario.name));
+        assert!(report.makespan >= report.lower_bound);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reseeded variants of every registry entry stay structurally valid
+    /// and solvable — the registry's *families* are sound, not just the
+    /// pinned seeds.
+    #[test]
+    fn reseeded_scenarios_stay_valid((idx, seed) in (0usize..1000, 0u64..10_000)) {
+        let corpus = corpus();
+        let mut scenario = corpus[idx % corpus.len()].clone();
+        scenario.seed = seed;
+        let inst = scenario.build();
+        assert_structurally_valid(&scenario, &inst);
+        let solver = SolverConfig::new()
+            .portfolio(vec![Method::GreedyLpt, Method::GreedyR])
+            .build()
+            .unwrap();
+        let report = solver.solve(&inst).unwrap();
+        prop_assert!(report.schedule.validate(&inst).is_ok());
+        prop_assert!(report.makespan >= report.lower_bound);
+    }
+
+    /// Determinism holds for arbitrary seeds, not just the registered
+    /// ones.
+    #[test]
+    fn reseeded_scenarios_regenerate_byte_identically((idx, seed) in (0usize..1000, 0u64..10_000)) {
+        let corpus = corpus();
+        let mut scenario = corpus[idx % corpus.len()].clone();
+        scenario.seed = seed;
+        let a = serde_json::to_string(&InstanceData::from_instance(&scenario.build())).unwrap();
+        let b = serde_json::to_string(&InstanceData::from_instance(&scenario.build())).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

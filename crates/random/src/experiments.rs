@@ -8,10 +8,10 @@ use bisched_model::{cstar_double_max, Instance, Rat, SpeedProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One row of the coloring/matching statistics table (E5/E6).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RandomGraphRow {
     /// Side size `n`.
     pub n: usize,
@@ -72,7 +72,7 @@ pub fn random_graph_statistics(
 }
 
 /// One row of the Algorithm 2 ratio table (E7, Theorem 19).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Alg2Row {
     /// Side size `n` (the instance has `2n` unit jobs).
     pub n: usize,

@@ -1,62 +1,33 @@
-//! A miniature of the Section 4.1 study: how Algorithm 2's quality tracks
-//! the `p(n)` regime, live at the terminal.
+//! The Section 4.1 study, served by the lab: the `paper-sec4` suite runs
+//! the random-graph statistics and Algorithm 2 ratio tables that the old
+//! standalone runners produced, now as one reproducible report.
 //!
 //! Run with: `cargo run --release --example random_graph_study`
+//!
+//! The same tables (plus `BENCH_paper-sec4.json`) come from
+//! `bisched_cli lab run --suite paper-sec4`.
 
-use bisched::graph::EdgeProbability;
-use bisched::model::SpeedProfile;
-use bisched::random::{alg2_ratio_experiment, lemma14_limit, random_graph_statistics};
+use bisched::lab::{run_suite, suite, RunOptions, Sec4Params};
+use bisched::random::lemma14_limit;
 
 fn main() {
-    let regimes = [
-        EdgeProbability::SubCritical { exponent: 1.5 },
-        EdgeProbability::Critical { a: 1.0 },
-        EdgeProbability::Critical { a: 4.0 },
-        EdgeProbability::SuperCritical {
-            c: 1.0,
-            exponent: 0.5,
-        },
-        EdgeProbability::Constant { p: 0.2 },
-    ];
-
-    println!("== graph shape across regimes (n = 512, 16 seeds) ==");
+    let mut sec4 = suite("paper-sec4").expect("registered suite");
+    // A miniature of the CLI run: smaller sides, fewer seeds, same rows.
+    sec4.sec4 = Some(Sec4Params {
+        n: 256,
+        seeds: 8,
+        m: 6,
+    });
+    let report = run_suite(&sec4, &RunOptions::default());
+    println!("{}", report.to_markdown());
     println!(
-        "{:<22} {:>10} {:>10} {:>10} {:>10}",
-        "regime", "|V'2|/n", "mu/n", "|V'2|/mu", "limit 1.6"
+        "Lemma 14 limit e/(e-1) = {:.4}; Theorem 19: ratios concentrate at or below 2.",
+        lemma14_limit()
     );
-    for regime in regimes {
-        let row = random_graph_statistics(512, regime, 16, 42);
-        println!(
-            "{:<22} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
-            row.regime,
-            row.minor_fraction_mean,
-            row.matching_fraction_mean,
-            row.ratio_mean,
-            lemma14_limit()
+    for row in report.sec4_alg2.as_deref().unwrap_or_default() {
+        assert!(
+            row.ratio_max <= 3.0,
+            "Theorem 19 violated far beyond its a.a.s. slack"
         );
     }
-
-    println!("\n== Algorithm 2 vs graph-aware lower bound (m = 6) ==");
-    println!(
-        "{:<22} {:<18} {:>12} {:>12}",
-        "regime", "speeds", "ratio mean", "ratio max"
-    );
-    for regime in regimes {
-        for profile in [
-            SpeedProfile::Equal,
-            SpeedProfile::Geometric { ratio: 2 },
-            SpeedProfile::OneFast { factor: 16 },
-        ] {
-            let row = alg2_ratio_experiment(512, regime, profile, 6, 16, 42);
-            println!(
-                "{:<22} {:<18} {:>12.4} {:>12.4}",
-                row.regime, row.speeds, row.ratio_mean, row.ratio_max
-            );
-            assert!(
-                row.ratio_max <= 3.0,
-                "Theorem 19 violated far beyond its a.a.s. slack"
-            );
-        }
-    }
-    println!("\nTheorem 19: ratios concentrate at or below 2 as n grows.");
 }

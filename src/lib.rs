@@ -100,6 +100,41 @@
 //! hit rate. The `stats` verb exposes requests served, hit rate,
 //! p50/p99 latency, and per-engine win counts.
 //!
+//! ## Benchmarking with the lab
+//!
+//! [`lab`] is the workspace's scenario corpus and benchmark harness: a
+//! registry of named, seeded workloads spanning `{P, Q, R} ×` graph
+//! families (complete bipartite, Gilbert's three `p(n)` regimes, crowns,
+//! cubic bipartite, forests, caterpillars, bounded-degree, and the
+//! adversarial Theorem 24 gadgets), a rayon-parallel runner with
+//! wall-time percentiles and quality ratios, and a perf-regression gate:
+//!
+//! ```text
+//! bisched_cli lab list                                    # the corpus
+//! bisched_cli lab run --suite quick --out BENCH_quick.json
+//! bisched_cli lab run --suite paper-sec4                  # Section 4.1 tables
+//! bisched_cli lab compare BENCH_baseline.json BENCH_quick.json
+//! ```
+//!
+//! `lab run` writes a machine-readable `BENCH_<suite>.json` plus a
+//! Markdown summary; `lab compare` exits nonzero when any cell's median
+//! wall time or solution quality regresses past the thresholds — CI runs
+//! it against the committed `BENCH_baseline.json` on every push. Every
+//! scenario regenerates byte-identically from its embedded seed:
+//!
+//! ```
+//! use bisched::lab::{suite, RunOptions};
+//!
+//! let quick = suite("quick").unwrap();
+//! assert!(quick.scenarios.len() >= 10);
+//! let inst = quick.scenarios[0].build(); // deterministic
+//! assert_eq!(inst.num_jobs(), quick.scenarios[0].build().num_jobs());
+//! ```
+//!
+//! Service-side load runs script through `bisched_cli submit --json`,
+//! which emits one JSON object (req/s, cache hit rate, client-side
+//! p50/p99 latency) instead of the human summary.
+//!
 //! ## Guarantees and where they come from
 //!
 //! Every report carries a typed [`Guarantee`](core::Guarantee) tied to the
@@ -128,6 +163,8 @@
 //! * [`core`] — the paper's Algorithms 1–5, Theorem 4, the Theorem 8/24
 //!   gap reductions, and the [`Solver`](core::Solver) engine;
 //! * [`random`] — Section 4.1's random-graph analysis;
+//! * [`lab`] — the scenario corpus, benchmark harness, and
+//!   perf-regression gate behind `bisched_cli lab`;
 //! * [`service`] — the solve daemon: JSON-lines TCP protocol,
 //!   canonicalization cache, micro-batching worker pool, stats.
 
@@ -138,6 +175,7 @@ pub use bisched_core as core;
 pub use bisched_exact as exact;
 pub use bisched_fptas as fptas;
 pub use bisched_graph as graph;
+pub use bisched_lab as lab;
 pub use bisched_model as model;
 pub use bisched_random as random;
 pub use bisched_service as service;
