@@ -59,7 +59,10 @@ fn bench_prext(c: &mut Criterion) {
 fn bench_bnb(c: &mut Criterion) {
     let mut group = c.benchmark_group("branch_and_bound");
     group.sample_size(10);
-    for n in [10usize, 14, 18] {
+    // The pruned oracle pushes the practical exhaustive range from ~18
+    // jobs to the low twenties; 22 here was out of reach for the seed
+    // implementation at these budgets.
+    for n in [10usize, 14, 18, 22] {
         let mut rng = StdRng::seed_from_u64(33);
         let g = gilbert_bipartite(n / 2, n / 2, 0.3, &mut rng);
         let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(n, &mut rng);
@@ -71,5 +74,42 @@ fn bench_bnb(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_q2_dp, bench_r2_dp, bench_prext, bench_bnb);
+/// The deadline-budgeted form: what a caller pays for a bounded-latency
+/// "best effort in 2 ms" oracle probe.
+fn bench_bnb_deadline(c: &mut Criterion) {
+    use bisched_exact::{branch_and_bound_with, BnbLimits};
+    use std::time::Duration;
+    let mut group = c.benchmark_group("branch_and_bound_deadline_2ms");
+    group.sample_size(10);
+    for n in [20usize, 26] {
+        let mut rng = StdRng::seed_from_u64(34);
+        let g = gilbert_bipartite(n / 2, n / 2, 0.3, &mut rng);
+        let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(n, &mut rng);
+        let inst = Instance::identical(4, p, g).unwrap();
+        let limits = BnbLimits {
+            node_limit: u64::MAX,
+            deadline: Some(Duration::from_millis(2)),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    branch_and_bound_with(&inst, &limits)
+                        .optimum
+                        .unwrap()
+                        .makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_q2_dp,
+    bench_r2_dp,
+    bench_prext,
+    bench_bnb,
+    bench_bnb_deadline
+);
 criterion_main!(benches);

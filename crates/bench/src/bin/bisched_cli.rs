@@ -6,6 +6,7 @@
 //! bisched_cli info <file>                       describe an instance
 //! bisched_cli solve <file> [--method <m>] [--portfolio <m1,m2,…>]
 //!                          [--eps <e>] [--node-limit <nodes>]
+//!                          [--bnb-deadline-ms <ms>]
 //!                          [--exact-budget <mass>] [--json]
 //! bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
 //!                   [--cache-cap <n>] [--queue-cap <n>]
@@ -21,9 +22,10 @@
 //! `solve` runs the `Solver` engine. `--method` names one engine
 //! (`exact-q2`, `exact-r2`, `branch-and-bound`, `alg1`, `alg2`, `bjw`,
 //! `fptas`, `twoapprox`, `greedy-lpt`, `greedy`) or `auto` (default);
-//! `--portfolio` runs several and keeps the best; `--node-limit` sizes the
-//! branch-and-bound search and `--exact-budget` the pseudo-polynomial DP
-//! gate. `--json` emits the full
+//! `--portfolio` runs several and keeps the best; `--node-limit` and
+//! `--bnb-deadline-ms` budget the branch-and-bound search (nodes and
+//! wall clock — whichever is hit first truncates it to a heuristic) and
+//! `--exact-budget` the pseudo-polynomial DP gate. `--json` emits the full
 //! `SolveReport` — method, guarantee, makespan, lower bound, per-engine
 //! timings — as a single JSON object for experiment scripts.
 //!
@@ -79,7 +81,7 @@ const USAGE: &str = "usage:
   bisched_cli solve <file> [--method auto|exact-q2|exact-r2|branch-and-bound|alg1|alg2|
                             bjw|fptas|twoapprox|greedy-lpt|greedy]
                            [--portfolio <m1,m2,...>] [--eps <e>] [--node-limit <nodes>]
-                           [--exact-budget <mass>] [--json]
+                           [--bnb-deadline-ms <ms>] [--exact-budget <mass>] [--json]
   bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
                     [--cache-cap <n>] [--queue-cap <n>]
   bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>] [--no-cache] [--shutdown]
@@ -158,6 +160,10 @@ fn parse_solve_flags(args: &[String]) -> Result<(SolverConfig, bool), String> {
             "--node-limit" => {
                 let nodes: u64 = parse(it.next(), "--node-limit value")?;
                 config = config.bnb_node_limit(nodes);
+            }
+            "--bnb-deadline-ms" => {
+                let ms: u64 = parse(it.next(), "--bnb-deadline-ms value")?;
+                config = config.bnb_deadline(Some(std::time::Duration::from_millis(ms)));
             }
             "--exact-budget" => {
                 let budget: u64 = parse(it.next(), "--exact-budget value")?;

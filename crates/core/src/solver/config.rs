@@ -3,6 +3,7 @@
 use super::method::{Method, MethodPolicy};
 use super::SolveError;
 use crate::Solver;
+use std::time::Duration;
 
 /// Default FPTAS accuracy (`ε`), matching the old façade's hardcoded
 /// `DEFAULT_EPS`.
@@ -43,6 +44,11 @@ pub struct SolverConfig {
     pub exact_budget: u64,
     /// Node budget for [`Method::BranchAndBound`].
     pub bnb_node_limit: u64,
+    /// Optional wall-clock budget for [`Method::BranchAndBound`],
+    /// alongside the node budget (whichever is hit first truncates the
+    /// search). `None` (the default) bounds the search by nodes only,
+    /// keeping results hardware-independent.
+    pub bnb_deadline: Option<Duration>,
     /// Job-count ceiling under which `Auto` tries branch and bound first.
     pub auto_exact_jobs: usize,
     /// Deterministic seed for randomized engines, echoed in
@@ -61,6 +67,7 @@ impl Default for SolverConfig {
             eps: DEFAULT_EPS,
             exact_budget: DEFAULT_EXACT_BUDGET,
             bnb_node_limit: DEFAULT_BNB_NODE_LIMIT,
+            bnb_deadline: None,
             auto_exact_jobs: DEFAULT_AUTO_EXACT_JOBS,
             seed: 0,
             policy: MethodPolicy::Auto,
@@ -92,6 +99,14 @@ impl SolverConfig {
     /// search returns its incumbent as a heuristic instead of an optimum.
     pub fn bnb_node_limit(mut self, nodes: u64) -> Self {
         self.bnb_node_limit = nodes;
+        self
+    }
+
+    /// Sets (or clears) the branch-and-bound wall-clock budget. The
+    /// search stops at whichever of the node and deadline budgets is hit
+    /// first and returns its incumbent with `Heuristic` provenance.
+    pub fn bnb_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.bnb_deadline = deadline;
         self
     }
 

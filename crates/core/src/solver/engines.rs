@@ -2,7 +2,9 @@
 //! [`Method`] catalogue.
 
 use bisched_baselines::bjw_two_approx;
-use bisched_exact::{branch_and_bound, greedy_incumbent, q2_bipartite_exact, r2_bipartite_exact};
+use bisched_exact::{
+    branch_and_bound_with, greedy_incumbent, q2_bipartite_exact, r2_bipartite_exact, BnbLimits,
+};
 use bisched_model::{Instance, MachineEnvironment, Rat, Schedule};
 
 use super::config::SolverConfig;
@@ -89,7 +91,11 @@ pub(super) fn run_method(
             })
         }
         Method::BranchAndBound => {
-            let outcome = branch_and_bound(inst, config.bnb_node_limit);
+            let limits = BnbLimits {
+                node_limit: config.bnb_node_limit,
+                deadline: config.bnb_deadline,
+            };
+            let outcome = branch_and_bound_with(inst, &limits);
             match outcome.optimum {
                 Some(opt) => Ok(EngineSolution {
                     schedule: opt.schedule,
@@ -100,10 +106,16 @@ pub(super) fn run_method(
                         Guarantee::Heuristic
                     },
                 }),
-                None => Err(Failed(format!(
-                    "no incumbent within the {}-node budget",
-                    config.bnb_node_limit
-                ))),
+                None => Err(Failed(match config.bnb_deadline {
+                    Some(d) => format!(
+                        "no incumbent within the {}-node / {:?} budget",
+                        config.bnb_node_limit, d
+                    ),
+                    None => format!(
+                        "no incumbent within the {}-node budget",
+                        config.bnb_node_limit
+                    ),
+                })),
             }
         }
         Method::Alg1 => {

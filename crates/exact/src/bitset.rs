@@ -1,9 +1,13 @@
-//! A minimal fixed-size bitset for subset-sum style dynamic programs.
+//! A minimal fixed-size bitset for subset-sum style dynamic programs and
+//! set-membership hot paths.
 //!
 //! The exact `Q2 | G = bipartite | C_max` solver walks a per-component
 //! two-choice subset-sum; a packed `u64` bitset keeps the DP at
 //! `O(c · Σp / 64)` words, which is what makes the oracle usable as a
-//! baseline at experiment scales.
+//! baseline at experiment scales. The branch-and-bound oracle reuses the
+//! same type for per-job conflict masks and per-machine job sets, turning
+//! the per-node "does job `j` conflict with machine `i`" test into a few
+//! word [`intersects`](BitSet::intersects) ANDs.
 
 /// Fixed-capacity bitset over `0..len`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,11 +42,28 @@ impl BitSet {
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
     /// Tests bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Whether `self` and `other` share any set bit (`self ∩ other ≠ ∅`).
+    #[inline]
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
     }
 
     /// `self |= other << shift` — the subset-sum transition "add an item of
@@ -155,6 +176,20 @@ mod tests {
         b.set(8);
         a.or_shifted(&b, 5); // 13 >= len: dropped
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn clear_and_intersects() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        a.set(5);
+        a.set(129);
+        assert!(!a.intersects(&b));
+        b.set(129);
+        assert!(a.intersects(&b));
+        a.clear(129);
+        assert!(!a.intersects(&b));
+        assert!(a.get(5) && !a.get(129));
     }
 
     #[test]

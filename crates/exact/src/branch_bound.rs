@@ -1,14 +1,65 @@
 //! Branch-and-bound exact solver for `{P,Q,R} | G | C_max`.
 //!
 //! The reference oracle behind every approximation-ratio experiment at
-//! "small but not tiny" sizes (n ≲ 24). Jobs are branched in LPT order;
-//! nodes are cut by (a) the incumbent found by a graph-aware greedy and
-//! (b) a relaxed load bound (remaining work spread fractionally over all
-//! machines). Everything is exact rational arithmetic.
+//! "small but not tiny" sizes (n ≲ 24). Jobs are branched in LPT order
+//! (degree breaks ties: heavier, better-connected jobs first); nodes are
+//! cut by
+//!
+//! * the incumbent found by a graph-aware greedy,
+//! * the incremental graph-aware bounds of [`crate::lower_bounds`]
+//!   (fractional load, max-remaining-job, machine exclusion, edge pair),
+//! * per-candidate completion-time cuts (candidates are tried best-first
+//!   and abandoned wholesale once one reaches the incumbent), and
+//! * identical-machine symmetry breaking: a job may only *open* the
+//!   lowest-indexed empty machine among interchangeable machines (equal
+//!   speed for `P`/`Q`, identical time rows for `R`).
+//!
+//! Feasibility tests run on precomputed per-job conflict bitmasks
+//! ([`crate::bitset::BitSet`]) instead of per-node neighbor scans, and
+//! the candidate list lives in per-depth buffers allocated once per
+//! search — the hot loop allocates nothing. Everything is exact rational
+//! arithmetic.
+//!
+//! Budgets: a node budget and an optional wall-clock deadline
+//! ([`BnbLimits`]). Exhaustion is tracked explicitly, so
+//! [`BnbOutcome::complete`] is `true` exactly when the search ran to
+//! completion — including runs that finish on their very last budgeted
+//! node.
 
 use crate::bruteforce::Optimum;
+use crate::lower_bounds::IncrementalBounds;
 use bisched_graph::bipartition;
 use bisched_model::{Instance, MachineEnvironment, MachineId, Rat, Schedule};
+use std::time::{Duration, Instant};
+
+/// Search budgets for [`branch_and_bound_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BnbLimits {
+    /// Maximum nodes to expand.
+    pub node_limit: u64,
+    /// Optional wall-clock budget; checked every few hundred nodes, so
+    /// overshoot is bounded by a handful of node expansions.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for BnbLimits {
+    fn default() -> Self {
+        BnbLimits {
+            node_limit: u64::MAX,
+            deadline: None,
+        }
+    }
+}
+
+impl BnbLimits {
+    /// A pure node budget (no deadline).
+    pub fn nodes(node_limit: u64) -> Self {
+        BnbLimits {
+            node_limit,
+            deadline: None,
+        }
+    }
+}
 
 /// Outcome of a branch-and-bound run.
 #[derive(Clone, Debug)]
@@ -18,47 +69,89 @@ pub struct BnbOutcome {
     /// Nodes expanded.
     pub nodes: u64,
     /// `true` iff the search ran to completion (the result is proven
-    /// optimal); `false` if the node budget was exhausted first.
+    /// optimal — or proven infeasible when `optimum` is `None`); `false`
+    /// iff a budget (nodes or deadline) cut the search short.
     pub complete: bool,
 }
 
-/// Exact branch and bound with a node budget.
+/// Exact branch and bound with a node budget; see
+/// [`branch_and_bound_with`] for the deadline-aware form.
+pub fn branch_and_bound(inst: &Instance, node_limit: u64) -> BnbOutcome {
+    branch_and_bound_with(inst, &BnbLimits::nodes(node_limit))
+}
+
+/// Exact branch and bound under [`BnbLimits`].
 ///
 /// Returns a proven optimum when `complete` is true; otherwise the best
 /// incumbent seen (still feasible, not necessarily optimal).
-pub fn branch_and_bound(inst: &Instance, node_limit: u64) -> BnbOutcome {
+pub fn branch_and_bound_with(inst: &Instance, limits: &BnbLimits) -> BnbOutcome {
     let n = inst.num_jobs();
     let m = inst.num_machines();
-    // LPT branching order (min-row for R).
+    // LPT branching order (min-row for R); degree breaks ties so the
+    // most-constrained among equal jobs is branched first.
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.sort_by(|&a, &b| inst.processing(b).cmp(&inst.processing(a)).then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        inst.processing(b)
+            .cmp(&inst.processing(a))
+            .then(inst.graph().degree(b).cmp(&inst.graph().degree(a)))
+            .then(a.cmp(&b))
+    });
 
+    let bounds = IncrementalBounds::new(inst, &order);
     let mut search = Search {
         inst,
+        sym_class: symmetry_classes(inst),
+        class_seen: vec![false; m],
         order,
         assignment: vec![u32::MAX; n],
         loads: vec![0; m],
+        job_count: vec![0; m],
+        cands: vec![Vec::with_capacity(m); n],
+        bounds,
         best: greedy_incumbent(inst),
         nodes: 0,
-        node_limit,
-        total_speed: match inst.env() {
-            MachineEnvironment::Unrelated { .. } => m as u64,
-            _ => inst.speeds().iter().sum(),
-        },
-        remaining: inst.processing_all().iter().sum(),
-        assigned_work: 0,
+        node_limit: limits.node_limit,
+        deadline: limits.deadline.map(|d| Instant::now() + d),
+        exhausted: false,
     };
     search.run(0);
     BnbOutcome {
-        complete: search.nodes < search.node_limit,
+        complete: !search.exhausted,
         optimum: search.best,
         nodes: search.nodes,
     }
 }
 
+/// Machine interchangeability classes: two machines share a class iff
+/// swapping them maps schedules to schedules of identical makespan —
+/// equal speed for `P`/`Q`, identical processing-time rows for `R`.
+/// Returns `class[i]` = lowest machine index of `i`'s class.
+fn symmetry_classes(inst: &Instance) -> Vec<u32> {
+    let m = inst.num_machines();
+    let mut class: Vec<u32> = (0..m as u32).collect();
+    for i in 1..m {
+        for k in 0..i {
+            let same = match inst.env() {
+                MachineEnvironment::Identical { .. } => true,
+                MachineEnvironment::Uniform { speeds } => speeds[i] == speeds[k],
+                MachineEnvironment::Unrelated { times } => times[i] == times[k],
+            };
+            if same {
+                class[i] = class[k];
+                break;
+            }
+        }
+    }
+    class
+}
+
 /// A feasible incumbent: graph-aware greedy, falling back to a 2-coloring
-/// split when the greedy dead-ends. Returns `None` if even the coloring
-/// fallback is impossible (non-bipartite `G` on too few machines).
+/// split when the greedy dead-ends. The fallback places the two
+/// bipartition sides on the machine pair (and orientation) minimizing the
+/// resulting makespan — on uniform machines that is the two fastest, on
+/// unrelated machines whichever pair the time matrix favors. Returns
+/// `None` if even the coloring fallback is impossible (non-bipartite `G`
+/// or fewer than two machines).
 pub fn greedy_incumbent(inst: &Instance) -> Option<Optimum> {
     let n = inst.num_jobs();
     let m = inst.num_machines() as MachineId;
@@ -96,17 +189,43 @@ pub fn greedy_incumbent(inst: &Instance) -> Option<Optimum> {
         }
     }
     if !ok {
-        // Fallback: bipartition split over the two fastest machines.
         if m < 2 {
             return None;
         }
         let bp = bipartition(inst.graph()).ok()?;
+        // Side cost of each bipartition side on each machine.
+        let side_of = |j: u32| match bp.side(j) {
+            bisched_graph::Side::Left => 0usize,
+            bisched_graph::Side::Right => 1usize,
+        };
+        let mut side_cost = vec![[0u64; 2]; m as usize];
+        for (i, cost) in side_cost.iter_mut().enumerate() {
+            for j in 0..n as u32 {
+                cost[side_of(j)] += job_cost(inst, i as MachineId, j);
+            }
+        }
+        // Pick the ordered machine pair (left side -> a, right side -> b)
+        // minimizing the makespan.
+        let time = |i: MachineId, load: u64| match inst.env() {
+            MachineEnvironment::Uniform { speeds } => Rat::new(load, speeds[i as usize]),
+            _ => Rat::integer(load),
+        };
+        let mut best_pair: Option<(Rat, MachineId, MachineId)> = None;
+        for a in 0..m {
+            for b in 0..m {
+                if a == b {
+                    continue;
+                }
+                let mk = time(a, side_cost[a as usize][0]).max(time(b, side_cost[b as usize][1]));
+                if best_pair.as_ref().is_none_or(|(c, _, _)| mk < *c) {
+                    best_pair = Some((mk, a, b));
+                }
+            }
+        }
+        let (_, a, b) = best_pair.expect("m >= 2 yields at least one pair");
         loads = vec![0u64; m as usize];
         for j in 0..n as u32 {
-            let i = match bp.side(j) {
-                bisched_graph::Side::Left => 0,
-                bisched_graph::Side::Right => 1,
-            };
+            let i = if side_of(j) == 0 { a } else { b };
             assignment[j as usize] = i;
             loads[i as usize] += job_cost(inst, i, j);
         }
@@ -132,20 +251,29 @@ fn completion_if(inst: &Instance, loads: &[u64], i: MachineId, j: u32) -> Rat {
     }
 }
 
+/// How many nodes pass between wall-clock checks.
+const DEADLINE_STRIDE: u64 = 256;
+
 struct Search<'a> {
     inst: &'a Instance,
     order: Vec<u32>,
     assignment: Vec<u32>,
     loads: Vec<u64>,
+    /// Jobs per machine; `0` marks an *empty* (interchangeable) machine.
+    job_count: Vec<u32>,
+    /// Per-depth candidate buffers, allocated once.
+    cands: Vec<Vec<(Rat, MachineId)>>,
+    /// `sym_class[i]`: lowest machine index interchangeable with `i`.
+    sym_class: Vec<u32>,
+    /// Scratch: which classes already offered an empty machine.
+    class_seen: Vec<bool>,
+    bounds: IncrementalBounds,
     best: Option<Optimum>,
     nodes: u64,
     node_limit: u64,
-    /// Σ speeds (or `m` for `R`), for the fractional relaxation bound.
-    total_speed: u64,
-    /// Processing (min-row for `R`) not yet assigned.
-    remaining: u64,
-    /// Integer work already placed (sum of loads).
-    assigned_work: u64,
+    deadline: Option<Instant>,
+    /// Set when a budget cut the search short.
+    exhausted: bool,
 }
 
 impl Search<'_> {
@@ -162,19 +290,16 @@ impl Search<'_> {
         }
     }
 
-    fn lower_bound(&self) -> Rat {
-        // Fractional relaxation: all work (done + remaining) spread over
-        // the aggregate speed, ignoring both integrality and the graph.
-        let relaxed = Rat::new(
-            (self.assigned_work + self.remaining).max(1),
-            self.total_speed,
-        );
-        self.current_makespan().max(relaxed)
-    }
-
     fn run(&mut self, depth: usize) {
         if self.nodes >= self.node_limit {
+            self.exhausted = true;
             return;
+        }
+        if let Some(dl) = self.deadline {
+            if self.nodes.is_multiple_of(DEADLINE_STRIDE) && Instant::now() >= dl {
+                self.exhausted = true;
+                return;
+            }
         }
         self.nodes += 1;
         if depth == self.order.len() {
@@ -188,38 +313,62 @@ impl Search<'_> {
             return;
         }
         if let Some(b) = &self.best {
-            if self.lower_bound() >= b.makespan {
+            let lb = self
+                .bounds
+                .lower_bound(&self.loads, depth)
+                .max(self.current_makespan());
+            if lb >= b.makespan {
                 return;
             }
         }
         let j = self.order[depth];
-        let m = self.inst.num_machines() as MachineId;
-        // Try machines in order of resulting completion time (best-first).
-        let mut cands: Vec<(Rat, MachineId)> = (0..m)
-            .filter(|&i| {
-                !self
-                    .inst
-                    .graph()
-                    .neighbors(j)
-                    .iter()
-                    .any(|&u| self.assignment[u as usize] == i)
-            })
-            .map(|i| (completion_if(self.inst, &self.loads, i, j), i))
-            .collect();
-        cands.sort();
-        let p_proxy = self.inst.processing(j);
-        for (_, i) in cands {
+        let m = self.inst.num_machines();
+        // Collect candidates into this depth's reusable buffer: empty
+        // machines are interchangeable within a symmetry class (only the
+        // lowest-indexed one may be opened, and it can never conflict);
+        // occupied machines are screened by the conflict bitmasks.
+        let mut cands = std::mem::take(&mut self.cands[depth]);
+        cands.clear();
+        self.class_seen.iter_mut().for_each(|x| *x = false);
+        for i in 0..m {
+            if self.job_count[i] == 0 {
+                let class = self.sym_class[i] as usize;
+                if self.class_seen[class] {
+                    continue;
+                }
+                self.class_seen[class] = true;
+            } else if self.bounds.conflicts(j, i) {
+                continue;
+            }
+            cands.push((
+                completion_if(self.inst, &self.loads, i as MachineId, j),
+                i as MachineId,
+            ));
+        }
+        // Best-first: try machines in order of resulting completion time.
+        cands.sort_unstable();
+        for &(c, i) in cands.iter() {
+            // Candidate cut: machine `i`'s completion only grows below
+            // this node, and candidates are sorted, so the first one at
+            // or past the incumbent ends the whole list.
+            if self.best.as_ref().is_some_and(|b| c >= b.makespan) {
+                break;
+            }
             let cost = job_cost(self.inst, i, j);
             self.loads[i as usize] += cost;
-            self.assigned_work += cost;
-            self.remaining -= p_proxy;
+            self.job_count[i as usize] += 1;
             self.assignment[j as usize] = i;
+            self.bounds.assign(j, i as usize);
             self.run(depth + 1);
+            self.bounds.unassign(j, i as usize);
             self.assignment[j as usize] = u32::MAX;
-            self.remaining += p_proxy;
-            self.assigned_work -= cost;
+            self.job_count[i as usize] -= 1;
             self.loads[i as usize] -= cost;
+            if self.exhausted {
+                break;
+            }
         }
+        self.cands[depth] = cands;
     }
 }
 
@@ -267,6 +416,14 @@ mod tests {
                 Graph::from_edges(4, &[(0, 1), (2, 3)]),
             )
             .unwrap(),
+            // Interchangeable-machine shapes (symmetry breaking on).
+            Instance::identical(4, vec![5, 4, 3, 3, 2, 2, 1], Graph::path(7)).unwrap(),
+            Instance::uniform(vec![3, 3, 1, 1], vec![6, 5, 4, 3, 2, 1], Graph::crown(3)).unwrap(),
+            Instance::unrelated(
+                vec![vec![4, 2, 3], vec![4, 2, 3], vec![1, 9, 9]],
+                Graph::path(3),
+            )
+            .unwrap(),
         ];
         for inst in &cases {
             assert_matches_bruteforce(inst);
@@ -312,6 +469,28 @@ mod tests {
     }
 
     #[test]
+    fn greedy_fallback_picks_the_best_machine_pair() {
+        // K_{2,2} forces the coloring fallback path on unrelated machines
+        // where machines 2 and 3 are far better than 0 and 1 — the old
+        // hardcoded pair (0, 1) would land on makespan 100.
+        let g = Graph::complete_bipartite(2, 2);
+        let times = vec![
+            vec![100, 100, 100, 100],
+            vec![100, 100, 100, 100],
+            vec![1, 1, 9, 9],
+            vec![9, 9, 1, 1],
+        ];
+        let inst = Instance::unrelated(times, g).unwrap();
+        let inc = greedy_incumbent(&inst).expect("feasible");
+        assert!(inc.schedule.validate(&inst).is_ok());
+        assert!(
+            inc.makespan <= Rat::integer(18),
+            "fallback used a dominated machine pair: {}",
+            inc.makespan
+        );
+    }
+
+    #[test]
     fn node_limit_returns_incumbent() {
         // LPT greedy lands on 19 here while the optimum is 18, so the
         // relaxed bound (18) cannot close the root and the search must
@@ -326,6 +505,50 @@ mod tests {
         let full = branch_and_bound(&inst, 1_000_000);
         assert!(full.complete);
         assert_eq!(full.optimum.unwrap().makespan, Rat::integer(18));
+    }
+
+    #[test]
+    fn finishing_on_the_last_budgeted_node_is_still_complete() {
+        // The seed implementation inferred completeness from
+        // `nodes < node_limit`, spuriously reporting an exact result as
+        // truncated whenever the search finished with the counter at the
+        // limit. Exhaustion is tracked explicitly now.
+        let g = Graph::empty(7);
+        let inst = Instance::identical(2, vec![7, 7, 6, 5, 4, 4, 3], g).unwrap();
+        let full = branch_and_bound(&inst, u64::MAX);
+        assert!(full.complete);
+        let exact_budget = branch_and_bound(&inst, full.nodes);
+        assert_eq!(exact_budget.nodes, full.nodes);
+        assert!(
+            exact_budget.complete,
+            "search finished with nodes == node_limit and must count as complete"
+        );
+        assert_eq!(
+            exact_budget.optimum.unwrap().makespan,
+            full.optimum.unwrap().makespan
+        );
+        // One node less genuinely truncates.
+        let truncated = branch_and_bound(&inst, full.nodes - 1);
+        assert!(!truncated.complete);
+    }
+
+    #[test]
+    fn deadline_budget_cuts_the_search() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = gilbert_bipartite(10, 10, 0.3, &mut rng);
+        let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(20, &mut rng);
+        let inst = Instance::identical(4, p, g).unwrap();
+        let out = branch_and_bound_with(
+            &inst,
+            &BnbLimits {
+                node_limit: u64::MAX,
+                deadline: Some(Duration::ZERO),
+            },
+        );
+        assert!(!out.complete, "zero deadline must truncate the search");
+        // The greedy incumbent is still returned and valid.
+        let opt = out.optimum.expect("incumbent exists");
+        assert!(opt.schedule.validate(&inst).is_ok());
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Incremental lower bounds for the branch-and-bound oracle.
+//!
+//! [`IncrementalBounds`] owns everything the search needs to (a) answer
+//! "may job `j` go on machine `i`" in a few word ANDs and (b) produce a
+//! node lower bound that *sees the graph* instead of only the load
+//! vector. Three bounds are folded together:
+//!
+//! * **fractional load** — all work (placed + remaining) spread over the
+//!   aggregate speed, the classic graph-blind relaxation;
+//! * **max-remaining-job** — the largest unassigned job still has to run
+//!   somewhere, at best on the fastest machine; `O(1)` per node via
+//!   suffix maxima over the fixed branching order;
+//! * **machine-exclusion (bipartition side pressure)** — for each machine
+//!   `i`, every unassigned job adjacent to something already on `i` can
+//!   never run on `i`, so that work plus the load already on the other
+//!   machines must fit into the other machines' aggregate speed. On a
+//!   complete-bipartite or crown component this is exactly the opposite
+//!   *side sum* being forced off `i` the moment one job lands there,
+//!   which is what closes dense bipartite nodes the fractional bound
+//!   cannot.
+//!
+//! A static **edge-pair bound** (two adjacent jobs must occupy two
+//! distinct machines, at best the two fastest) is computed once at the
+//! root and folded into every query.
+//!
+//! Updates are `O((deg(j) + m) · ⌈n/64⌉)` per assign/unassign — constant
+//! word work per neighbor at oracle scales (`n ≲ 64`) — and the bound
+//! query is `O(m)`.
+
+use crate::bitset::BitSet;
+use bisched_model::{Instance, MachineEnvironment, Rat};
+
+/// Incrementally maintained state: conflict masks, per-machine job sets,
+/// per-machine forbidden remaining work, and the static suffix tables.
+#[derive(Clone, Debug)]
+pub struct IncrementalBounds {
+    /// `conflict[j]`: the jobs adjacent to `j` (its incompatibility row).
+    conflict: Vec<BitSet>,
+    /// `machine_jobs[i]`: the jobs currently assigned to machine `i`.
+    machine_jobs: Vec<BitSet>,
+    /// Jobs not yet assigned.
+    unassigned: BitSet,
+    /// Per-job weight: `p_j`, or the min-row proxy for `R`.
+    weight: Vec<u64>,
+    /// Machine speeds for `P`/`Q`; all ones for `R` (min-row relaxation).
+    speeds: Vec<u64>,
+    /// `Σ speeds` (or `m` for `R`).
+    total_speed: u64,
+    /// Fastest speed (1 for `P`/`R`).
+    s_max: u64,
+    /// `suffix_sum[d]` = Σ weight over `order[d..]`.
+    suffix_sum: Vec<u64>,
+    /// `suffix_max[d]` = max weight over `order[d..]` (0 past the end).
+    suffix_max: Vec<u64>,
+    /// `forbidden[i]` = Σ weight over unassigned jobs that conflict with
+    /// machine `i`'s current contents (can never run on `i`).
+    forbidden: Vec<u64>,
+    /// Static root bound: the best edge-pair bound over all edges.
+    root_bound: Rat,
+}
+
+impl IncrementalBounds {
+    /// Builds the bound state for `inst`, branching in `order`.
+    pub fn new(inst: &Instance, order: &[u32]) -> Self {
+        let n = inst.num_jobs();
+        let m = inst.num_machines();
+        let graph = inst.graph();
+        let mut conflict = vec![BitSet::new(n); n];
+        for j in 0..n as u32 {
+            for &u in graph.neighbors(j) {
+                conflict[j as usize].set(u as usize);
+            }
+        }
+        let mut unassigned = BitSet::new(n);
+        for j in 0..n {
+            unassigned.set(j);
+        }
+        let weight: Vec<u64> = inst.processing_all().to_vec();
+        let speeds = match inst.env() {
+            MachineEnvironment::Unrelated { .. } => vec![1; m],
+            _ => inst.speeds(),
+        };
+        let total_speed: u64 = speeds.iter().sum();
+        let s_max = speeds.iter().copied().max().unwrap_or(1);
+        let mut suffix_sum = vec![0u64; n + 1];
+        let mut suffix_max = vec![0u64; n + 1];
+        for d in (0..n).rev() {
+            let w = weight[order[d] as usize];
+            suffix_sum[d] = suffix_sum[d + 1] + w;
+            suffix_max[d] = suffix_max[d + 1].max(w);
+        }
+        // Edge-pair bound: two adjacent jobs occupy two distinct machines,
+        // at best the two fastest. For `R` the per-job min-row maximum
+        // (the `suffix_max` bound at the root) already dominates it.
+        let mut root_bound = Rat::ZERO;
+        if m >= 2 && !matches!(inst.env(), MachineEnvironment::Unrelated { .. }) {
+            let mut top2: Vec<u64> = speeds.clone();
+            top2.sort_unstable_by(|a, b| b.cmp(a));
+            let pair_speed = top2[0] + top2[1];
+            for u in 0..n as u32 {
+                for &v in graph.neighbors(u) {
+                    if v > u {
+                        let b = Rat::new(weight[u as usize] + weight[v as usize], pair_speed);
+                        root_bound = root_bound.max(b);
+                    }
+                }
+            }
+        }
+        IncrementalBounds {
+            conflict,
+            machine_jobs: vec![BitSet::new(n); m],
+            unassigned,
+            weight,
+            speeds,
+            total_speed,
+            s_max,
+            suffix_sum,
+            suffix_max,
+            forbidden: vec![0; m],
+            root_bound,
+        }
+    }
+
+    /// Whether job `j` conflicts with machine `i`'s current contents
+    /// (some assigned neighbor of `j` sits on `i`).
+    #[inline]
+    pub fn conflicts(&self, j: u32, i: usize) -> bool {
+        self.conflict[j as usize].intersects(&self.machine_jobs[i])
+    }
+
+    /// Records `j → i`. Must mirror every call with
+    /// [`unassign`](Self::unassign) in LIFO order.
+    pub fn assign(&mut self, j: u32, i: usize) {
+        let w = self.weight[j as usize];
+        // `j` leaves the unassigned pool: it no longer presses on the
+        // machines its assigned neighbors had blocked for it.
+        for k in 0..self.machine_jobs.len() {
+            if self.conflicts(j, k) {
+                self.forbidden[k] -= w;
+            }
+        }
+        self.unassigned.clear(j as usize);
+        // `j` landing on `i` freshly blocks its still-unassigned
+        // neighbors that had no other conflict with `i` yet.
+        for u in self.conflict[j as usize].ones() {
+            if self.unassigned.get(u) && !self.conflict[u].intersects(&self.machine_jobs[i]) {
+                self.forbidden[i] += self.weight[u];
+            }
+        }
+        self.machine_jobs[i].set(j as usize);
+    }
+
+    /// Reverts the matching [`assign`](Self::assign).
+    pub fn unassign(&mut self, j: u32, i: usize) {
+        let w = self.weight[j as usize];
+        self.machine_jobs[i].clear(j as usize);
+        for u in self.conflict[j as usize].ones() {
+            if self.unassigned.get(u) && !self.conflict[u].intersects(&self.machine_jobs[i]) {
+                self.forbidden[i] -= self.weight[u];
+            }
+        }
+        self.unassigned.set(j as usize);
+        for k in 0..self.machine_jobs.len() {
+            if self.conflicts(j, k) {
+                self.forbidden[k] += w;
+            }
+        }
+    }
+
+    /// The node lower bound at `depth` (jobs `order[..depth]` assigned),
+    /// given the current integer machine loads. Every completion of this
+    /// node has makespan `≥` the returned value.
+    pub fn lower_bound(&self, loads: &[u64], depth: usize) -> Rat {
+        let load_sum: u64 = loads.iter().sum();
+        let remaining = self.suffix_sum[depth];
+        // Fractional: everything over the aggregate speed.
+        let mut lb = Rat::new((load_sum + remaining).max(1), self.total_speed);
+        // Max remaining job, at best on the fastest machine.
+        if self.suffix_max[depth] > 0 {
+            lb = lb.max(Rat::new(self.suffix_max[depth], self.s_max));
+        }
+        // Machine exclusion: work that can never run on machine `i` must
+        // fit into the other machines' aggregate speed.
+        for ((&load, &speed), &forbidden) in loads.iter().zip(&self.speeds).zip(&self.forbidden) {
+            let off_speed = self.total_speed - speed;
+            if off_speed == 0 {
+                continue;
+            }
+            let off_work = load_sum - load + forbidden;
+            if off_work > 0 {
+                lb = lb.max(Rat::new(off_work, off_speed));
+            }
+        }
+        lb.max(self.root_bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisched_graph::Graph;
+    use bisched_model::Instance;
+
+    fn order(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn fractional_and_max_job_at_root() {
+        let inst = Instance::uniform(vec![3, 1], vec![8, 4, 4], Graph::empty(3)).unwrap();
+        let b = IncrementalBounds::new(&inst, &order(3));
+        let lb = b.lower_bound(&[0, 0], 0);
+        // Fractional: 16/4 = 4; max job on fastest: 8/3 < 4.
+        assert_eq!(lb, Rat::integer(4));
+    }
+
+    #[test]
+    fn edge_pair_bound_bites_on_uniform_speeds() {
+        // Two adjacent size-10 jobs on speeds {4, 1}: fractional gives
+        // 20/5 = 4, per-job gives 10/4 = 2.5, but the pair must split
+        // over both machines: >= 20/(4+1) = 4... and with a third slow
+        // machine the pair bound 20/(4+1) = 4 beats fractional 20/6.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let inst = Instance::uniform(vec![4, 1, 1], vec![10, 10], g).unwrap();
+        let b = IncrementalBounds::new(&inst, &order(2));
+        assert_eq!(b.lower_bound(&[0, 0, 0], 0), Rat::integer(4));
+    }
+
+    #[test]
+    fn exclusion_bound_sees_the_opposite_side() {
+        // K_{1,3}: job 0 (size 9) adjacent to jobs 1..3 (size 3 each) on
+        // two identical machines. Assign job 0 to machine 0: the whole
+        // opposite side (9 units) is forbidden there, so the other
+        // machine alone must carry >= 9.
+        let g = Graph::complete_bipartite(1, 3);
+        let inst = Instance::identical(2, vec![9, 3, 3, 3], g).unwrap();
+        let ord = vec![0u32, 1, 2, 3];
+        let mut b = IncrementalBounds::new(&inst, &ord);
+        assert!(!b.conflicts(0, 0));
+        b.assign(0, 0);
+        assert!(b.conflicts(1, 0));
+        assert!(!b.conflicts(1, 1));
+        let lb = b.lower_bound(&[9, 0], 1);
+        // Exclusion on machine 0: (0 + 9)/1 = 9 (fractional is 18/2 = 9
+        // too here; push one side job to see the separation).
+        assert_eq!(lb, Rat::integer(9));
+        b.assign(1, 1);
+        let lb = b.lower_bound(&[9, 3], 2);
+        // forbidden(0) = 6 (jobs 2, 3); off-load = 3: (3 + 6)/1 = 9.
+        assert_eq!(lb, Rat::integer(9));
+        b.unassign(1, 1);
+        b.unassign(0, 0);
+        // Fully unwound: state is back to the root.
+        let root = IncrementalBounds::new(&inst, &ord);
+        assert_eq!(b.lower_bound(&[0, 0], 0), root.lower_bound(&[0, 0], 0));
+        assert!(!b.conflicts(1, 0));
+    }
+
+    #[test]
+    fn assign_unassign_roundtrip_restores_forbidden() {
+        let g = Graph::crown(3);
+        let inst = Instance::identical(3, vec![2, 3, 4, 5, 6, 7], g).unwrap();
+        let ord = order(6);
+        let mut b = IncrementalBounds::new(&inst, &ord);
+        let baseline = b.clone();
+        b.assign(0, 0);
+        b.assign(4, 1);
+        b.assign(2, 0);
+        b.unassign(2, 0);
+        b.unassign(4, 1);
+        b.unassign(0, 0);
+        assert_eq!(b.forbidden, baseline.forbidden);
+        assert_eq!(b.machine_jobs, baseline.machine_jobs);
+        assert_eq!(b.unassigned, baseline.unassigned);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the pruned branch-and-bound oracle:
+//!
+//! * any budget (nodes and/or deadline) yields a schedule that validates;
+//! * `complete == true` implies the makespan matches [`brute_force`];
+//! * the pruned search expands **no more nodes** than the seed
+//!   implementation did on a pinned case set (counts measured on the
+//!   pre-rewrite recursion, same node semantics: one count per expanded
+//!   node).
+
+use bisched_exact::{branch_and_bound, branch_and_bound_with, brute_force, BnbLimits};
+use bisched_graph::{gilbert_bipartite, Graph};
+use bisched_model::{Instance, JobSizes, Rat};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Builds a random `{P,Q,R}` instance over a random bipartite graph from
+/// one seed; mirrors the shapes of the oracle-consistency tests.
+fn random_instance(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..=8);
+    let m = rng.gen_range(2..=4);
+    let g = gilbert_bipartite(n / 2, n - n / 2, 0.4, &mut rng);
+    let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(n, &mut rng);
+    match seed % 3 {
+        0 => Instance::identical(m, p, g).unwrap(),
+        1 => {
+            let speeds = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+            Instance::uniform(speeds, p, g).unwrap()
+        }
+        _ => {
+            let times = (0..m)
+                .map(|_| (0..n).map(|_| rng.gen_range(1..=9)).collect())
+                .collect();
+            Instance::unrelated(times, g).unwrap()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn any_budget_yields_valid_schedules_and_complete_means_optimal(
+        seed in 0u64..5000,
+        // 0..=63 are literal node budgets; 64 selects "unbounded".
+        node_limit in (0u64..65).prop_map(|s| if s == 64 { u64::MAX } else { s }),
+        // 0..=1999 are literal microsecond deadlines; 2000 selects "none".
+        deadline_us in (0u64..2001).prop_map(|s| if s == 2000 { None } else { Some(s) }),
+    ) {
+        let inst = random_instance(seed);
+        let limits = BnbLimits {
+            node_limit,
+            deadline: deadline_us.map(Duration::from_micros),
+        };
+        let out = branch_and_bound_with(&inst, &limits);
+        prop_assert!(out.nodes <= node_limit);
+        if let Some(opt) = &out.optimum {
+            prop_assert!(opt.schedule.validate(&inst).is_ok());
+            prop_assert_eq!(opt.schedule.makespan(&inst), opt.makespan);
+        }
+        if out.complete {
+            match (brute_force(&inst), &out.optimum) {
+                (Some(bf), Some(bb)) => prop_assert_eq!(bf.makespan, bb.makespan),
+                (None, None) => {}
+                (bf, bb) => prop_assert!(
+                    false,
+                    "feasibility disagreement on {}: brute={:?} bnb={:?}",
+                    inst.describe(),
+                    bf.map(|o| o.makespan),
+                    bb.as_ref().map(|o| o.makespan)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_runs_never_beat_the_optimum(seed in 0u64..2000) {
+        // An incumbent from a truncated search is feasible, hence >= OPT.
+        let inst = random_instance(seed);
+        let truncated = branch_and_bound(&inst, 2);
+        if let (Some(inc), Some(bf)) = (truncated.optimum, brute_force(&inst)) {
+            prop_assert!(inc.makespan >= bf.makespan);
+        }
+    }
+}
+
+/// The pinned case set with the seed implementation's measured node
+/// counts. The pruned oracle must not expand more nodes on any of them
+/// (it currently expands 1.6–13x fewer).
+#[test]
+fn pruned_search_expands_no_more_nodes_than_the_seed_implementation() {
+    let mut cases: Vec<(&str, Instance, u64)> = Vec::new();
+    cases.push((
+        "p2-empty7",
+        Instance::identical(2, vec![7, 7, 6, 5, 4, 4, 3], Graph::empty(7)).unwrap(),
+        25,
+    ));
+    let mut rng = StdRng::seed_from_u64(9001);
+    let g = gilbert_bipartite(7, 7, 0.3, &mut rng);
+    let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(14, &mut rng);
+    cases.push(("p3-gilbert14", Instance::identical(3, p, g).unwrap(), 1543));
+
+    let mut rng = StdRng::seed_from_u64(9002);
+    let g = gilbert_bipartite(7, 7, 0.3, &mut rng);
+    let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(14, &mut rng);
+    cases.push((
+        "q3-gilbert14",
+        Instance::uniform(vec![4, 2, 1], p, g).unwrap(),
+        4104,
+    ));
+
+    let mut rng = StdRng::seed_from_u64(9003);
+    let g = gilbert_bipartite(6, 6, 0.3, &mut rng);
+    let times: Vec<Vec<u64>> = (0..3)
+        .map(|_| (0..12).map(|_| rng.gen_range(1..=9)).collect())
+        .collect();
+    cases.push(("r3-gilbert12", Instance::unrelated(times, g).unwrap(), 531));
+
+    cases.push((
+        "q2-crown6",
+        Instance::uniform(
+            vec![3, 1],
+            vec![5, 4, 4, 3, 3, 2, 6, 5, 4, 3, 2, 2],
+            Graph::crown(6),
+        )
+        .unwrap(),
+        31,
+    ));
+    cases.push((
+        "p4-crown8-unit",
+        Instance::identical(4, vec![1; 16], Graph::crown(8)).unwrap(),
+        10056,
+    ));
+
+    for (name, inst, seed_nodes) in &cases {
+        let out = branch_and_bound(inst, u64::MAX);
+        assert!(out.complete, "{name} must complete without a budget");
+        assert!(
+            out.nodes <= *seed_nodes,
+            "{name}: pruned search expanded {} nodes, seed implementation took {}",
+            out.nodes,
+            seed_nodes
+        );
+    }
+}
+
+/// The lab's proven-optimum budget (400k nodes) now closes 20–24-job
+/// cells the seed implementation could not — the coverage flip behind the
+/// re-seeded `BENCH_baseline`.
+#[test]
+fn lab_budget_proves_the_new_oracle_scenarios() {
+    // `p4-gilbert20-oracle` (seed implementation: 400_000 nodes, incomplete).
+    let mut rng = StdRng::seed_from_u64(134);
+    let g = gilbert_bipartite(10, 10, 0.3, &mut rng);
+    let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(20, &mut rng);
+    let inst = Instance::identical(4, p, g).unwrap();
+    let out = branch_and_bound(&inst, 400_000);
+    assert!(out.complete, "pruned oracle must close the 20-job P4 cell");
+
+    // `q4-gilbert24-oracle` (seed implementation: 400_000 nodes, incomplete).
+    let mut rng = StdRng::seed_from_u64(141);
+    let g = gilbert_bipartite(12, 12, 0.25, &mut rng);
+    let p = JobSizes::Uniform { lo: 1, hi: 12 }.sample(24, &mut rng);
+    let inst = Instance::uniform(vec![4, 4, 1, 1], p, g).unwrap();
+    let out = branch_and_bound(&inst, 400_000);
+    assert!(out.complete, "pruned oracle must close the 24-job Q4 cell");
+    assert!(out.optimum.unwrap().makespan > Rat::ZERO);
+}

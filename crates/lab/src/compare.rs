@@ -75,10 +75,30 @@ impl CompareOutcome {
         self.regressions.is_empty() && self.missing.is_empty()
     }
 
+    /// The regressions ranked worst-first (by relative change; new
+    /// errors, with their infinite delta, sort to the front).
+    pub fn worst_regressions(&self, k: usize) -> Vec<&Finding> {
+        let mut ranked: Vec<&Finding> = self.regressions.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.delta_pct
+                .partial_cmp(&a.delta_pct)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cell.cmp(&b.cell))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
     /// Human-readable verdict for CI logs.
     pub fn render(&self) -> String {
         let mut out = String::new();
         if !self.regressions.is_empty() {
+            // Lead CI readers straight to the worst offenders before the
+            // full (unranked) list.
+            out.push_str("worst 3:\n");
+            for f in self.worst_regressions(3) {
+                out.push_str(&format!("  {}\n", f.describe()));
+            }
             out.push_str(&format!("REGRESSIONS ({}):\n", self.regressions.len()));
             for f in &self.regressions {
                 out.push_str(&format!("  {}\n", f.describe()));
@@ -284,6 +304,33 @@ mod tests {
         let out = compare(&old, &new, &CompareOptions::default());
         assert!(!out.passed());
         assert_eq!(out.regressions[0].metric, "error");
+    }
+
+    #[test]
+    fn worst_regressions_rank_errors_first_and_cap_at_three() {
+        let old = report(vec![
+            cell("a", 1.0, 1.0),
+            cell("b", 1.0, 1.0),
+            cell("c", 1.0, 1.0),
+            cell("d", 1.0, 1.0),
+        ]);
+        let mut new = report(vec![
+            cell("a", 3.0, 1.0),  // +200%
+            cell("b", 10.0, 1.0), // +900%
+            cell("c", 2.5, 1.0),  // +150%
+            cell("d", 1.0, 1.0),
+        ]);
+        new.cells[3].error = Some("boom".into());
+        let out = compare(&old, &new, &CompareOptions::default());
+        assert!(!out.passed());
+        assert_eq!(out.regressions.len(), 4);
+        let worst = out.worst_regressions(3);
+        assert_eq!(worst.len(), 3);
+        assert_eq!(worst[0].cell, "d/auto"); // infinite delta first
+        assert_eq!(worst[1].cell, "b/auto");
+        assert_eq!(worst[2].cell, "a/auto");
+        let rendered = out.render();
+        assert!(rendered.contains("worst 3:"), "{rendered}");
     }
 
     #[test]

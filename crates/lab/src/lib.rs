@@ -25,7 +25,10 @@
 //! let opts = RunOptions {
 //!     warmup: 0,
 //!     reps: 1,
-//!     quality: QualityOptions { exact_cap_jobs: 0, exact_node_limit: 1 },
+//!     quality: QualityOptions {
+//!         exact_cap_jobs: 0, // skip the exact side channel for this demo
+//!         ..QualityOptions::default()
+//!     },
 //!     ..RunOptions::default()
 //! };
 //! let report = run_suite(&quick, &opts);

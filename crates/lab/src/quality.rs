@@ -2,8 +2,9 @@
 //! graph-blind lower bound, and — where a complete search is feasible —
 //! from the true optimum.
 
-use bisched_exact::branch_and_bound;
+use bisched_exact::{branch_and_bound_with, BnbLimits};
 use bisched_model::Instance;
+use std::time::Duration;
 
 /// Quality numbers for one solved cell.
 #[derive(Clone, Copy, Debug, Default)]
@@ -24,13 +25,22 @@ pub struct QualityOptions {
     /// Branch-and-bound node budget; an incomplete search yields no
     /// `ratio_opt` (an incumbent is not an optimum).
     pub exact_node_limit: u64,
+    /// Optional wall-clock budget for the exact search. `None` (the
+    /// default) keeps proven-optimum *coverage* hardware-independent:
+    /// whether a cell gets a `ratio_opt` then depends only on the
+    /// deterministic node budget, so two runs of the same suite always
+    /// prove the same cells.
+    pub exact_deadline: Option<Duration>,
 }
 
 impl Default for QualityOptions {
     fn default() -> Self {
         QualityOptions {
-            exact_cap_jobs: 22,
+            // The pruned oracle closes 20–24-job cells within the same
+            // node budget the seed implementation burned on 20 jobs.
+            exact_cap_jobs: 24,
             exact_node_limit: 400_000,
+            exact_deadline: None,
         }
     }
 }
@@ -61,7 +71,11 @@ pub fn exact_optimum(inst: &Instance, opts: &QualityOptions) -> Option<bisched_m
     if inst.num_jobs() > opts.exact_cap_jobs {
         return None;
     }
-    let outcome = branch_and_bound(inst, opts.exact_node_limit);
+    let limits = BnbLimits {
+        node_limit: opts.exact_node_limit,
+        deadline: opts.exact_deadline,
+    };
+    let outcome = branch_and_bound_with(inst, &limits);
     if !outcome.complete {
         return None;
     }

@@ -227,6 +227,7 @@ mod tests {
             quality: QualityOptions {
                 exact_cap_jobs: 0, // skip the exact side channel for speed
                 exact_node_limit: 1,
+                ..QualityOptions::default()
             },
         };
         let report = run_suite(&s, &opts);

@@ -376,6 +376,36 @@ fn quick_suite() -> Suite {
             JobSizes::Unit,
             103,
         ),
+        // Oracle-scale cells: small enough for the exact side channel,
+        // hard enough that the pre-rewrite branch and bound exhausted the
+        // 400k-node quality budget on them (no `ratio_opt`); the pruned
+        // oracle proves both, so their `auto` cells carry C/OPT now.
+        sc(
+            "p4-gilbert20-oracle",
+            ModelSpec::P { m: 4 },
+            GraphFamily::Gilbert {
+                n: 10,
+                regime: EdgeProbability::Constant { p: 0.3 },
+            },
+            JobSizes::Uniform { lo: 1, hi: 9 },
+            134,
+        ),
+        sc(
+            "q4-gilbert24-oracle",
+            ModelSpec::Q {
+                m: 4,
+                profile: SpeedProfile::TwoTier {
+                    fast_count: 2,
+                    factor: 4,
+                },
+            },
+            GraphFamily::Gilbert {
+                n: 12,
+                regime: EdgeProbability::Constant { p: 0.25 },
+            },
+            JobSizes::Uniform { lo: 1, hi: 12 },
+            141,
+        ),
         // Q — uniform machines.
         sc(
             "q3-cubic64-uniform",

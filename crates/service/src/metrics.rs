@@ -9,10 +9,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Power-of-two latency buckets over microseconds: bucket `b` holds
-/// samples in `[2^(b-1), 2^b)` µs, so 64 buckets span nanoseconds to
-/// hours. Quantiles report the bucket's upper bound — within 2× of the
-/// true value, which is plenty for service dashboards.
+/// Power-of-two latency buckets over microseconds: bucket `b ≥ 1` holds
+/// samples in `[2^(b-1), 2^b)` µs and bucket 0 holds only 0 µs samples
+/// (sub-microsecond measurements truncated by the caller), so 64 buckets
+/// span nanoseconds to hours. Quantiles report the bucket's upper bound —
+/// within 2× of the true value, which is plenty for service dashboards.
+///
+/// Edge cases (regression-tested below): an empty histogram reports 0.0
+/// for every quantile rather than a phantom first bucket, and 0 µs
+/// samples neither underflow the bucket index (`64 - leading_zeros` is 0,
+/// not `-1`) nor inflate quantiles past 1 µs.
 #[derive(Debug)]
 pub struct LatencyHist {
     buckets: [u64; 64],
@@ -166,8 +172,61 @@ mod tests {
 
     #[test]
     fn empty_histogram_reports_zero() {
+        // No recorded samples: every quantile (including the extremes)
+        // must be exactly 0.0, never the first bucket's upper bound.
         let h = LatencyHist::default();
-        assert_eq!(h.quantile_ms(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ms(q), 0.0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn zero_microsecond_samples_do_not_underflow_or_inflate() {
+        // 0 µs (sub-microsecond solves truncated by the caller) lands in
+        // bucket 0; the reported quantile is that bucket's 1 µs upper
+        // bound at most — not a panic, not an underflowed index, not a
+        // later bucket.
+        let mut h = LatencyHist::default();
+        for _ in 0..5 {
+            h.record(0);
+        }
+        assert_eq!(h.count(), 5);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile_ms(q);
+            assert!((0.0..=0.001).contains(&v), "q = {q}: {v}");
+        }
+        // Mixing in one large sample moves only the top quantiles.
+        h.record(1_000_000);
+        assert!(h.quantile_ms(0.5) <= 0.001);
+        assert!(h.quantile_ms(1.0) >= 1000.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_bracket_it() {
+        let mut h = LatencyHist::default();
+        h.record(700); // bucket upper bound: 1024 µs
+        for q in [0.0, 0.5, 1.0] {
+            let v = h.quantile_ms(q);
+            assert!((0.7..=1.024).contains(&v), "q = {q}: {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LatencyHist::default();
+        for us in [0, 0, 3, 9, 80, 700, 6_000, 50_000] {
+            h.record(us);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            assert!(
+                h.quantile_ms(w[0]) <= h.quantile_ms(w[1]),
+                "quantile not monotone between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
     }
 
     #[test]

@@ -424,6 +424,13 @@ fn config_cache_bytes(config: &SolverConfig) -> Vec<u8> {
     out.extend_from_slice(&config.eps.to_bits().to_le_bytes());
     out.extend_from_slice(&config.exact_budget.to_le_bytes());
     out.extend_from_slice(&config.bnb_node_limit.to_le_bytes());
+    // `u64::MAX` marks "no deadline" (a real deadline of u64::MAX ns is
+    // indistinguishable from none in effect, so the collision is benign).
+    let deadline_ns = config
+        .bnb_deadline
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(u64::MAX);
+    out.extend_from_slice(&deadline_ns.to_le_bytes());
     out.extend_from_slice(&(config.auto_exact_jobs as u64).to_le_bytes());
     out.extend_from_slice(&config.seed.to_le_bytes());
     match &config.policy {

@@ -65,6 +65,35 @@
 //! assert!(reports[0].is_ok());
 //! ```
 //!
+//! ## The exact oracle and its budgets
+//!
+//! [`exact::branch_and_bound`](exact) is the workspace's proven-optimum
+//! oracle at `n ≲ 24`: a pruned search over per-job conflict bitmasks
+//! with identical-machine symmetry breaking and the incremental
+//! graph-aware lower bounds of `bisched_exact::lower_bounds`. Two budgets
+//! bound it — a deterministic node limit
+//! ([`SolverConfig::bnb_node_limit`](core::SolverConfig), CLI
+//! `--node-limit`) and an optional wall-clock deadline
+//! ([`SolverConfig::bnb_deadline`](core::SolverConfig), CLI
+//! `--bnb-deadline-ms`). A search truncated by either returns its best
+//! incumbent as a `Heuristic`; a search that finishes — even on its very
+//! last budgeted node — is `Optimal`:
+//!
+//! ```
+//! use bisched::prelude::*;
+//! use std::time::Duration;
+//!
+//! let inst = Instance::identical(3, vec![4, 3, 3, 2, 2], Graph::path(5)).unwrap();
+//! let solver = SolverConfig::new()
+//!     .method(Method::BranchAndBound)
+//!     .bnb_node_limit(1_000_000)
+//!     .bnb_deadline(Some(Duration::from_secs(5)))
+//!     .build()
+//!     .unwrap();
+//! let report = solver.solve(&inst).unwrap();
+//! assert_eq!(report.guarantee, Guarantee::Optimal);
+//! ```
+//!
 //! ## Running as a service
 //!
 //! For bulk traffic, [`service`] wraps the solver in a long-running
