@@ -2,11 +2,23 @@
 //! first" baseline for all three machine environments.
 //!
 //! Jobs are taken in LPT order; each goes to the compatible machine that
-//! finishes it earliest. Greedy can paint itself into a corner (every
-//! machine blocked by a neighbor), so on bipartite graphs it falls back to
-//! the trivial 2-coloring split over the two fastest machines, which is
-//! always feasible for `m ≥ 2`.
+//! finishes it earliest. On `P`/`Q` the LPT key is `p_j`; on `R`, where no
+//! single processing time exists, it is the per-job **row minimum**
+//! `min_i p_{i,j}` that [`Instance::processing`] already stores (the
+//! graph-blind weight every lower bound in the workspace uses too).
+//! Greedy can paint itself into a corner (every machine blocked by a
+//! neighbor), so on bipartite graphs it falls back to the trivial
+//! 2-coloring split over the two fastest machines, which is always
+//! feasible for `m ≥ 2`.
+//!
+//! The compatibility test reuses [`bisched_exact::BitSet`]: one conflict
+//! mask per job (its neighborhood) and one job-set per machine make "does
+//! job `j` conflict with machine `i`" a few word ANDs, replacing the seed's
+//! per-(job, machine) neighbor scan (`O(n·m·deg)` pointer chasing becomes
+//! `O(n·m·⌈n/64⌉)` streaming words — the same trade the branch-and-bound
+//! oracle made in PR 4).
 
+use bisched_exact::BitSet;
 use bisched_graph::{bipartition, Side};
 use bisched_model::{Instance, MachineEnvironment, MachineId, Rat, Schedule};
 
@@ -56,24 +68,32 @@ fn completion_if(inst: &Instance, loads: &[u64], i: MachineId, j: u32) -> Rat {
 }
 
 /// Graph-aware LPT greedy with 2-coloring fallback. Works for `P`, `Q`,
-/// and `R` environments.
+/// and `R` environments (on `R` the LPT order is by the row minima that
+/// [`Instance::processing`] stores).
 pub fn greedy_lpt(inst: &Instance) -> Result<Schedule, BaselineError> {
     let n = inst.num_jobs();
     let m = inst.num_machines() as MachineId;
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| inst.processing(b).cmp(&inst.processing(a)).then(a.cmp(&b)));
 
+    // Per-job conflict masks (neighborhoods) and per-machine job sets:
+    // "some neighbor of j sits on machine i" is one bitset intersection.
+    let mut conflict_mask: Vec<BitSet> = Vec::with_capacity(n);
+    for j in 0..n as u32 {
+        let mut mask = BitSet::new(n);
+        for &u in inst.graph().neighbors(j) {
+            mask.set(u as usize);
+        }
+        conflict_mask.push(mask);
+    }
+    let mut on_machine: Vec<BitSet> = vec![BitSet::new(n); m as usize];
+
     let mut assignment = vec![u32::MAX; n];
     let mut loads = vec![0u64; m as usize];
     for &j in &order {
         let mut best: Option<(Rat, MachineId)> = None;
         for i in 0..m {
-            let conflict = inst
-                .graph()
-                .neighbors(j)
-                .iter()
-                .any(|&u| assignment[u as usize] == i);
-            if conflict {
+            if conflict_mask[j as usize].intersects(&on_machine[i as usize]) {
                 continue;
             }
             let c = completion_if(inst, &loads, i, j);
@@ -85,6 +105,7 @@ pub fn greedy_lpt(inst: &Instance) -> Result<Schedule, BaselineError> {
             Some((_, i)) => {
                 loads[i as usize] += job_cost(inst, i, j);
                 assignment[j as usize] = i;
+                on_machine[i as usize].set(j as usize);
             }
             None => return coloring_split(inst),
         }
@@ -183,6 +204,73 @@ mod tests {
             coloring_split(&inst).unwrap_err(),
             BaselineError::NotBipartite
         );
+    }
+
+    /// The seed's per-(job, machine) neighbor scan, kept as a reference:
+    /// the bitmask rewrite must be decision-for-decision identical.
+    fn greedy_lpt_reference(inst: &Instance) -> Result<Schedule, BaselineError> {
+        let n = inst.num_jobs();
+        let m = inst.num_machines() as MachineId;
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| inst.processing(b).cmp(&inst.processing(a)).then(a.cmp(&b)));
+        let mut assignment = vec![u32::MAX; n];
+        let mut loads = vec![0u64; m as usize];
+        for &j in &order {
+            let mut best: Option<(Rat, MachineId)> = None;
+            for i in 0..m {
+                let conflict = inst
+                    .graph()
+                    .neighbors(j)
+                    .iter()
+                    .any(|&u| assignment[u as usize] == i);
+                if conflict {
+                    continue;
+                }
+                let c = completion_if(inst, &loads, i, j);
+                if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                    best = Some((c, i));
+                }
+            }
+            match best {
+                Some((_, i)) => {
+                    loads[i as usize] += job_cost(inst, i, j);
+                    assignment[j as usize] = i;
+                }
+                None => return coloring_split(inst),
+            }
+        }
+        Ok(Schedule::new(assignment))
+    }
+
+    #[test]
+    fn bitmask_greedy_matches_reference_scan() {
+        let mut rng = StdRng::seed_from_u64(83);
+        for trial in 0..40 {
+            let n = rng.gen_range(2..=60);
+            let m = rng.gen_range(2..=6);
+            let g = gilbert_bipartite(n / 2, n - n / 2, 0.35, &mut rng);
+            let p = JobSizes::Uniform { lo: 1, hi: 40 }.sample(n, &mut rng);
+            let inst = match trial % 3 {
+                0 => Instance::identical(m, p, g).unwrap(),
+                1 => {
+                    let speeds = (0..m).map(|_| rng.gen_range(1..=6)).collect();
+                    Instance::uniform(speeds, p, g).unwrap()
+                }
+                _ => {
+                    let times = (0..m)
+                        .map(|_| (0..n).map(|_| rng.gen_range(1..=40)).collect())
+                        .collect();
+                    Instance::unrelated(times, g).unwrap()
+                }
+            };
+            let fast = greedy_lpt(&inst).unwrap();
+            let slow = greedy_lpt_reference(&inst).unwrap();
+            assert_eq!(
+                fast.assignment(),
+                slow.assignment(),
+                "trial {trial}: bitmask greedy diverged from the scan"
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! *shape* — polynomial in both, smooth in ε — is what matters).
 
 use bisched_core::r2_fptas;
-use bisched_fptas::rm_cmax_fptas;
+use bisched_fptas::{rm_cmax_fptas, rm_cmax_fptas_with, FptasParams};
 use bisched_graph::gilbert_bipartite;
 use bisched_model::{Instance, UnrelatedFamily};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -55,10 +55,58 @@ fn bench_alg5_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rm_fptas_unpruned_ablation(c: &mut Criterion) {
+    // The pruning/dominance ablation: the same sweep with the incumbent
+    // bound and Pareto filter off — the gap is the win the pruned default
+    // must keep.
+    let mut group = c.benchmark_group("rm_cmax_fptas_unpruned");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(23);
+    let times = UnrelatedFamily::Uncorrelated { lo: 1, hi: 2_000 }.sample(2, 150, &mut rng);
+    for eps in [1.0f64, 0.25] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &e| {
+            let mut params = FptasParams::new(e);
+            params.prune = false;
+            b.iter(|| {
+                black_box(
+                    rm_cmax_fptas_with(&times, &params)
+                        .expect("no cap configured")
+                        .makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rm_fptas_state_cap(c: &mut Criterion) {
+    // The memory-lean mode: a width cap with graceful ε-coarsening.
+    let mut group = c.benchmark_group("rm_cmax_fptas_state_cap");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(24);
+    let times = UnrelatedFamily::JobCorrelated {
+        base: (1_000, 100_000),
+        spread: 2_000,
+    }
+    .sample(2, 120, &mut rng);
+    for cap in [1024usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            let mut params = FptasParams::new(0.05);
+            params.state_cap = Some(cap);
+            // A cap the coarsest ε still cannot meet is a valid outcome
+            // (typed error); bench the full relief path either way.
+            b.iter(|| black_box(rm_cmax_fptas_with(&times, &params).map(|r| r.makespan).ok()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rm_fptas_eps,
     bench_rm_fptas_m3,
-    bench_alg5_end_to_end
+    bench_alg5_end_to_end,
+    bench_rm_fptas_unpruned_ablation,
+    bench_rm_fptas_state_cap
 );
 criterion_main!(benches);

@@ -5,15 +5,15 @@
 //! bisched_cli generate r <n> <m> <p> <seed>     emit a random R instance
 //! bisched_cli info <file>                       describe an instance
 //! bisched_cli solve <file> [--method <m>] [--portfolio <m1,m2,…>]
-//!                          [--eps <e>] [--node-limit <nodes>]
-//!                          [--bnb-deadline-ms <ms>]
+//!                          [--eps <e>] [--fptas-state-cap <states>]
+//!                          [--node-limit <nodes>] [--bnb-deadline-ms <ms>]
 //!                          [--exact-budget <mass>] [--json]
 //! bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
 //!                   [--cache-cap <n>] [--queue-cap <n>]
 //! bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>]
 //!                    [--no-cache] [--shutdown] [--json]
 //! bisched_cli lab list
-//! bisched_cli lab run --suite quick|full|paper-sec4 [--out <path>]
+//! bisched_cli lab run --suite quick|full|paper-sec4|fptas-scaling [--out <path>]
 //!                     [--reps <n>] [--warmup <n>] [--seq]
 //! bisched_cli lab compare <old.json> <new.json> [--fail-threshold <pct>]
 //!                         [--quality-threshold <pct>]
@@ -24,7 +24,10 @@
 //! `fptas`, `twoapprox`, `greedy-lpt`, `greedy`) or `auto` (default);
 //! `--portfolio` runs several and keeps the best; `--node-limit` and
 //! `--bnb-deadline-ms` budget the branch-and-bound search (nodes and
-//! wall clock — whichever is hit first truncates it to a heuristic) and
+//! wall clock — whichever is hit first truncates it to a heuristic),
+//! `--fptas-state-cap` bounds the FPTAS DP's live width (the solver
+//! coarsens ε gracefully when the cap bites, and the reported guarantee
+//! carries the effective ε), and
 //! `--exact-budget` the pseudo-polynomial DP gate. `--json` emits the full
 //! `SolveReport` — method, guarantee, makespan, lower bound, per-engine
 //! timings — as a single JSON object for experiment scripts.
@@ -80,15 +83,16 @@ const USAGE: &str = "usage:
   bisched_cli info <file>
   bisched_cli solve <file> [--method auto|exact-q2|exact-r2|branch-and-bound|alg1|alg2|
                             bjw|fptas|twoapprox|greedy-lpt|greedy]
-                           [--portfolio <m1,m2,...>] [--eps <e>] [--node-limit <nodes>]
-                           [--bnb-deadline-ms <ms>] [--exact-budget <mass>] [--json]
+                           [--portfolio <m1,m2,...>] [--eps <e>] [--fptas-state-cap <states>]
+                           [--node-limit <nodes>] [--bnb-deadline-ms <ms>]
+                           [--exact-budget <mass>] [--json]
   bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
                     [--cache-cap <n>] [--queue-cap <n>]
   bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>] [--no-cache] [--shutdown]
                      [--json]
   bisched_cli lab list
-  bisched_cli lab run --suite quick|full|paper-sec4 [--out <path>] [--reps <n>] [--warmup <n>]
-                      [--seq]
+  bisched_cli lab run --suite quick|full|paper-sec4|fptas-scaling [--out <path>]
+                      [--reps <n>] [--warmup <n>] [--seq]
   bisched_cli lab compare <old.json> <new.json> [--fail-threshold <pct>]
                           [--quality-threshold <pct>]";
 
@@ -156,6 +160,10 @@ fn parse_solve_flags(args: &[String]) -> Result<(SolverConfig, bool), String> {
             "--eps" => {
                 let eps: f64 = parse(it.next(), "--eps value")?;
                 config = config.eps(eps);
+            }
+            "--fptas-state-cap" => {
+                let cap: usize = parse(it.next(), "--fptas-state-cap value")?;
+                config = config.fptas_state_cap(Some(cap));
             }
             "--node-limit" => {
                 let nodes: u64 = parse(it.next(), "--node-limit value")?;

@@ -1,0 +1,79 @@
+//! `exp_fptas_scaling` — the pinned eps × n × m grid behind the
+//! `BENCH_baseline.md` seed-vs-optimized FPTAS table.
+//!
+//! For every cell of a fixed grid (seeded `R` matrices, the eps ladder the
+//! `fptas-scaling` lab suite also runs) this prints the p50 wall time over
+//! `REPS` solves, the DP's peak live width, and the number of heap
+//! allocations one solve performs (counted by a wrapping global
+//! allocator). Rerun after any change to `bisched_fptas::rm_cmax` and
+//! refresh the table at the bottom of `BENCH_baseline.md`.
+
+use bisched_fptas::rm_cmax_fptas;
+use bisched_model::UnrelatedFamily;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every allocation the process makes; reads are coarse but the
+/// per-solve deltas below are measured single-threaded.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+const REPS: usize = 9;
+
+fn main() {
+    println!("| m | n | eps | p50 ms | peak states | allocs/solve |");
+    println!("|--:|--:|--:|--:|--:|--:|");
+    let grid: &[(usize, usize, u64)] = &[
+        (2, 40, 9001),
+        (2, 80, 9002),
+        (2, 160, 9003),
+        (3, 20, 9004),
+        (3, 40, 9005),
+    ];
+    for &(m, n, seed) in grid {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let times = UnrelatedFamily::Uncorrelated { lo: 1, hi: 2_000 }.sample(m, n, &mut rng);
+        for &eps in &[1.0f64, 0.25, 0.05] {
+            // m = 3 at fine eps is the slow corner; keep the grid honest
+            // but bounded.
+            if m == 3 && eps < 0.25 {
+                continue;
+            }
+            let _ = rm_cmax_fptas(&times, eps); // warmup
+            let a0 = ALLOCS.load(Ordering::Relaxed);
+            let mut wall_ms: Vec<f64> = Vec::with_capacity(REPS);
+            let mut peak = 0usize;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let r = rm_cmax_fptas(&times, eps);
+                wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                peak = r.peak_states;
+            }
+            let allocs = (ALLOCS.load(Ordering::Relaxed) - a0) / REPS as u64;
+            wall_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let p50 = wall_ms[REPS / 2];
+            println!("| {m} | {n} | {eps} | {p50:.3} | {peak} | {allocs} |");
+        }
+    }
+}

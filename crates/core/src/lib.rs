@@ -35,12 +35,12 @@ pub mod thm4_q2unit;
 pub use alg1_sqrt::{alg1_sqrt_approx, Alg1Error, Alg1Result};
 pub use alg2_random::{alg2_balanced, alg2_random_graph, Alg2Result};
 pub use r2_approx::r2_two_approx;
-pub use r2_fptas::r2_fptas;
+pub use r2_fptas::{r2_fptas, r2_fptas_with, FptasControls, R2FptasError, R2FptasReport};
 pub use r2_reduction::{reduce_r2, Orientation, ReducedR2};
 pub use reduction_thm24::{reduce_1prext_to_rm, Thm24Reduction};
 pub use reduction_thm8::{reduce_1prext_to_qm, Thm8Reduction};
 pub use solver::{
     EngineOutcome, EngineRun, Guarantee, Method, MethodPolicy, SolveError, SolveReport, Solver,
-    SolverConfig,
+    SolverConfig, DEFAULT_EPS,
 };
 pub use thm4_q2unit::thm4_fptas_route;

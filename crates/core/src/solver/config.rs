@@ -51,6 +51,20 @@ pub struct SolverConfig {
     pub bnb_deadline: Option<Duration>,
     /// Job-count ceiling under which `Auto` tries branch and bound first.
     pub auto_exact_jobs: usize,
+    /// Optional cap on the FPTAS DP's live width (states per layer),
+    /// bounding the sweep's memory under [`Method::R2Fptas`]. When a
+    /// layer outgrows it, `ε` is coarsened gracefully (doubling, capped
+    /// at Algorithm 5's `ε = 1` regime ceiling) and the report's
+    /// [`Guarantee::OnePlusEps`](super::Guarantee) carries the effective
+    /// `ε`; if even the coarsest regime cannot fit, the engine fails with
+    /// a typed state-cap error recorded in the solve attempts. `None`
+    /// (the default) leaves the width unbounded.
+    pub fptas_state_cap: Option<usize>,
+    /// Expand FPTAS DP layers in parallel chunks over rayon with a
+    /// deterministic merge. Result-identical to the sequential sweep
+    /// (and sequential in effect under the vendored rayon stand-in), so
+    /// it does not participate in the service's cache key.
+    pub fptas_parallel: bool,
     /// Deterministic seed for randomized engines, echoed in
     /// [`SolveReport::seed`](crate::SolveReport::seed). The paper's
     /// engines draw no randomness at solve time (Algorithm 2's
@@ -68,6 +82,8 @@ impl Default for SolverConfig {
             exact_budget: DEFAULT_EXACT_BUDGET,
             bnb_node_limit: DEFAULT_BNB_NODE_LIMIT,
             bnb_deadline: None,
+            fptas_state_cap: None,
+            fptas_parallel: false,
             auto_exact_jobs: DEFAULT_AUTO_EXACT_JOBS,
             seed: 0,
             policy: MethodPolicy::Auto,
@@ -110,6 +126,19 @@ impl SolverConfig {
         self
     }
 
+    /// Sets (or clears) the FPTAS DP state cap; see
+    /// [`SolverConfig::fptas_state_cap`].
+    pub fn fptas_state_cap(mut self, cap: Option<usize>) -> Self {
+        self.fptas_state_cap = cap;
+        self
+    }
+
+    /// Toggles parallel (deterministically merged) FPTAS layer expansion.
+    pub fn fptas_parallel(mut self, parallel: bool) -> Self {
+        self.fptas_parallel = parallel;
+        self
+    }
+
     /// Sets the job-count ceiling under which `Auto` attempts a complete
     /// branch and bound before the approximation engines.
     pub fn auto_exact_jobs(mut self, jobs: usize) -> Self {
@@ -146,6 +175,11 @@ impl SolverConfig {
                 "eps must be in (0, 1], got {}",
                 self.eps
             )));
+        }
+        if self.fptas_state_cap == Some(0) {
+            return Err(SolveError::InvalidConfig(
+                "fptas_state_cap must be at least 1 (use None for unbounded)".into(),
+            ));
         }
         if let MethodPolicy::Portfolio(methods) = &self.policy {
             if methods.is_empty() {

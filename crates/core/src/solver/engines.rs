@@ -13,7 +13,7 @@ use super::method::Method;
 use crate::alg1_sqrt::alg1_sqrt_approx;
 use crate::alg2_random::alg2_random_graph;
 use crate::r2_approx::r2_two_approx;
-use crate::r2_fptas::r2_fptas;
+use crate::r2_fptas::{r2_fptas_with, FptasControls};
 
 /// A successful engine run, before report assembly.
 pub(super) struct EngineSolution {
@@ -175,8 +175,20 @@ pub(super) fn run_method(
                 )));
             }
             require_two_machines(inst)?;
-            let schedule = r2_fptas(inst, config.eps).map_err(|e| Failed(e.to_string()))?;
-            Ok(solved(inst, schedule, Guarantee::OnePlusEps(config.eps)))
+            let controls = FptasControls {
+                state_cap: config.fptas_state_cap,
+                // A hit cap degrades gracefully to a coarser ε (≤ 1, the
+                // Algorithm 5 regime); only an unsatisfiable cap fails,
+                // typed, into the attempt record.
+                coarsen: true,
+                parallel: config.fptas_parallel,
+            };
+            let report =
+                r2_fptas_with(inst, config.eps, &controls).map_err(|e| Failed(e.to_string()))?;
+            // The guarantee carries the ε the DP actually ran at — equal
+            // to the configured ε unless the state cap forced coarsening.
+            let guarantee = Guarantee::OnePlusEps(report.eps_effective);
+            Ok(solved(inst, report.schedule, guarantee))
         }
         Method::R2TwoApprox => {
             if !is_unrelated(inst) {

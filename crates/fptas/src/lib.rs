@@ -8,9 +8,25 @@
 //! Implemented as a Horowitz–Sahni Pareto sweep with `(1+ε/2n)` log-grid
 //! trimming (see DESIGN.md §2.3 for the substitution rationale). `ε = 0`
 //! yields the exact pseudo-polynomial Pareto DP.
+//!
+//! The sweep is the hot path under nearly every `Auto` solve, so it runs
+//! as a packed-key, pruned, streaming DP: coordinates pack into one
+//! `u128` hashed by an in-crate multiply-xor hasher, a greedy incumbent
+//! plus suffix lower bounds kill hopeless states, `m ≤ 3` layers get a
+//! Pareto-dominance filter, and load arenas stream (only compact
+//! backpointers are retained per layer). [`rm_cmax_fptas_with`] exposes
+//! the knobs: a [`state_cap`](FptasParams::state_cap) bounding any
+//! layer's width (with graceful ε-coarsening or a typed
+//! [`FptasError`]), pruning and parallel-expansion toggles. Bucketing is
+//! the monotone integer grid of [`bucket::BucketGrid`].
 
 #![warn(missing_docs)]
 
+pub mod bucket;
 pub mod rm_cmax;
 
-pub use rm_cmax::{makespan_of, rm_cmax_exact, rm_cmax_fptas, FptasResult};
+pub use bucket::BucketGrid;
+pub use rm_cmax::{
+    makespan_of, rm_cmax_exact, rm_cmax_fptas, rm_cmax_fptas_with, CapRelief, FptasError,
+    FptasParams, FptasResult,
+};

@@ -277,7 +277,7 @@ pub struct Sec4Params {
 
 /// Names of the registered suites.
 pub fn suite_names() -> &'static [&'static str] {
-    &["quick", "full", "paper-sec4"]
+    &["quick", "full", "paper-sec4", "fptas-scaling"]
 }
 
 /// Looks up a registered suite.
@@ -286,6 +286,7 @@ pub fn suite(name: &str) -> Option<Suite> {
         "quick" => Some(quick_suite()),
         "full" => Some(full_suite()),
         "paper-sec4" => Some(paper_sec4_suite()),
+        "fptas-scaling" => Some(fptas_scaling_suite()),
         _ => None,
     }
 }
@@ -333,6 +334,20 @@ fn sharp_eps() -> NamedConfig {
         name: "eps-0.05".into(),
         config: bisched_core::SolverConfig::new()
             .eps(0.05)
+            .auto_exact_jobs(0),
+    }
+}
+
+/// Forces the approximation pipeline all the way down: the exact DP gate
+/// and the branch-and-bound fast path are both disabled, so `R2` cells
+/// time Algorithm 5's FPTAS at the given `ε` (and `P`/`Q` cells the
+/// Algorithm 1 route, whose inner Algorithm 5 call is the same DP).
+fn fptas_eps(name: &str, eps: f64) -> NamedConfig {
+    NamedConfig {
+        name: name.into(),
+        config: bisched_core::SolverConfig::new()
+            .eps(eps)
+            .exact_budget(0)
             .auto_exact_jobs(0),
     }
 }
@@ -474,6 +489,35 @@ fn quick_suite() -> Suite {
             JobSizes::Unit,
             109,
         ),
+        // FPTAS-backed cells: big job-correlated values push the row mass
+        // past the exact-DP budget, so even `auto` lands on Algorithm 5 —
+        // these are the cells the bench gate watches the DP core through.
+        sc(
+            "r2-forest96-jobcorr-fptas",
+            ModelSpec::R {
+                m: 2,
+                family: UnrelatedFamily::JobCorrelated {
+                    base: (1_000, 100_000),
+                    spread: 2_000,
+                },
+            },
+            GraphFamily::Forest { n: 96, trees: 8 },
+            JobSizes::Unit,
+            151,
+        ),
+        sc(
+            "r2-gilbert-sub96-jobcorr-fptas",
+            ModelSpec::R {
+                m: 2,
+                family: UnrelatedFamily::JobCorrelated {
+                    base: (1_000, 100_000),
+                    spread: 2_000,
+                },
+            },
+            GraphFamily::Gilbert { n: 48, regime: sub },
+            JobSizes::Unit,
+            152,
+        ),
         sc(
             "r4-thm24-no-gadget",
             ModelSpec::R {
@@ -498,7 +542,88 @@ fn quick_suite() -> Suite {
     Suite {
         name: "quick".into(),
         scenarios,
-        configs: vec![auto(), baseline()],
+        configs: vec![
+            auto(),
+            baseline(),
+            fptas_eps("fptas", bisched_core::DEFAULT_EPS),
+        ],
+        sec4: None,
+    }
+}
+
+/// The FPTAS scaling grid: ε × n × m over the corpus's graph families.
+/// The `n` axis runs through `R2` cells of growing job counts (each lands
+/// on Algorithm 5's DP directly); the `m` axis through `Q` cells whose
+/// Algorithm 1 route calls the same DP under more machines. Paired with
+/// the `fptas_scaling` criterion bench; `lab compare` gates regressions.
+fn fptas_scaling_suite() -> Suite {
+    let jobcorr = UnrelatedFamily::JobCorrelated {
+        base: (1_000, 100_000),
+        spread: 2_000,
+    };
+    let scenarios = vec![
+        sc(
+            "r2-fscale-n40",
+            ModelSpec::R {
+                m: 2,
+                family: jobcorr,
+            },
+            GraphFamily::BoundedDegree { n: 20, max_deg: 4 },
+            JobSizes::Unit,
+            161,
+        ),
+        sc(
+            "r2-fscale-n80",
+            ModelSpec::R {
+                m: 2,
+                family: jobcorr,
+            },
+            GraphFamily::BoundedDegree { n: 40, max_deg: 4 },
+            JobSizes::Unit,
+            162,
+        ),
+        sc(
+            "r2-fscale-n160",
+            ModelSpec::R {
+                m: 2,
+                family: jobcorr,
+            },
+            GraphFamily::BoundedDegree { n: 80, max_deg: 4 },
+            JobSizes::Unit,
+            163,
+        ),
+        sc(
+            "q3-fscale-cubic96",
+            ModelSpec::Q {
+                m: 3,
+                profile: SpeedProfile::Geometric { ratio: 2 },
+            },
+            GraphFamily::Regular { n: 48, d: 3 },
+            JobSizes::Uniform { lo: 1, hi: 30 },
+            164,
+        ),
+        sc(
+            "q6-fscale-crown96",
+            ModelSpec::Q {
+                m: 6,
+                profile: SpeedProfile::TwoTier {
+                    fast_count: 2,
+                    factor: 4,
+                },
+            },
+            GraphFamily::Crown { n: 48 },
+            JobSizes::Uniform { lo: 1, hi: 30 },
+            165,
+        ),
+    ];
+    Suite {
+        name: "fptas-scaling".into(),
+        scenarios,
+        configs: vec![
+            fptas_eps("eps-1.0", 1.0),
+            fptas_eps("eps-0.25", 0.25),
+            fptas_eps("eps-0.05", 0.05),
+        ],
         sec4: None,
     }
 }
@@ -657,6 +782,46 @@ mod tests {
             "quick must cover >= 6 graph families, got {}",
             families.len()
         );
+    }
+
+    #[test]
+    fn fptas_backed_cells_reach_algorithm5() {
+        // The quick suite's jobcorr `R2` cells must exceed the exact-DP
+        // budget (so `auto` lands on the FPTAS), and every `fptas-scaling`
+        // `R2` cell must dispatch to Algorithm 5 under its eps configs.
+        let quick = suite("quick").unwrap();
+        let auto_solver = bisched_core::SolverConfig::new().build().unwrap();
+        for scenario in quick
+            .scenarios
+            .iter()
+            .filter(|x| x.name.ends_with("-fptas"))
+        {
+            let inst = scenario.build();
+            let report = auto_solver.solve(&inst).unwrap();
+            assert_eq!(
+                report.method,
+                bisched_core::Method::R2Fptas,
+                "{} must be FPTAS-backed under auto, got {}",
+                scenario.name,
+                report.method
+            );
+        }
+        let fscale = suite("fptas-scaling").unwrap();
+        assert_eq!(fscale.configs.len(), 3, "the ε axis");
+        for scenario in fscale.scenarios.iter().filter(|x| x.model.alpha() == "R") {
+            let inst = scenario.build();
+            for config in &fscale.configs {
+                let solver = config.config.clone().build().unwrap();
+                let report = solver.solve(&inst).unwrap();
+                assert_eq!(
+                    report.method,
+                    bisched_core::Method::R2Fptas,
+                    "{}/{} must time Algorithm 5",
+                    scenario.name,
+                    config.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -431,6 +431,12 @@ fn config_cache_bytes(config: &SolverConfig) -> Vec<u8> {
         .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
         .unwrap_or(u64::MAX);
     out.extend_from_slice(&deadline_ns.to_le_bytes());
+    // `u64::MAX` marks "no FPTAS state cap" (a real cap never reaches it:
+    // `SolverConfig::build` rejects 0 and widths are bounded by memory).
+    // `fptas_parallel` is deliberately absent: the parallel expansion is
+    // result-identical to the sequential sweep, so both may share entries.
+    let fptas_cap = config.fptas_state_cap.map(|c| c as u64).unwrap_or(u64::MAX);
+    out.extend_from_slice(&fptas_cap.to_le_bytes());
     out.extend_from_slice(&(config.auto_exact_jobs as u64).to_le_bytes());
     out.extend_from_slice(&config.seed.to_le_bytes());
     match &config.policy {
@@ -456,4 +462,38 @@ pub fn serve<A: ToSocketAddrs + std::fmt::Display>(addr: A) -> std::io::Result<S
         addr: addr.to_string(),
         ..ServeOptions::default()
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_bytes_distinguish_outcome_changing_knobs() {
+        let base = SolverConfig::new();
+        let baseline = config_cache_bytes(&base);
+        // Every knob that can change a solve's result must change the key.
+        for variant in [
+            base.clone().eps(0.5),
+            base.clone().exact_budget(7),
+            base.clone().bnb_node_limit(9),
+            base.clone()
+                .bnb_deadline(Some(std::time::Duration::from_millis(3))),
+            base.clone().fptas_state_cap(Some(1024)),
+            base.clone().auto_exact_jobs(3),
+            base.clone().seed(1),
+        ] {
+            assert_ne!(
+                config_cache_bytes(&variant),
+                baseline,
+                "variant {variant:?} must not share a cache key with the default config"
+            );
+        }
+        // The parallel toggle is result-identical by construction and
+        // deliberately shares entries.
+        assert_eq!(
+            config_cache_bytes(&base.clone().fptas_parallel(true)),
+            baseline
+        );
+    }
 }

@@ -94,6 +94,60 @@
 //! assert_eq!(report.guarantee, Guarantee::Optimal);
 //! ```
 //!
+//! ## FPTAS knobs
+//!
+//! The `Rm || C_max` sweep behind Algorithm 5 (and, through Algorithm 1
+//! and the Theorem 4 route, behind most `Auto` solves) is a packed-key,
+//! pruned, streaming DP ([`fptas`]): a greedy incumbent and suffix lower
+//! bounds kill hopeless states, `m ≤ 3` layers get a Pareto-dominance
+//! filter, and only compact backpointers are retained per layer. Three
+//! knobs steer it:
+//!
+//! * [`SolverConfig::eps`](core::SolverConfig) (CLI `--eps`) — the
+//!   accuracy `ε ∈ (0, 1]` of the `(1+ε)` guarantee (Theorem 22);
+//! * [`SolverConfig::fptas_state_cap`](core::SolverConfig) (CLI
+//!   `--fptas-state-cap`) — a bound on the DP's live width, capping its
+//!   memory. When a layer outgrows it the solver coarsens `ε` gracefully
+//!   (doubling, never past Algorithm 5's `ε = 1` regime ceiling) and the
+//!   reported guarantee carries the **effective** `ε`; an unsatisfiable
+//!   cap fails with a typed state-cap error, visible in
+//!   [`SolveReport::attempts`](core::SolveReport);
+//! * [`SolverConfig::fptas_parallel`](core::SolverConfig) — chunked
+//!   parallel layer expansion with a deterministic merge,
+//!   result-identical to the sequential sweep (and excluded from the
+//!   service's cache key for exactly that reason).
+//!
+//! ```
+//! use bisched::prelude::*;
+//!
+//! let inst = Instance::unrelated(
+//!     vec![
+//!         vec![40, 37, 51, 44, 60, 33, 48, 55],
+//!         vec![41, 36, 52, 45, 61, 32, 47, 56],
+//!     ],
+//!     Graph::empty(8),
+//! )
+//! .unwrap();
+//! let solver = SolverConfig::new()
+//!     .method(Method::R2Fptas)
+//!     .eps(0.05)
+//!     .fptas_state_cap(Some(4096)) // bound the DP's live width
+//!     .build()
+//!     .unwrap();
+//! let report = solver.solve(&inst).unwrap();
+//! match report.guarantee {
+//!     // ε as configured unless the cap forced coarsening (≤ 1 always).
+//!     Guarantee::OnePlusEps(eps) => assert!((0.05..=1.0).contains(&eps)),
+//!     other => panic!("unexpected guarantee {other}"),
+//! }
+//! ```
+//!
+//! The DP itself is reachable as
+//! [`fptas::rm_cmax_fptas_with`](fptas::rm_cmax_fptas_with), whose
+//! [`FptasResult`](fptas::FptasResult) reports `expanded` / `pruned` /
+//! `peak_states` counters; the `fptas-scaling` lab suite and the
+//! `fptas_scaling` criterion bench pin its performance.
+//!
 //! ## Running as a service
 //!
 //! For bulk traffic, [`service`] wraps the solver in a long-running
