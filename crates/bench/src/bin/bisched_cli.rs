@@ -6,12 +6,13 @@
 //! bisched_cli info <file>                       describe an instance
 //! bisched_cli solve <file> [--method <m>] [--portfolio <m1,m2,…>]
 //!                          [--eps <e>] [--fptas-state-cap <states>]
-//!                          [--node-limit <nodes>] [--bnb-deadline-ms <ms>]
+//!                          [--node-limit <nodes>] [--cp-node-limit <nodes>]
+//!                          [--bnb-deadline-ms <ms>] [--race-deadline-ms <ms>]
 //!                          [--exact-budget <mass>] [--json]
 //! bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
 //!                   [--cache-cap <n>] [--queue-cap <n>]
 //! bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>]
-//!                    [--no-cache] [--shutdown] [--json]
+//!                    [--method <m>] [--no-cache] [--shutdown] [--json]
 //! bisched_cli lab list
 //! bisched_cli lab run --suite quick|full|paper-sec4|fptas-scaling [--out <path>]
 //!                     [--reps <n>] [--warmup <n>] [--seq]
@@ -20,17 +21,22 @@
 //! ```
 //!
 //! `solve` runs the `Solver` engine. `--method` names one engine
-//! (`exact-q2`, `exact-r2`, `branch-and-bound`, `alg1`, `alg2`, `bjw`,
-//! `fptas`, `twoapprox`, `greedy-lpt`, `greedy`) or `auto` (default);
-//! `--portfolio` runs several and keeps the best; `--node-limit` and
+//! (`exact-q2`, `exact-r2`, `branch-and-bound`, `cp`, `alg1`, `alg2`,
+//! `bjw`, `fptas`, `twoapprox`, `greedy-lpt`, `greedy`) or `auto`
+//! (default); `--portfolio` **races** several concurrently and keeps the
+//! best (the first proven optimum cancels the rest); `--node-limit` and
 //! `--bnb-deadline-ms` budget the branch-and-bound search (nodes and
 //! wall clock — whichever is hit first truncates it to a heuristic),
+//! `--cp-node-limit` budgets the CP engine's decision nodes,
+//! `--race-deadline-ms` bounds a whole portfolio race's wall clock,
 //! `--fptas-state-cap` bounds the FPTAS DP's live width (the solver
 //! coarsens ε gracefully when the cap bites, and the reported guarantee
 //! carries the effective ε), and
 //! `--exact-budget` the pseudo-polynomial DP gate. `--json` emits the full
 //! `SolveReport` — method, guarantee, makespan, lower bound, per-engine
-//! timings — as a single JSON object for experiment scripts.
+//! timings (plus the race's own wall time and per-attempt `cancelled`
+//! flags under a portfolio) — as a single JSON object for experiment
+//! scripts.
 //!
 //! Instances use the text format of `bisched_model::io` (see its docs).
 //! `serve` runs the `bisched-service` daemon until a `shutdown` request
@@ -81,15 +87,16 @@ const USAGE: &str = "usage:
   bisched_cli generate q <n> <m> <p> <seed>
   bisched_cli generate r <n> <m> <p> <seed>
   bisched_cli info <file>
-  bisched_cli solve <file> [--method auto|exact-q2|exact-r2|branch-and-bound|alg1|alg2|
+  bisched_cli solve <file> [--method auto|exact-q2|exact-r2|branch-and-bound|cp|alg1|alg2|
                             bjw|fptas|twoapprox|greedy-lpt|greedy]
                            [--portfolio <m1,m2,...>] [--eps <e>] [--fptas-state-cap <states>]
-                           [--node-limit <nodes>] [--bnb-deadline-ms <ms>]
+                           [--node-limit <nodes>] [--cp-node-limit <nodes>]
+                           [--bnb-deadline-ms <ms>] [--race-deadline-ms <ms>]
                            [--exact-budget <mass>] [--json]
   bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
                     [--cache-cap <n>] [--queue-cap <n>]
-  bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>] [--no-cache] [--shutdown]
-                     [--json]
+  bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>] [--method <m>]
+                     [--no-cache] [--shutdown] [--json]
   bisched_cli lab list
   bisched_cli lab run --suite quick|full|paper-sec4|fptas-scaling [--out <path>]
                       [--reps <n>] [--warmup <n>] [--seq]
@@ -173,6 +180,14 @@ fn parse_solve_flags(args: &[String]) -> Result<(SolverConfig, bool), String> {
                 let ms: u64 = parse(it.next(), "--bnb-deadline-ms value")?;
                 config = config.bnb_deadline(Some(std::time::Duration::from_millis(ms)));
             }
+            "--cp-node-limit" => {
+                let nodes: u64 = parse(it.next(), "--cp-node-limit value")?;
+                config = config.cp_node_limit(nodes);
+            }
+            "--race-deadline-ms" => {
+                let ms: u64 = parse(it.next(), "--race-deadline-ms value")?;
+                config = config.race_deadline(Some(std::time::Duration::from_millis(ms)));
+            }
             "--exact-budget" => {
                 let budget: u64 = parse(it.next(), "--exact-budget value")?;
                 config = config.exact_budget(budget);
@@ -245,6 +260,9 @@ fn report_to_json(inst: &Instance, report: &SolveReport) -> Value {
         "total_time_s".into(),
         float(report.total_time.as_secs_f64()),
     );
+    if let Some(race) = report.race_time {
+        obj.insert("race_time_s".into(), float(race.as_secs_f64()));
+    }
     obj.insert(
         "seed".into(),
         Value::Number(serde_json::Number::from_u64(report.seed)),
@@ -267,6 +285,7 @@ fn report_to_json(inst: &Instance, report: &SolveReport) -> Value {
             if let Some(reason) = detail {
                 a.insert("reason".into(), Value::String(reason.clone()));
             }
+            a.insert("cancelled".into(), Value::Bool(run.cancelled));
             a.insert("wall_time_s".into(), float(run.wall_time.as_secs_f64()));
             Value::Object(a)
         })
@@ -319,6 +338,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut addr: Option<String> = None;
     let mut file: Option<String> = None;
     let mut repeat: usize = 1;
+    let mut method: Option<String> = None;
     let mut no_cache = false;
     let mut shutdown = false;
     let mut json = false;
@@ -327,6 +347,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--addr" => addr = Some(parse(it.next(), "--addr value")?),
             "--repeat" => repeat = parse(it.next(), "--repeat value")?,
+            "--method" => method = Some(parse(it.next(), "--method value")?),
             "--no-cache" => no_cache = true,
             "--shutdown" => shutdown = true,
             "--json" => json = true,
@@ -366,6 +387,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         for (k, (data, inst)) in workload.iter().enumerate() {
             let mut req = Request::solve(data.clone());
             req.id = Some((round * workload.len() + k) as u64);
+            req.method = method.clone();
             if no_cache {
                 req.no_cache = Some(true);
             }
@@ -623,10 +645,15 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
             EngineOutcome::Failed { reason } => format!("failed: {reason}"),
         };
         println!(
-            "  tried {:<17} {:<28} ({:.2?})",
+            "  tried {:<17} {:<28} ({:.2?}){}",
             run.method.name(),
             outcome,
-            run.wall_time
+            run.wall_time,
+            if run.cancelled {
+                "  [race-cancelled]"
+            } else {
+                ""
+            }
         );
     }
     for i in 0..inst.num_machines() as u32 {

@@ -17,6 +17,10 @@ pub const DEFAULT_EXACT_BUDGET: u64 = 1 << 22;
 /// Default branch-and-bound node budget.
 pub const DEFAULT_BNB_NODE_LIMIT: u64 = 2_000_000;
 
+/// Default CP decision-node budget. CP nodes are costlier than B&B nodes
+/// (each carries a propagation fixpoint), so the default is smaller.
+pub const DEFAULT_CP_NODE_LIMIT: u64 = 500_000;
+
 /// Default job-count ceiling under which `Auto` tries branch and bound
 /// before the approximation engines.
 pub const DEFAULT_AUTO_EXACT_JOBS: usize = 10;
@@ -49,6 +53,14 @@ pub struct SolverConfig {
     /// search). `None` (the default) bounds the search by nodes only,
     /// keeping results hardware-independent.
     pub bnb_deadline: Option<Duration>,
+    /// Decision-node budget for [`Method::Cp`] (shared across its binary
+    /// search probes and restarts).
+    pub cp_node_limit: u64,
+    /// Optional wall-clock budget for a whole [`MethodPolicy::Portfolio`]
+    /// race: it is folded into every budgeted member's own deadline
+    /// (minimum wins), so no engine outlives the race window. `None`
+    /// (the default) leaves members on their individual budgets.
+    pub race_deadline: Option<Duration>,
     /// Job-count ceiling under which `Auto` tries branch and bound first.
     pub auto_exact_jobs: usize,
     /// Optional cap on the FPTAS DP's live width (states per layer),
@@ -82,6 +94,8 @@ impl Default for SolverConfig {
             exact_budget: DEFAULT_EXACT_BUDGET,
             bnb_node_limit: DEFAULT_BNB_NODE_LIMIT,
             bnb_deadline: None,
+            cp_node_limit: DEFAULT_CP_NODE_LIMIT,
+            race_deadline: None,
             fptas_state_cap: None,
             fptas_parallel: false,
             auto_exact_jobs: DEFAULT_AUTO_EXACT_JOBS,
@@ -123,6 +137,21 @@ impl SolverConfig {
     /// first and returns its incumbent with `Heuristic` provenance.
     pub fn bnb_deadline(mut self, deadline: Option<Duration>) -> Self {
         self.bnb_deadline = deadline;
+        self
+    }
+
+    /// Sets the decision-node budget for [`Method::Cp`]; past it, the
+    /// solver returns its best incumbent as a heuristic.
+    pub fn cp_node_limit(mut self, nodes: u64) -> Self {
+        self.cp_node_limit = nodes;
+        self
+    }
+
+    /// Sets (or clears) the whole-race wall-clock budget for
+    /// [`MethodPolicy::Portfolio`]; see
+    /// [`SolverConfig::race_deadline`].
+    pub fn race_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.race_deadline = deadline;
         self
     }
 

@@ -2,10 +2,13 @@
 //! [`Method`] catalogue.
 
 use bisched_baselines::bjw_two_approx;
+use bisched_cp::{cp_solve_ctl, CpLimits};
 use bisched_exact::{
-    branch_and_bound_with, greedy_incumbent, q2_bipartite_exact, r2_bipartite_exact, BnbLimits,
+    branch_and_bound_ctl, greedy_incumbent, q2_bipartite_exact, r2_bipartite_exact, BnbLimits,
+    SearchCtl,
 };
 use bisched_model::{Instance, MachineEnvironment, Rat, Schedule};
+use std::time::Duration;
 
 use super::config::SolverConfig;
 use super::guarantee::Guarantee;
@@ -20,6 +23,13 @@ pub(super) struct EngineSolution {
     pub schedule: Schedule,
     pub makespan: Rat,
     pub guarantee: Guarantee,
+    /// A race cancellation truncated this engine mid-run (the schedule
+    /// is its incumbent so far).
+    pub cancelled: bool,
+    /// A completed CP run's certificate: no schedule with makespan
+    /// strictly below this exists. May certify a *racing* engine's
+    /// schedule even when this engine's own `guarantee` is weaker.
+    pub proven_lower: Option<Rat>,
 }
 
 /// Why an engine produced no schedule.
@@ -38,6 +48,17 @@ fn solved(inst: &Instance, schedule: Schedule, guarantee: Guarantee) -> EngineSo
         schedule,
         makespan,
         guarantee,
+        cancelled: false,
+        proven_lower: None,
+    }
+}
+
+/// The smaller of an engine's own deadline and the race's remaining
+/// window (either may be absent).
+fn min_deadline(own: Option<Duration>, cap: Option<Duration>) -> Option<Duration> {
+    match (own, cap) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
     }
 }
 
@@ -62,6 +83,20 @@ pub(super) fn run_method(
     inst: &Instance,
     method: Method,
 ) -> Result<EngineSolution, EngineFailure> {
+    run_method_ctl(config, inst, method, None, None)
+}
+
+/// Race-aware engine adapter: the budgeted engines (`BranchAndBound`,
+/// `Cp`) poll `ctl` for cancellation, prune against its published
+/// cross-engine bound, publish their own incumbents, and cap their
+/// deadline at `deadline_cap` (the race's remaining window).
+pub(super) fn run_method_ctl(
+    config: &SolverConfig,
+    inst: &Instance,
+    method: Method,
+    ctl: Option<&SearchCtl>,
+    deadline_cap: Option<Duration>,
+) -> Result<EngineSolution, EngineFailure> {
     match method {
         Method::ExactQ2 => {
             if is_unrelated(inst) {
@@ -73,6 +108,8 @@ pub(super) fn run_method(
                 schedule: opt.schedule,
                 makespan: opt.makespan,
                 guarantee: Guarantee::Optimal,
+                cancelled: false,
+                proven_lower: None,
             })
         }
         Method::ExactR2 => {
@@ -88,14 +125,16 @@ pub(super) fn run_method(
                 schedule: opt.schedule,
                 makespan: opt.makespan,
                 guarantee: Guarantee::Optimal,
+                cancelled: false,
+                proven_lower: None,
             })
         }
         Method::BranchAndBound => {
             let limits = BnbLimits {
                 node_limit: config.bnb_node_limit,
-                deadline: config.bnb_deadline,
+                deadline: min_deadline(config.bnb_deadline, deadline_cap),
             };
-            let outcome = branch_and_bound_with(inst, &limits);
+            let outcome = branch_and_bound_ctl(inst, &limits, ctl);
             match outcome.optimum {
                 Some(opt) => Ok(EngineSolution {
                     schedule: opt.schedule,
@@ -105,6 +144,8 @@ pub(super) fn run_method(
                     } else {
                         Guarantee::Heuristic
                     },
+                    cancelled: outcome.cancelled,
+                    proven_lower: None,
                 }),
                 None => Err(Failed(match config.bnb_deadline {
                     Some(d) => format!(
@@ -118,6 +159,41 @@ pub(super) fn run_method(
                 })),
             }
         }
+        Method::Cp => {
+            let limits = CpLimits {
+                node_limit: config.cp_node_limit,
+                deadline: min_deadline(config.bnb_deadline, deadline_cap),
+            };
+            let outcome = cp_solve_ctl(inst, &limits, ctl).map_err(NotApplicable)?;
+            match outcome.best {
+                Some(opt) => {
+                    // Optimal only when the completed proof reaches this
+                    // engine's own schedule; a foreign-bound-closed run
+                    // still carries `proven_lower` for the race
+                    // aggregator to certify the actual winner with.
+                    let own_optimal =
+                        outcome.complete && outcome.proven_lower.as_ref() == Some(&opt.makespan);
+                    Ok(EngineSolution {
+                        schedule: opt.schedule,
+                        makespan: opt.makespan,
+                        guarantee: if own_optimal {
+                            Guarantee::Optimal
+                        } else {
+                            Guarantee::Heuristic
+                        },
+                        cancelled: outcome.cancelled,
+                        proven_lower: outcome.proven_lower,
+                    })
+                }
+                None if outcome.complete => {
+                    Err(Failed("proven infeasible: no schedule exists".into()))
+                }
+                None => Err(Failed(format!(
+                    "no incumbent within the {}-node budget",
+                    config.cp_node_limit
+                ))),
+            }
+        }
         Method::Alg1 => {
             if is_unrelated(inst) {
                 return Err(NotApplicable("requires P or Q machines, got R".into()));
@@ -127,6 +203,8 @@ pub(super) fn run_method(
                 schedule: r.schedule,
                 makespan: r.makespan,
                 guarantee: Guarantee::SqrtSumP,
+                cancelled: false,
+                proven_lower: None,
             })
         }
         Method::Alg2 => {
@@ -145,6 +223,8 @@ pub(super) fn run_method(
                 schedule: r.schedule,
                 makespan: r.makespan,
                 guarantee: Guarantee::Heuristic,
+                cancelled: false,
+                proven_lower: None,
             })
         }
         Method::Bjw => {
@@ -211,6 +291,8 @@ pub(super) fn run_method(
                 schedule: opt.schedule,
                 makespan: opt.makespan,
                 guarantee: Guarantee::Heuristic,
+                cancelled: false,
+                proven_lower: None,
             }),
             None => Err(Failed("greedy found no feasible schedule".into())),
         },

@@ -19,6 +19,13 @@ pub enum Method {
     /// Exact branch and bound with a node budget (any environment; the
     /// result is proven optimal only when the search completes).
     BranchAndBound,
+    /// Constraint-propagation + branching solver (any environment with
+    /// `m ≤ 64`): bitmask domains, load/horizon and conflict-graph
+    /// propagation, activity-based restarts, binary search on the
+    /// makespan. Proven optimal when its search completes; built for
+    /// dense incompatibility graphs where plain branch and bound
+    /// thrashes.
+    Cp,
     /// Algorithm 1: the `√(Σ p_j)`-approximation for `Q | G = bipartite`
     /// (Theorem 9; also accepts `P`).
     Alg1,
@@ -44,10 +51,11 @@ pub enum Method {
 
 impl Method {
     /// Every engine, in the order portfolios and docs list them.
-    pub const ALL: [Method; 10] = [
+    pub const ALL: [Method; 11] = [
         Method::ExactQ2,
         Method::ExactR2,
         Method::BranchAndBound,
+        Method::Cp,
         Method::Alg1,
         Method::Alg2,
         Method::Bjw,
@@ -63,6 +71,7 @@ impl Method {
             Method::ExactQ2 => "exact-q2",
             Method::ExactR2 => "exact-r2",
             Method::BranchAndBound => "branch-and-bound",
+            Method::Cp => "cp",
             Method::Alg1 => "alg1",
             Method::Alg2 => "alg2",
             Method::Bjw => "bjw",
@@ -79,6 +88,7 @@ impl Method {
             Method::ExactQ2 => "Theorem 4 regime (pseudo-polynomial Q2/P2 DP)",
             Method::ExactR2 => "Section 3.2 ground-truth R2 DP",
             Method::BranchAndBound => "exact search (workspace oracle, not from the paper)",
+            Method::Cp => "constraint propagation (workspace engine, not from the paper)",
             Method::Alg1 => "Algorithm 1, Theorem 9",
             Method::Alg2 => "Algorithm 2, Theorem 19",
             Method::Bjw => "Bodlaender–Jansen–Woeginger [3]",
@@ -125,9 +135,14 @@ pub enum MethodPolicy {
     /// Run exactly this engine, or fail with a typed
     /// [`SolveError::NotApplicable`](crate::SolveError::NotApplicable).
     Force(Method),
-    /// Run every listed engine that applies and keep the best schedule;
-    /// the report carries one [`EngineRun`](crate::EngineRun) per member.
-    /// The returned makespan is never worse than any member's.
+    /// Race every listed engine that applies concurrently and keep the
+    /// best schedule; the report carries one [`EngineRun`](crate::EngineRun)
+    /// per member, in list order. The budgeted engines share a
+    /// cancellation flag and an incumbent bound (the first proven-optimal
+    /// answer cancels the rest, marked `cancelled` in their runs), and
+    /// [`SolverConfig::race_deadline`](crate::SolverConfig::race_deadline)
+    /// bounds the whole race. The returned makespan is never worse than
+    /// sequentially running every member and keeping the best.
     Portfolio(Vec<Method>),
 }
 

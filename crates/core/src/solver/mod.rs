@@ -29,7 +29,7 @@
 //!
 //! | instance | engines tried | guarantee of the result |
 //! |---|---|---|
-//! | any, `n ≤ auto_exact_jobs` | branch & bound first | optimal when the search completes |
+//! | any, `n ≤ auto_exact_jobs` | branch & bound, then CP when the node budget ran out | optimal when either search completes |
 //! | `Q2`/`P2`, `Σp_j ≤ exact_budget` | exact subset-sum DP | optimal (Theorem 4 regime) |
 //! | `P`, `m ≥ 3` | best of BJW [3] and Algorithm 1 | `2 · C*` when BJW ran (best possible, [3]) |
 //! | `Q`, `m ≥ 3` (or huge `Σp_j`) | Algorithm 1 | `√(Σp_j) · C*` (Theorem 9) |
@@ -44,9 +44,12 @@
 //! says so.
 //!
 //! [`MethodPolicy::Force`] runs exactly one engine (or fails with a typed
-//! [`SolveError::NotApplicable`]); [`MethodPolicy::Portfolio`] runs a
-//! user-chosen set and keeps the best schedule, never worse than any
-//! member. Bulk workloads go through [`Solver::solve_batch`].
+//! [`SolveError::NotApplicable`]); [`MethodPolicy::Portfolio`] **races** a
+//! user-chosen set concurrently — members share a cancellation flag and a
+//! running incumbent bound through [`bisched_exact::SearchCtl`], the first
+//! proven-optimal answer cancels the rest, and the kept schedule is never
+//! worse than any member's. Bulk workloads go through
+//! [`Solver::solve_batch`].
 
 mod config;
 mod engines;
@@ -55,21 +58,24 @@ mod method;
 mod report;
 
 pub use config::{
-    SolverConfig, DEFAULT_AUTO_EXACT_JOBS, DEFAULT_BNB_NODE_LIMIT, DEFAULT_EPS,
-    DEFAULT_EXACT_BUDGET,
+    SolverConfig, DEFAULT_AUTO_EXACT_JOBS, DEFAULT_BNB_NODE_LIMIT, DEFAULT_CP_NODE_LIMIT,
+    DEFAULT_EPS, DEFAULT_EXACT_BUDGET,
 };
 pub use guarantee::Guarantee;
 pub use method::{Method, MethodPolicy};
 pub use report::{EngineOutcome, EngineRun, SolveReport};
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
+use bisched_exact::SearchCtl;
 use bisched_model::{
     capacity_lower_bound, unrelated_lower_bound, Instance, MachineEnvironment, Rat,
 };
 use rayon::prelude::*;
 
-use engines::{run_method, EngineFailure, EngineSolution};
+use engines::{run_method, run_method_ctl, EngineFailure, EngineSolution};
 
 /// Errors of the solving engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -163,6 +169,7 @@ impl Solver {
             return Err(SolveError::Infeasible);
         }
         let mut attempts: Vec<EngineRun> = Vec::new();
+        let mut race_time = None;
         let outcome = match &self.config.policy {
             MethodPolicy::Auto => self.solve_auto(inst, &mut attempts),
             MethodPolicy::Force(method) => match self.attempt(inst, *method, &mut attempts) {
@@ -180,13 +187,9 @@ impl Solver {
                 }),
             },
             MethodPolicy::Portfolio(methods) => {
-                let mut candidates = Vec::new();
-                for &m in methods {
-                    if let Some(sol) = self.attempt(inst, m, &mut attempts) {
-                        candidates.push((m, sol));
-                    }
-                }
-                pick_best(candidates, &attempts)
+                let (outcome, elapsed) = self.solve_race(inst, methods, &mut attempts);
+                race_time = Some(elapsed);
+                outcome
             }
         };
         let (best, method) = outcome?;
@@ -199,6 +202,7 @@ impl Solver {
             lower_bound: graph_blind_lower_bound(inst),
             attempts,
             total_time: t0.elapsed(),
+            race_time,
             seed: self.config.seed,
         })
     }
@@ -235,6 +239,7 @@ impl Solver {
                         guarantee: sol.guarantee.clone(),
                     },
                     wall_time,
+                    cancelled: false,
                 });
                 Some(sol)
             }
@@ -243,6 +248,7 @@ impl Solver {
                     method,
                     outcome: EngineOutcome::NotApplicable { reason },
                     wall_time,
+                    cancelled: false,
                 });
                 None
             }
@@ -251,9 +257,194 @@ impl Solver {
                     method,
                     outcome: EngineOutcome::Failed { reason },
                     wall_time,
+                    cancelled: false,
                 });
                 None
             }
+        }
+    }
+
+    /// The `Portfolio` policy: a concurrent race over the members.
+    ///
+    /// Up to `available_parallelism` workers pull member indices off a
+    /// shared queue; every member runs through [`run_method_ctl`] with one
+    /// shared [`SearchCtl`], so the budgeted engines prune against each
+    /// other's incumbents and the first proven-optimal answer cancels the
+    /// rest (members that have not started yet are recorded as
+    /// zero-wall-time cancelled attempts). Results are reassembled in
+    /// member (list) order; returns the outcome plus the race's own wall
+    /// time.
+    fn solve_race(
+        &self,
+        inst: &Instance,
+        methods: &[Method],
+        attempts: &mut Vec<EngineRun>,
+    ) -> (Result<(EngineSolution, Method), SolveError>, Duration) {
+        let t0 = Instant::now();
+        let ctl = SearchCtl::new();
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, EngineRun, Option<EngineSolution>)>> =
+            Mutex::new(Vec::with_capacity(methods.len()));
+        // `available_parallelism` is a syscall (~15µs) — cache it, the
+        // dense race cells themselves close in ~100µs.
+        static HW_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let hw =
+            *HW_THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+        let workers = methods.len().min(hw);
+        let race_worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&method) = methods.get(i) else { break };
+            let (run, sol) = self.race_member(inst, method, &ctl, t0);
+            results.lock().unwrap().push((i, run, sol));
+        };
+        if workers == 1 {
+            // A single hardware thread degenerates the race to
+            // sequential-with-skip; running it inline skips the
+            // thread-scope setup, which would otherwise dwarf the
+            // sub-millisecond cells.
+            race_worker();
+        } else {
+            rayon::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| race_worker());
+                }
+            });
+        }
+        let race_time = t0.elapsed();
+        let mut ordered = results.into_inner().unwrap();
+        ordered.sort_by_key(|(i, ..)| *i);
+
+        // Winner: smallest makespan, earliest member on ties.
+        let mut winner: Option<usize> = None;
+        for (idx, (_, _, sol)) in ordered.iter().enumerate() {
+            if let Some(sol) = sol {
+                let better = match winner {
+                    None => true,
+                    Some(w) => sol.makespan < ordered[w].2.as_ref().unwrap().makespan,
+                };
+                if better {
+                    winner = Some(idx);
+                }
+            }
+        }
+        let Some(w) = winner else {
+            attempts.extend(ordered.into_iter().map(|(_, run, _)| run));
+            return (pick_best(Vec::new(), attempts), race_time);
+        };
+        let winner_mk = ordered[w].2.as_ref().unwrap().makespan;
+
+        // Any member's completed proof certifies the winner: a complete
+        // search (even one whose own pruning leaned on the shared bound)
+        // shows no schedule beats the best *achieved* makespan, and a CP
+        // `proven_lower` at or above the winner is an absolute bound (see
+        // `bisched_exact::search_ctl` for the soundness argument).
+        let certified = ordered.iter().any(|(_, run, sol)| {
+            sol.is_some()
+                && (matches!(
+                    run.outcome,
+                    EngineOutcome::Solved {
+                        guarantee: Guarantee::Optimal,
+                        ..
+                    }
+                ) || sol
+                    .as_ref()
+                    .and_then(|s| s.proven_lower.as_ref())
+                    .is_some_and(|lb| winner_mk <= *lb))
+        });
+
+        // A branch-and-bound "complete" under the shared bound proves
+        // nothing better than the best achieved makespan — when its own
+        // incumbent lost the race, that incumbent is only a heuristic, so
+        // demote its record before the guarantees transfer.
+        for (_, run, sol) in ordered.iter_mut() {
+            if run.method == Method::BranchAndBound {
+                if let Some(sol) = sol {
+                    if sol.guarantee == Guarantee::Optimal && sol.makespan > winner_mk {
+                        sol.guarantee = Guarantee::Heuristic;
+                        if let EngineOutcome::Solved { guarantee, .. } = &mut run.outcome {
+                            *guarantee = Guarantee::Heuristic;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut best = ordered[w].2.take().unwrap();
+        let method = ordered[w].1.method;
+        if certified {
+            best.guarantee = Guarantee::Optimal;
+        }
+        attempts.extend(ordered.into_iter().map(|(_, run, _)| run));
+        (Ok((best, method)), race_time)
+    }
+
+    /// Runs one race member against the shared [`SearchCtl`]: skips it
+    /// (as a cancelled zero-time attempt) when the race is already over,
+    /// publishes its achieved makespan, and cancels the race on a proven
+    /// optimum.
+    fn race_member(
+        &self,
+        inst: &Instance,
+        method: Method,
+        ctl: &SearchCtl,
+        race_start: Instant,
+    ) -> (EngineRun, Option<EngineSolution>) {
+        if ctl.cancelled() {
+            return (
+                EngineRun {
+                    method,
+                    outcome: EngineOutcome::Failed {
+                        reason: "cancelled before start: a racing engine already proved optimality"
+                            .into(),
+                    },
+                    wall_time: Duration::ZERO,
+                    cancelled: true,
+                },
+                None,
+            );
+        }
+        let cap = self
+            .config
+            .race_deadline
+            .map(|d| d.saturating_sub(race_start.elapsed()));
+        let t0 = Instant::now();
+        let result = run_method_ctl(&self.config, inst, method, Some(ctl), cap);
+        let wall_time = t0.elapsed();
+        match result {
+            Ok(sol) => {
+                ctl.publish_makespan(&sol.makespan);
+                if sol.guarantee == Guarantee::Optimal {
+                    ctl.cancel();
+                }
+                let run = EngineRun {
+                    method,
+                    outcome: EngineOutcome::Solved {
+                        makespan: sol.makespan,
+                        guarantee: sol.guarantee.clone(),
+                    },
+                    wall_time,
+                    cancelled: sol.cancelled,
+                };
+                (run, Some(sol))
+            }
+            Err(EngineFailure::NotApplicable(reason)) => (
+                EngineRun {
+                    method,
+                    outcome: EngineOutcome::NotApplicable { reason },
+                    wall_time,
+                    cancelled: false,
+                },
+                None,
+            ),
+            Err(EngineFailure::Failed(reason)) => (
+                EngineRun {
+                    method,
+                    outcome: EngineOutcome::Failed { reason },
+                    wall_time,
+                    cancelled: false,
+                },
+                None,
+            ),
         }
     }
 
@@ -277,6 +468,15 @@ impl Solver {
                 // Incomplete search: keep the incumbent as a candidate and
                 // let the guaranteed engines compete below.
                 candidates.push((Method::BranchAndBound, sol));
+                // The node budget ran out — dense conflict graphs are
+                // exactly where propagation pays, so give CP one shot at
+                // closing the proof before falling back to approximations.
+                if let Some(sol) = self.attempt(inst, Method::Cp, attempts) {
+                    if sol.guarantee == Guarantee::Optimal {
+                        return Ok((sol, Method::Cp));
+                    }
+                    candidates.push((Method::Cp, sol));
+                }
             }
         }
 
@@ -547,6 +747,133 @@ mod tests {
         }
         // Branch and bound completed, so the portfolio's best is optimal.
         assert_eq!(s.guarantee, Guarantee::Optimal);
+    }
+
+    #[test]
+    fn race_reports_race_time_and_per_member_wall_times() {
+        let inst = Instance::uniform(vec![2, 1], vec![5, 4, 3, 2, 2, 1], Graph::path(6)).unwrap();
+        let s = SolverConfig::new()
+            .portfolio(vec![Method::GreedyLpt, Method::GreedyR])
+            .build()
+            .unwrap()
+            .solve(&inst)
+            .unwrap();
+        let race = s.race_time.expect("portfolio reports its race time");
+        assert!(race <= s.total_time);
+        for run in &s.attempts {
+            // Each member is timed from its own start, never cumulatively,
+            // so no attempt can outlast the race window it ran inside.
+            assert!(run.wall_time <= race);
+            assert!(!run.cancelled, "no member proves optimality here");
+        }
+        // Non-portfolio solves have no race.
+        let auto = solver().solve(&inst).unwrap();
+        assert!(auto.race_time.is_none());
+    }
+
+    #[test]
+    fn race_never_loses_to_sequential_best_of_on_a_seeded_matrix() {
+        use bisched_model::{JobSizes, SpeedProfile, UnrelatedFamily};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let members = vec![
+            Method::GreedyLpt,
+            Method::Alg1,
+            Method::BranchAndBound,
+            Method::Cp,
+        ];
+        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        for k in 0..12u64 {
+            let n = 6 + (k as usize % 4);
+            let g = bisched_graph::gilbert_bipartite(n / 2, n - n / 2, 0.5, &mut rng);
+            let inst = match k % 3 {
+                0 => Instance::identical(
+                    2 + (k as usize % 2),
+                    JobSizes::Uniform { lo: 1, hi: 12 }.sample(n, &mut rng),
+                    g,
+                ),
+                1 => Instance::uniform(
+                    SpeedProfile::Geometric { ratio: 2 }.speeds(3),
+                    JobSizes::Uniform { lo: 1, hi: 12 }.sample(n, &mut rng),
+                    g,
+                ),
+                _ => {
+                    let m = 2 + rng.gen_range(0..2usize);
+                    Instance::unrelated(
+                        UnrelatedFamily::Uncorrelated { lo: 1, hi: 15 }.sample(m, n, &mut rng),
+                        g,
+                    )
+                }
+            }
+            .unwrap();
+
+            // Sequential best-of: every member forced on its own.
+            let mut seq_best: Option<Rat> = None;
+            let mut seq_optimal = false;
+            for &m in &members {
+                let forced = SolverConfig::new().method(m).build().unwrap();
+                if let Ok(r) = forced.solve(&inst) {
+                    if seq_best.is_none_or(|b| r.makespan < b) {
+                        seq_best = Some(r.makespan);
+                    }
+                    seq_optimal |= r.guarantee == Guarantee::Optimal;
+                }
+            }
+            let seq_best = seq_best.expect("some member solves every instance");
+
+            let race = SolverConfig::new()
+                .portfolio(members.clone())
+                .build()
+                .unwrap()
+                .solve(&inst)
+                .unwrap();
+            assert!(race.schedule.validate(&inst).is_ok());
+            assert!(
+                race.makespan <= seq_best,
+                "instance {k}: race got {} but sequential best-of got {}",
+                race.makespan,
+                seq_best
+            );
+            if seq_optimal {
+                assert_eq!(
+                    race.guarantee,
+                    Guarantee::Optimal,
+                    "instance {k}: the race lost a proof sequential best-of had"
+                );
+            }
+            assert_eq!(race.attempts.len(), members.len());
+            for (run, m) in race.attempts.iter().zip(&members) {
+                assert_eq!(run.method, *m);
+            }
+        }
+    }
+
+    #[test]
+    fn race_cancels_the_slow_engine_after_a_proof() {
+        // Σp is small enough for the exact Q2 DP but the job count is far
+        // past what branch and bound can finish: the DP's proof must
+        // cancel the search instead of waiting out its node budget.
+        let p: Vec<u64> = (0..30).map(|j| 1 + j % 4).collect();
+        let inst = Instance::uniform(vec![2, 1], p, Graph::path(30)).unwrap();
+        let s = SolverConfig::new()
+            .portfolio(vec![Method::ExactQ2, Method::BranchAndBound])
+            .build()
+            .unwrap()
+            .solve(&inst)
+            .unwrap();
+        assert_eq!(s.method, Method::ExactQ2);
+        assert_eq!(s.guarantee, Guarantee::Optimal);
+        let bnb = s
+            .attempts
+            .iter()
+            .find(|a| a.method == Method::BranchAndBound)
+            .unwrap();
+        assert!(bnb.cancelled, "the race must cancel the unfinished search");
+        if matches!(bnb.outcome, EngineOutcome::Failed { .. }) {
+            // Cancelled before it even started: zero-time attribution.
+            assert_eq!(bnb.wall_time, Duration::ZERO);
+        }
     }
 
     #[test]

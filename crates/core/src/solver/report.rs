@@ -39,8 +39,17 @@ pub struct EngineRun {
     pub method: Method,
     /// What happened.
     pub outcome: EngineOutcome,
-    /// Wall-clock time spent inside the engine.
+    /// Wall-clock time spent inside **this engine alone** — in a
+    /// portfolio race each member is timed from its own start to its own
+    /// finish, never cumulatively from the portfolio's start.
     pub wall_time: Duration,
+    /// `true` iff a portfolio race cancelled this engine — either
+    /// mid-run (another member proved optimality first; the outcome is
+    /// its incumbent so far) or before it started (`wall_time` is zero
+    /// and the outcome is a `Failed` placeholder). Cancelled attempts
+    /// are not losses: dispatch-training data should count them
+    /// separately.
+    pub cancelled: bool,
 }
 
 impl EngineRun {
@@ -76,6 +85,11 @@ pub struct SolveReport {
     pub attempts: Vec<EngineRun>,
     /// Total wall time of the solve, engines plus dispatch.
     pub total_time: Duration,
+    /// Wall time of the portfolio race, start of the first engine to the
+    /// last one settling (`None` outside `MethodPolicy::Portfolio`).
+    /// With concurrent engines this is less than the sum of the
+    /// attempts' own `wall_time`s.
+    pub race_time: Option<Duration>,
     /// The seed the solver was configured with, recorded so runs are
     /// attributable even once randomized engines exist (today's engines
     /// are all deterministic).

@@ -28,6 +28,7 @@
 
 use crate::bruteforce::Optimum;
 use crate::lower_bounds::IncrementalBounds;
+use crate::search_ctl::{rat_to_f64_down, SearchCtl};
 use bisched_graph::bipartition;
 use bisched_model::{Instance, MachineEnvironment, MachineId, Rat, Schedule};
 use std::time::{Duration, Instant};
@@ -70,8 +71,17 @@ pub struct BnbOutcome {
     pub nodes: u64,
     /// `true` iff the search ran to completion (the result is proven
     /// optimal — or proven infeasible when `optimum` is `None`); `false`
-    /// iff a budget (nodes or deadline) cut the search short.
+    /// iff a budget (nodes or deadline) or a cancellation cut the search
+    /// short.
+    ///
+    /// Under a [`SearchCtl`] with foreign-bound pruning the completed
+    /// proof is relative to the control's published bound: no schedule
+    /// strictly better than `min(optimum, published bound)` exists. For
+    /// a standalone run (no control) this is the usual absolute optimum.
     pub complete: bool,
+    /// `true` iff the search stopped because its [`SearchCtl`] was
+    /// cancelled (a special case of `!complete`).
+    pub cancelled: bool,
 }
 
 /// Exact branch and bound with a node budget; see
@@ -80,11 +90,27 @@ pub fn branch_and_bound(inst: &Instance, node_limit: u64) -> BnbOutcome {
     branch_and_bound_with(inst, &BnbLimits::nodes(node_limit))
 }
 
-/// Exact branch and bound under [`BnbLimits`].
+/// Exact branch and bound under [`BnbLimits`]; see
+/// [`branch_and_bound_ctl`] for the race-aware form.
 ///
 /// Returns a proven optimum when `complete` is true; otherwise the best
 /// incumbent seen (still feasible, not necessarily optimal).
 pub fn branch_and_bound_with(inst: &Instance, limits: &BnbLimits) -> BnbOutcome {
+    branch_and_bound_ctl(inst, limits, None)
+}
+
+/// Exact branch and bound under [`BnbLimits`] and an optional shared
+/// [`SearchCtl`].
+///
+/// With a control attached the search cooperates with a portfolio race:
+/// it polls cancellation at the deadline-check cadence (stopping with
+/// `cancelled: true`), prunes against the best makespan any racing
+/// engine has published, and publishes its own incumbent improvements.
+pub fn branch_and_bound_ctl(
+    inst: &Instance,
+    limits: &BnbLimits,
+    ctl: Option<&SearchCtl>,
+) -> BnbOutcome {
     let n = inst.num_jobs();
     let m = inst.num_machines();
     // LPT branching order (min-row for R); degree breaks ties so the
@@ -98,6 +124,10 @@ pub fn branch_and_bound_with(inst: &Instance, limits: &BnbLimits) -> BnbOutcome 
     });
 
     let bounds = IncrementalBounds::new(inst, &order);
+    let best = greedy_incumbent(inst);
+    if let (Some(ctl), Some(b)) = (ctl, &best) {
+        ctl.publish_makespan(&b.makespan);
+    }
     let mut search = Search {
         inst,
         sym_class: symmetry_classes(inst),
@@ -108,17 +138,21 @@ pub fn branch_and_bound_with(inst: &Instance, limits: &BnbLimits) -> BnbOutcome 
         job_count: vec![0; m],
         cands: vec![Vec::with_capacity(m); n],
         bounds,
-        best: greedy_incumbent(inst),
+        best,
         nodes: 0,
         node_limit: limits.node_limit,
         deadline: limits.deadline.map(|d| Instant::now() + d),
         exhausted: false,
+        ctl,
+        foreign: f64::INFINITY,
+        cancelled: false,
     };
     search.run(0);
     BnbOutcome {
         complete: !search.exhausted,
         optimum: search.best,
         nodes: search.nodes,
+        cancelled: search.cancelled,
     }
 }
 
@@ -274,6 +308,12 @@ struct Search<'a> {
     deadline: Option<Instant>,
     /// Set when a budget cut the search short.
     exhausted: bool,
+    /// Shared race controls (cancellation + cross-engine bound).
+    ctl: Option<&'a SearchCtl>,
+    /// Cached foreign bound, refreshed at the deadline-check cadence.
+    foreign: f64,
+    /// Set when `ctl` cancellation cut the search short.
+    cancelled: bool,
 }
 
 impl Search<'_> {
@@ -295,16 +335,29 @@ impl Search<'_> {
             self.exhausted = true;
             return;
         }
-        if let Some(dl) = self.deadline {
-            if self.nodes.is_multiple_of(DEADLINE_STRIDE) && Instant::now() >= dl {
-                self.exhausted = true;
-                return;
+        if self.nodes.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(dl) = self.deadline {
+                if Instant::now() >= dl {
+                    self.exhausted = true;
+                    return;
+                }
+            }
+            if let Some(ctl) = self.ctl {
+                if ctl.cancelled() {
+                    self.exhausted = true;
+                    self.cancelled = true;
+                    return;
+                }
+                self.foreign = ctl.foreign_bound();
             }
         }
         self.nodes += 1;
         if depth == self.order.len() {
             let mk = self.current_makespan();
             if self.best.as_ref().is_none_or(|b| mk < b.makespan) {
+                if let Some(ctl) = self.ctl {
+                    ctl.publish_makespan(&mk);
+                }
                 self.best = Some(Optimum {
                     schedule: Schedule::new(self.assignment.clone()),
                     makespan: mk,
@@ -312,12 +365,18 @@ impl Search<'_> {
             }
             return;
         }
-        if let Some(b) = &self.best {
+        if self.best.is_some() || self.foreign.is_finite() {
             let lb = self
                 .bounds
                 .lower_bound(&self.loads, depth)
                 .max(self.current_makespan());
-            if lb >= b.makespan {
+            if self.best.as_ref().is_some_and(|b| lb >= b.makespan) {
+                return;
+            }
+            // Foreign-bound cut: a racing engine already achieved a
+            // makespan this subtree cannot beat (conservative rounding —
+            // see `search_ctl`).
+            if rat_to_f64_down(&lb) >= self.foreign {
                 return;
             }
         }
@@ -549,6 +608,69 @@ mod tests {
         // The greedy incumbent is still returned and valid.
         let opt = out.optimum.expect("incumbent exists");
         assert!(opt.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn cancellation_cuts_the_search_and_is_reported() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = gilbert_bipartite(10, 10, 0.3, &mut rng);
+        let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(20, &mut rng);
+        let inst = Instance::identical(4, p, g).unwrap();
+        // Pre-cancelled control: the search stops at the first stride
+        // check (the root) and still returns the greedy incumbent.
+        let ctl = SearchCtl::new();
+        ctl.cancel();
+        let out = branch_and_bound_ctl(&inst, &BnbLimits::default(), Some(&ctl));
+        assert!(!out.complete);
+        assert!(out.cancelled);
+        assert!(out.nodes < DEADLINE_STRIDE);
+        let opt = out.optimum.expect("incumbent exists");
+        assert!(opt.schedule.validate(&inst).is_ok());
+        // An uncancelled control leaves the result identical to the
+        // plain run — and publishes the proven optimum.
+        let ctl = SearchCtl::new();
+        let racing = branch_and_bound_ctl(&inst, &BnbLimits::default(), Some(&ctl));
+        let plain = branch_and_bound_with(&inst, &BnbLimits::default());
+        assert!(racing.complete && !racing.cancelled);
+        assert_eq!(
+            racing.optimum.as_ref().unwrap().makespan,
+            plain.optimum.as_ref().unwrap().makespan
+        );
+        let mk = &racing.optimum.unwrap().makespan;
+        assert!(ctl.foreign_bound() >= mk.to_f64());
+        assert!(ctl.foreign_bound() < mk.to_f64() + 1.0);
+    }
+
+    #[test]
+    fn foreign_bound_prunes_but_never_below_the_true_optimum() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..10 {
+            let n = rng.gen_range(4..=8);
+            let g = gilbert_bipartite(n / 2, n - n / 2, 0.4, &mut rng);
+            let p = JobSizes::Uniform { lo: 1, hi: 9 }.sample(n, &mut rng);
+            let inst = match trial % 2 {
+                0 => Instance::identical(3, p, g).unwrap(),
+                _ => Instance::uniform(vec![3, 2, 1], p, g).unwrap(),
+            };
+            let plain = branch_and_bound(&inst, u64::MAX);
+            let Some(opt) = plain.optimum else { continue };
+            // Publish the true optimum as a foreign bound: the racing
+            // search may prune everything at or above it, but whatever
+            // it proves must still be consistent with that bound — the
+            // race's `min(optimum, published bound)` claim.
+            let ctl = SearchCtl::new();
+            ctl.publish_makespan(&opt.makespan);
+            let racing = branch_and_bound_ctl(&inst, &BnbLimits::default(), Some(&ctl));
+            assert!(racing.complete);
+            let best = racing.optimum.expect("feasible instance");
+            assert!(best.schedule.validate(&inst).is_ok());
+            assert!(
+                best.makespan >= opt.makespan,
+                "racing search invented a sub-optimal makespan: {} < {}",
+                best.makespan,
+                opt.makespan
+            );
+        }
     }
 
     #[test]

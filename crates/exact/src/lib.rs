@@ -16,7 +16,9 @@
 //!   constructors for the Theorem 8/24 reduction experiments;
 //! * [`complete_bipartite`] — the exact polynomial algorithm for
 //!   `Q | G = complete bipartite, p_j = 1 | C_max` of the related work [24];
-//! * [`bitset`] — the packed subset-sum kernel.
+//! * [`bitset`] — the packed subset-sum kernel;
+//! * [`search_ctl`] — shared cancellation + cross-engine incumbent bound
+//!   for portfolio races.
 
 #![warn(missing_docs)]
 
@@ -28,10 +30,12 @@ pub mod lower_bounds;
 pub mod precolor;
 pub mod q2_bipartite;
 pub mod r2_bipartite;
+pub mod search_ctl;
 
 pub use bitset::BitSet;
 pub use branch_bound::{
-    branch_and_bound, branch_and_bound_with, greedy_incumbent, BnbLimits, BnbOutcome,
+    branch_and_bound, branch_and_bound_ctl, branch_and_bound_with, greedy_incumbent, BnbLimits,
+    BnbOutcome,
 };
 pub use bruteforce::{brute_force, Optimum};
 pub use complete_bipartite::{q_complete_bipartite_unit, CompleteBipartiteError};
@@ -41,3 +45,4 @@ pub use precolor::{
 };
 pub use q2_bipartite::{q2_bipartite_exact, OracleError};
 pub use r2_bipartite::r2_bipartite_exact;
+pub use search_ctl::SearchCtl;

@@ -328,6 +328,36 @@ fn baseline() -> NamedConfig {
     }
 }
 
+/// Forces the CP engine with a CI-sized decision-node budget
+/// (propagation nodes are costlier than branch-and-bound nodes, and the
+/// quick suite runs in debug mode under the tier-1 tests).
+fn cp() -> NamedConfig {
+    NamedConfig {
+        name: "cp".into(),
+        config: bisched_core::SolverConfig::new()
+            .method(bisched_core::Method::Cp)
+            .cp_node_limit(60_000),
+    }
+}
+
+/// The concurrent portfolio race the dense-conflict cells exist for: CP
+/// and branch and bound start together (list order seeds the
+/// single-worker schedule), share an incumbent bound, and the first
+/// proof cancels the other. Budgets match the single-engine configs so
+/// the race's p50 is comparable to the faster member's.
+fn race() -> NamedConfig {
+    NamedConfig {
+        name: "race".into(),
+        config: bisched_core::SolverConfig::new()
+            .portfolio(vec![
+                bisched_core::Method::Cp,
+                bisched_core::Method::BranchAndBound,
+            ])
+            .cp_node_limit(60_000)
+            .bnb_node_limit(150_000),
+    }
+}
+
 /// A sharper FPTAS setting (only differs from `auto` on `R2`).
 fn sharp_eps() -> NamedConfig {
     NamedConfig {
@@ -518,6 +548,47 @@ fn quick_suite() -> Suite {
             JobSizes::Unit,
             152,
         ),
+        // Dense-conflict cells (mid-density Gilbert, n >= 36 jobs): the
+        // conflict graph is dense enough that plain branch and bound
+        // drowns in half-feasible subtrees and exhausts its node budget
+        // unproven (even at the 2M-node default), while CP's
+        // conflict-domain propagation plus makespan binary search closes
+        // the proof in well under its budget. Maximally dense graphs
+        // (crowns, near-complete Gilbert) do NOT have this property —
+        // they collapse the feasible space and B&B closes them in
+        // milliseconds — so these cells sit deliberately in the
+        // moderate-density hard zone. These are the cells the `cp` and
+        // `race` configs exist for.
+        sc(
+            "p4-gilbert36-dense-cp",
+            ModelSpec::P { m: 4 },
+            GraphFamily::Gilbert {
+                n: 18,
+                regime: EdgeProbability::Constant { p: 0.35 },
+            },
+            JobSizes::Uniform { lo: 1, hi: 8 },
+            64,
+        ),
+        sc(
+            "p5-gilbert36-dense-cp",
+            ModelSpec::P { m: 5 },
+            GraphFamily::Gilbert {
+                n: 18,
+                regime: EdgeProbability::Constant { p: 0.40 },
+            },
+            JobSizes::Uniform { lo: 2, hi: 9 },
+            61,
+        ),
+        sc(
+            "p6-gilbert40-dense-cp",
+            ModelSpec::P { m: 6 },
+            GraphFamily::Gilbert {
+                n: 20,
+                regime: EdgeProbability::Constant { p: 0.40 },
+            },
+            JobSizes::Uniform { lo: 2, hi: 9 },
+            63,
+        ),
         sc(
             "r4-thm24-no-gadget",
             ModelSpec::R {
@@ -546,6 +617,8 @@ fn quick_suite() -> Suite {
             auto(),
             baseline(),
             fptas_eps("fptas", bisched_core::DEFAULT_EPS),
+            cp(),
+            race(),
         ],
         sec4: None,
     }

@@ -1,0 +1,65 @@
+//! Pins the engine-separation property of the quick suite's
+//! dense-conflict cells: bounded branch and bound exhausts its node
+//! budget unproven, while the CP engine proves optimality well inside
+//! its own (smaller) budget. This is the empirical fact the `cp` and
+//! `race` lab configs — and the Portfolio race itself — exist for; if a
+//! registry edit drifts these cells out of the hard zone, this test
+//! fails rather than the bench gate.
+
+use bisched_core::{Guarantee, Method, SolverConfig};
+use bisched_lab::suite;
+
+/// The race config's B&B budget (see `scenarios.rs`): generous enough
+/// that easy cells close, small enough that the dense cells don't.
+const BNB_RACE_NODES: u64 = 150_000;
+/// The `cp` config's decision-node budget.
+const CP_NODES: u64 = 60_000;
+
+#[test]
+fn dense_cells_defeat_bounded_bnb_but_cp_proves_them() {
+    let quick = suite("quick").expect("quick suite exists");
+    let dense: Vec<_> = quick
+        .scenarios
+        .iter()
+        .filter(|s| s.name.ends_with("-cp"))
+        .collect();
+    assert_eq!(
+        dense.len(),
+        3,
+        "the quick suite should carry exactly 3 dense-conflict cells"
+    );
+    for scenario in dense {
+        let inst = scenario.build();
+        let bnb = SolverConfig::new()
+            .method(Method::BranchAndBound)
+            .bnb_node_limit(BNB_RACE_NODES)
+            .build()
+            .unwrap()
+            .solve(&inst)
+            .expect("bnb returns an incumbent even when truncated");
+        assert_ne!(
+            bnb.guarantee,
+            Guarantee::Optimal,
+            "{}: bnb was expected to exhaust {BNB_RACE_NODES} nodes unproven",
+            scenario.name
+        );
+        let cp = SolverConfig::new()
+            .method(Method::Cp)
+            .cp_node_limit(CP_NODES)
+            .build()
+            .unwrap()
+            .solve(&inst)
+            .expect("cp solves the dense cells");
+        assert_eq!(
+            cp.guarantee,
+            Guarantee::Optimal,
+            "{}: cp was expected to prove optimality within {CP_NODES} nodes",
+            scenario.name
+        );
+        assert!(
+            cp.makespan <= bnb.makespan,
+            "{}: cp's proven optimum must not exceed bnb's incumbent",
+            scenario.name
+        );
+    }
+}

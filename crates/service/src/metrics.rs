@@ -84,6 +84,11 @@ pub struct Metrics {
     started: Instant,
     hist: Mutex<LatencyHist>,
     wins: Mutex<HashMap<Method, u64>>,
+    /// Race-cancelled engine attempts, per method. Kept apart from the
+    /// win counters: a cancelled attempt is neither a win nor a loss
+    /// (the engine was stopped because a racing engine already proved
+    /// optimality), so dispatch-tuning data must not mix the two.
+    cancelled: Mutex<HashMap<Method, u64>>,
 }
 
 impl Default for Metrics {
@@ -98,6 +103,7 @@ impl Default for Metrics {
             started: Instant::now(),
             hist: Mutex::new(LatencyHist::default()),
             wins: Mutex::new(HashMap::new()),
+            cancelled: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -114,6 +120,12 @@ impl Metrics {
         *self.wins.lock().unwrap().entry(method).or_insert(0) += 1;
     }
 
+    /// Records that a portfolio race cancelled one of `method`'s
+    /// attempts (counted separately from wins and losses).
+    pub fn record_cancelled(&self, method: Method) {
+        *self.cancelled.lock().unwrap().entry(method).or_insert(0) += 1;
+    }
+
     /// Snapshot of everything, merged with the cache's counters, as the
     /// `stats` verb's payload.
     pub fn snapshot(&self, cache: crate::cache::CacheCounters, cache_len: usize) -> StatsData {
@@ -126,6 +138,14 @@ impl Metrics {
             .map(|(m, &n)| (m.name().to_string(), n))
             .collect();
         method_wins.sort();
+        let mut method_cancelled: Vec<(String, u64)> = self
+            .cancelled
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(m, &n)| (m.name().to_string(), n))
+            .collect();
+        method_cancelled.sort();
         let lookups = cache.hits + cache.misses;
         StatsData {
             requests: self.requests.load(Ordering::Relaxed),
@@ -145,7 +165,9 @@ impl Metrics {
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
             p50_ms: hist.quantile_ms(0.50),
             p99_ms: hist.quantile_ms(0.99),
+            cancelled: method_cancelled.iter().map(|(_, n)| n).sum(),
             method_wins,
+            method_cancelled,
             uptime_s: self.started.elapsed().as_secs_f64(),
         }
     }
@@ -250,5 +272,23 @@ mod tests {
         assert!((s.hit_rate - 0.75).abs() < 1e-12);
         assert_eq!(s.method_wins, vec![("alg1".to_string(), 2)]);
         assert!(s.p50_ms > 0.0);
+    }
+
+    #[test]
+    fn cancelled_attempts_are_counted_apart_from_wins() {
+        let m = Metrics::default();
+        m.record_win(Method::Cp);
+        m.record_cancelled(Method::BranchAndBound);
+        m.record_cancelled(Method::BranchAndBound);
+        m.record_cancelled(Method::Cp);
+        let s = m.snapshot(crate::cache::CacheCounters::default(), 0);
+        // A cancelled attempt is neither a win nor a loss; the win table
+        // must be untouched by the cancellations.
+        assert_eq!(s.method_wins, vec![("cp".to_string(), 1)]);
+        assert_eq!(s.cancelled, 3);
+        assert_eq!(
+            s.method_cancelled,
+            vec![("branch-and-bound".to_string(), 2), ("cp".to_string(), 1),]
+        );
     }
 }

@@ -27,6 +27,14 @@ pub struct Request {
     /// Per-request portfolio (engine names; wins over `method`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub portfolio: Option<Vec<String>>,
+    /// Per-request CP decision-node budget override (`"cp"` method and
+    /// portfolio members).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cp_node_limit: Option<u64>,
+    /// Per-request wall-clock budget, in milliseconds, for a whole
+    /// portfolio race.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub race_deadline_ms: Option<u64>,
     /// Skip the cache lookup (the result is still stored).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub no_cache: Option<bool>,
@@ -42,6 +50,8 @@ impl Request {
             eps: None,
             method: None,
             portfolio: None,
+            cp_node_limit: None,
+            race_deadline_ms: None,
             no_cache: None,
         }
     }
@@ -59,6 +69,12 @@ impl Request {
         let mut config = base.clone();
         if let Some(eps) = self.eps {
             config = config.eps(eps);
+        }
+        if let Some(nodes) = self.cp_node_limit {
+            config = config.cp_node_limit(nodes);
+        }
+        if let Some(ms) = self.race_deadline_ms {
+            config = config.race_deadline(Some(std::time::Duration::from_millis(ms)));
         }
         if let Some(names) = &self.portfolio {
             let methods: Vec<Method> = names
@@ -203,8 +219,16 @@ pub struct StatsData {
     /// 99th-percentile request latency (same population as
     /// [`p50_ms`](Self::p50_ms)), milliseconds (bucketed upper bound).
     pub p99_ms: f64,
+    /// Engine attempts a portfolio race cancelled (neither wins nor
+    /// losses), total across methods.
+    #[serde(default)]
+    pub cancelled: u64,
     /// Per-engine win counts as `[name, wins]` pairs, sorted by name.
     pub method_wins: Vec<(String, u64)>,
+    /// Per-engine race-cancelled attempt counts as `[name, count]`
+    /// pairs, sorted by name.
+    #[serde(default)]
+    pub method_cancelled: Vec<(String, u64)>,
     /// Seconds since the service started.
     pub uptime_s: f64,
 }

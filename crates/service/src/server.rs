@@ -431,6 +431,13 @@ fn config_cache_bytes(config: &SolverConfig) -> Vec<u8> {
         .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
         .unwrap_or(u64::MAX);
     out.extend_from_slice(&deadline_ns.to_le_bytes());
+    out.extend_from_slice(&config.cp_node_limit.to_le_bytes());
+    // Same `u64::MAX`-as-"none" convention for the race deadline.
+    let race_ns = config
+        .race_deadline
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(u64::MAX);
+    out.extend_from_slice(&race_ns.to_le_bytes());
     // `u64::MAX` marks "no FPTAS state cap" (a real cap never reaches it:
     // `SolverConfig::build` rejects 0 and widths are bounded by memory).
     // `fptas_parallel` is deliberately absent: the parallel expansion is
@@ -479,6 +486,9 @@ mod tests {
             base.clone().bnb_node_limit(9),
             base.clone()
                 .bnb_deadline(Some(std::time::Duration::from_millis(3))),
+            base.clone().cp_node_limit(11),
+            base.clone()
+                .race_deadline(Some(std::time::Duration::from_millis(5))),
             base.clone().fptas_state_cap(Some(1024)),
             base.clone().auto_exact_jobs(3),
             base.clone().seed(1),

@@ -121,6 +121,11 @@ fn process_batch(batch: Vec<Job>, shared: &Shared) {
                 Ok(report) => {
                     let report = Arc::new(report);
                     shared.metrics.record_win(report.method);
+                    for run in &report.attempts {
+                        if run.cancelled {
+                            shared.metrics.record_cancelled(run.method);
+                        }
+                    }
                     shared.cache.lock().unwrap().insert(
                         job.fingerprint,
                         job.certificate,

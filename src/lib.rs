@@ -51,14 +51,17 @@
 //! assert_eq!(report.method, Method::R2Fptas);
 //! assert_eq!(report.guarantee, Guarantee::OnePlusEps(0.05));
 //!
-//! // A portfolio keeps the best of its members and is never worse than
-//! // any of them.
+//! // A portfolio races its members concurrently on the shared thread
+//! // pool: the first engine to *prove* optimality cancels the rest
+//! // (the losers' attempts are recorded with `cancelled: true`), and
+//! // the result is never worse than any member's.
 //! let portfolio = SolverConfig::new()
 //!     .portfolio(vec![Method::R2TwoApprox, Method::R2Fptas])
 //!     .build()
 //!     .unwrap();
 //! let best = portfolio.solve(&inst).unwrap();
 //! assert!(best.makespan <= report.makespan);
+//! assert!(best.race_time.is_some()); // races report their wall time
 //!
 //! // Batch solving for bulk workloads.
 //! let reports = Solver::new().solve_batch(&[inst]);
@@ -181,7 +184,8 @@
 //! workload.jsonl --repeat 2` pushes a JSONL workload through it,
 //! validates every returned schedule, and prints req/s and the cache
 //! hit rate. The `stats` verb exposes requests served, hit rate,
-//! p50/p99 latency, and per-engine win counts.
+//! p50/p99 latency, per-engine win counts, and per-engine race-cancelled
+//! attempt counts (cancellations are neither wins nor losses).
 //!
 //! ## Benchmarking with the lab
 //!
@@ -225,7 +229,7 @@
 //!
 //! | [`Guarantee`](core::Guarantee) | provenance |
 //! |---|---|
-//! | `Optimal` | exact oracles — the `Q2`/`R2` DPs (Theorem 4 covers the polynomial `Q2, p_j = 1` regime) and complete branch & bound |
+//! | `Optimal` | exact oracles — the `Q2`/`R2` DPs (Theorem 4 covers the polynomial `Q2, p_j = 1` regime), complete branch & bound, and the `bisched_cp` propagation engine when its makespan binary search closes (its proven lower bound meets its incumbent); a portfolio race also certifies its winner `Optimal` when any member's completed search proves nothing better exists |
 //! | `Ratio(2)` | BJW [3] on `P`, `m ≥ 3` (best possible there) and Algorithm 4 / Theorem 21 on `R2` |
 //! | `SqrtSumP` | Algorithm 1 / Theorem 9, matching Theorem 8's `Ω(n^{1/2−ε})` inapproximability wall |
 //! | `OnePlusEps(ε)` | Algorithm 5 / Theorem 22, the `R2` FPTAS |
@@ -239,7 +243,13 @@
 //! * [`model`] — instances, schedules, exact rational makespans, the
 //!   `C**_max` bound machinery, workload generators;
 //! * [`exact`] — brute force, branch & bound, pseudo-polynomial `Q2`/`R2`
-//!   oracles, the 1-PrExt decider;
+//!   oracles, the 1-PrExt decider, and the shared
+//!   [`SearchCtl`](exact::SearchCtl) (cross-engine cancellation +
+//!   incumbent-bound exchange) the portfolio race runs on;
+//! * [`cp`] — the constraint-propagation engine: load/horizon
+//!   propagation against a binary-searched makespan bound,
+//!   conflict-graph domain pruning, activity-based branching with
+//!   restarts;
 //! * [`fptas`] — the `Rm || C_max` FPTAS substrate;
 //! * [`baselines`] — graph-aware LPT and the Bodlaender–Jansen–Woeginger
 //!   2-approximation;
@@ -255,6 +265,7 @@
 
 pub use bisched_baselines as baselines;
 pub use bisched_core as core;
+pub use bisched_cp as cp;
 pub use bisched_exact as exact;
 pub use bisched_fptas as fptas;
 pub use bisched_graph as graph;

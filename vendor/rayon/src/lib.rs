@@ -5,6 +5,40 @@
 //! results. Swap in real rayon to restore parallelism — call sites need no
 //! change.
 
+/// A scope for spawning tasks that may borrow from the enclosing stack
+/// frame, mirroring `rayon::Scope`.
+///
+/// Backed by [`std::thread::scope`]: every `spawn` starts a real OS
+/// thread (there is no work-stealing pool in this stand-in), and
+/// [`scope`] joins them all before returning. The signature matches real
+/// rayon — spawned closures receive `&Scope` and may spawn further tasks
+/// — so swapping in the real crate needs no call-site changes.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task into the scope. The task may borrow anything the
+    /// scope's environment outlives and may itself spawn more tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope, runs `f` inside it, and joins every spawned task
+/// before returning — the stand-in for `rayon::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    R: Send,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
 /// The rayon prelude: parallel-iterator entry points.
 pub mod prelude {
     /// Types convertible into a (here: sequential) parallel iterator.
@@ -55,6 +89,27 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits = AtomicU32::new(0);
+        let answer = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|s| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    // Nested spawns are allowed, as in real rayon.
+                    s.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+            42
+        });
+        // scope() returns only after every task (nested included) ran.
+        assert_eq!(answer, 42);
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
 
     #[test]
     fn sequential_semantics_match() {
