@@ -8,14 +8,15 @@
 //!                          [--eps <e>] [--fptas-state-cap <states>]
 //!                          [--node-limit <nodes>] [--cp-node-limit <nodes>]
 //!                          [--bnb-deadline-ms <ms>] [--race-deadline-ms <ms>]
-//!                          [--exact-budget <mass>] [--json]
+//!                          [--exact-budget <mass>] [--trace-out <file>] [--json]
 //! bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
-//!                   [--cache-cap <n>] [--queue-cap <n>]
+//!                   [--cache-cap <n>] [--queue-cap <n>] [--log-level <level>]
 //! bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>]
 //!                    [--method <m>] [--no-cache] [--shutdown] [--json]
+//! bisched_cli metrics --addr <host:port>
 //! bisched_cli lab list
 //! bisched_cli lab run --suite quick|full|paper-sec4|fptas-scaling [--out <path>]
-//!                     [--reps <n>] [--warmup <n>] [--seq]
+//!                     [--reps <n>] [--warmup <n>] [--seq] [--trace-out <file>]
 //! bisched_cli lab compare <old.json> <new.json> [--fail-threshold <pct>]
 //!                         [--quality-threshold <pct>]
 //! ```
@@ -32,7 +33,11 @@
 //! `--fptas-state-cap` bounds the FPTAS DP's live width (the solver
 //! coarsens ε gracefully when the cap bites, and the reported guarantee
 //! carries the effective ε), and
-//! `--exact-budget` the pseudo-polynomial DP gate. `--json` emits the full
+//! `--exact-budget` the pseudo-polynomial DP gate. `--trace-out` turns on
+//! the flight recorder for the solve and writes a Chrome trace-event JSON
+//! file — load it at `chrome://tracing` or <https://ui.perfetto.dev> to
+//! see the portfolio race, engine spans, and incumbent/probe timelines on
+//! a timeline per thread. `--json` emits the full
 //! `SolveReport` — method, guarantee, makespan, lower bound, per-engine
 //! timings (plus the race's own wall time and per-attempt `cancelled`
 //! flags under a portfolio) — as a single JSON object for experiment
@@ -40,7 +45,11 @@
 //!
 //! Instances use the text format of `bisched_model::io` (see its docs).
 //! `serve` runs the `bisched-service` daemon until a `shutdown` request
-//! arrives; `submit` pushes a JSONL workload (one `InstanceData` object
+//! arrives (`--log-level error|warn|info|debug|trace` tunes its stderr
+//! logging); `metrics` fetches a running daemon's Prometheus text
+//! exposition (the `metrics` verb) and prints it to stdout, ready to be
+//! relayed by a scrape endpoint; `submit` pushes a JSONL workload (one
+//! `InstanceData` object
 //! per line) through a running daemon, validates every returned schedule
 //! client-side, and prints a throughput summary — `--repeat` replays the
 //! file K times so cache behaviour shows up in the hit rate, and
@@ -71,6 +80,7 @@ fn main() -> ExitCode {
         Some("solve") => cmd_solve(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("lab") => cmd_lab(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
@@ -92,14 +102,16 @@ const USAGE: &str = "usage:
                            [--portfolio <m1,m2,...>] [--eps <e>] [--fptas-state-cap <states>]
                            [--node-limit <nodes>] [--cp-node-limit <nodes>]
                            [--bnb-deadline-ms <ms>] [--race-deadline-ms <ms>]
-                           [--exact-budget <mass>] [--json]
+                           [--exact-budget <mass>] [--trace-out <file>] [--json]
   bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
                     [--cache-cap <n>] [--queue-cap <n>]
+                    [--log-level error|warn|info|debug|trace]
   bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>] [--method <m>]
                      [--no-cache] [--shutdown] [--json]
+  bisched_cli metrics --addr <host:port>
   bisched_cli lab list
   bisched_cli lab run --suite quick|full|paper-sec4|fptas-scaling [--out <path>]
-                      [--reps <n>] [--warmup <n>] [--seq]
+                      [--reps <n>] [--warmup <n>] [--seq] [--trace-out <file>]
   bisched_cli lab compare <old.json> <new.json> [--fail-threshold <pct>]
                           [--quality-threshold <pct>]";
 
@@ -157,13 +169,15 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 /// Parses the `solve` flags into a solver configuration.
-fn parse_solve_flags(args: &[String]) -> Result<(SolverConfig, bool), String> {
+fn parse_solve_flags(args: &[String]) -> Result<(SolverConfig, bool, Option<String>), String> {
     let mut config = SolverConfig::new();
     let mut json = false;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--trace-out" => trace_out = Some(parse(it.next(), "--trace-out value")?),
             "--eps" => {
                 let eps: f64 = parse(it.next(), "--eps value")?;
                 config = config.eps(eps);
@@ -214,7 +228,24 @@ fn parse_solve_flags(args: &[String]) -> Result<(SolverConfig, bool), String> {
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    Ok((config, json))
+    Ok((config, json, trace_out))
+}
+
+/// Per-thread flight-recorder ring capacity for `--trace-out` (events
+/// are ~56 bytes, so this is a few MB per recording thread).
+const TRACE_CAPACITY: usize = 1 << 16;
+
+/// Stops the flight recorder and writes Chrome trace-event JSON to
+/// `path` (open at `chrome://tracing` or <https://ui.perfetto.dev>).
+fn write_trace(path: &str) -> Result<(), String> {
+    let trace = bisched_obs::stop_recording();
+    std::fs::write(path, trace.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "trace: {} events ({} dropped) -> {path}",
+        trace.events.len(),
+        trace.dropped
+    );
+    Ok(())
 }
 
 /// Renders the full report as one JSON object for experiment scripts.
@@ -287,6 +318,13 @@ fn report_to_json(inst: &Instance, report: &SolveReport) -> Value {
             }
             a.insert("cancelled".into(), Value::Bool(run.cancelled));
             a.insert("wall_time_s".into(), float(run.wall_time.as_secs_f64()));
+            if !run.stats.is_empty() {
+                let mut s = Map::new();
+                for (k, v) in run.stats.iter() {
+                    s.insert(k.into(), Value::Number(serde_json::Number::from_u64(v)));
+                }
+                a.insert("stats".into(), Value::Object(s));
+            }
             Value::Object(a)
         })
         .collect();
@@ -319,6 +357,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--batch" => opts.batch = parse(it.next(), "--batch value")?,
             "--cache-cap" => opts.cache_cap = parse(it.next(), "--cache-cap value")?,
             "--queue-cap" => opts.queue_cap = parse(it.next(), "--queue-cap value")?,
+            "--log-level" => {
+                let level: bisched_obs::log::LogLevel = parse(it.next(), "--log-level value")?;
+                bisched_obs::log::set_level(level);
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -492,6 +534,23 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    use bisched_service::Client;
+    let mut addr: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse(it.next(), "--addr value")?),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("metrics requires --addr\n{USAGE}"))?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    let text = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+    print!("{text}");
+    Ok(())
+}
+
 fn cmd_lab(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("list") => cmd_lab_list(),
@@ -527,6 +586,7 @@ fn cmd_lab_list() -> Result<(), String> {
 fn cmd_lab_run(args: &[String]) -> Result<(), String> {
     let mut suite_name: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut opts = bisched_lab::RunOptions::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -536,6 +596,7 @@ fn cmd_lab_run(args: &[String]) -> Result<(), String> {
             "--reps" => opts.reps = parse(it.next(), "--reps value")?,
             "--warmup" => opts.warmup = parse(it.next(), "--warmup value")?,
             "--seq" => opts.parallel = false,
+            "--trace-out" => trace_out = Some(parse(it.next(), "--trace-out value")?),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -546,7 +607,15 @@ fn cmd_lab_run(args: &[String]) -> Result<(), String> {
             bisched_lab::suite_names().join(", ")
         )
     })?;
+    // A traced lab run measures an *instrumented* suite: fine for seeing
+    // where the time goes, not for committing as a perf baseline.
+    if trace_out.is_some() {
+        bisched_obs::start_recording(TRACE_CAPACITY);
+    }
     let report = bisched_lab::run_suite(&suite, &opts);
+    if let Some(path) = &trace_out {
+        write_trace(path)?;
+    }
     let errored: Vec<&bisched_lab::CellReport> =
         report.cells.iter().filter(|c| c.error.is_some()).collect();
     for cell in &errored {
@@ -623,9 +692,16 @@ fn cmd_lab_compare(args: &[String]) -> Result<(), String> {
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let inst = load(args)?;
-    let (config, json) = parse_solve_flags(args.get(1..).unwrap_or(&[]))?;
+    let (config, json, trace_out) = parse_solve_flags(args.get(1..).unwrap_or(&[]))?;
     let solver = config.build().map_err(|e| e.to_string())?;
-    let report = solver.solve(&inst).map_err(|e| e.to_string())?;
+    if trace_out.is_some() {
+        bisched_obs::start_recording(TRACE_CAPACITY);
+    }
+    let solve_result = solver.solve(&inst);
+    if let Some(path) = &trace_out {
+        write_trace(path)?;
+    }
+    let report = solve_result.map_err(|e| e.to_string())?;
     report.schedule.validate(&inst).map_err(|e| e.to_string())?;
     if json {
         println!("{}", report_to_json(&inst, &report));
@@ -655,6 +731,10 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
                 ""
             }
         );
+        if !run.stats.is_empty() {
+            let kv: Vec<String> = run.stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("        stats: {}", kv.join(" "));
+        }
     }
     for i in 0..inst.num_machines() as u32 {
         let jobs = report.schedule.jobs_on(i);

@@ -40,7 +40,7 @@ pub use r2_reduction::{reduce_r2, Orientation, ReducedR2};
 pub use reduction_thm24::{reduce_1prext_to_rm, Thm24Reduction};
 pub use reduction_thm8::{reduce_1prext_to_qm, Thm8Reduction};
 pub use solver::{
-    EngineOutcome, EngineRun, Guarantee, Method, MethodPolicy, SolveError, SolveReport, Solver,
-    SolverConfig, DEFAULT_EPS,
+    EngineOutcome, EngineRun, EngineStats, Guarantee, Method, MethodPolicy, SolveError,
+    SolveReport, Solver, SolverConfig, DEFAULT_EPS,
 };
 pub use thm4_q2unit::thm4_fptas_route;

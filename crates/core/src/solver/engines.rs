@@ -13,6 +13,7 @@ use std::time::Duration;
 use super::config::SolverConfig;
 use super::guarantee::Guarantee;
 use super::method::Method;
+use super::report::EngineStats;
 use crate::alg1_sqrt::alg1_sqrt_approx;
 use crate::alg2_random::alg2_random_graph;
 use crate::r2_approx::r2_two_approx;
@@ -30,6 +31,10 @@ pub(super) struct EngineSolution {
     /// strictly below this exists. May certify a *racing* engine's
     /// schedule even when this engine's own `guarantee` is weaker.
     pub proven_lower: Option<Rat>,
+    /// The engine's runtime counters (empty for engines that report
+    /// none); copied verbatim into the attempt's
+    /// [`EngineRun::stats`](super::EngineRun::stats).
+    pub stats: EngineStats,
 }
 
 /// Why an engine produced no schedule.
@@ -50,6 +55,7 @@ fn solved(inst: &Instance, schedule: Schedule, guarantee: Guarantee) -> EngineSo
         guarantee,
         cancelled: false,
         proven_lower: None,
+        stats: EngineStats::new(),
     }
 }
 
@@ -110,6 +116,7 @@ pub(super) fn run_method_ctl(
                 guarantee: Guarantee::Optimal,
                 cancelled: false,
                 proven_lower: None,
+                stats: EngineStats::new(),
             })
         }
         Method::ExactR2 => {
@@ -127,6 +134,7 @@ pub(super) fn run_method_ctl(
                 guarantee: Guarantee::Optimal,
                 cancelled: false,
                 proven_lower: None,
+                stats: EngineStats::new(),
             })
         }
         Method::BranchAndBound => {
@@ -135,6 +143,13 @@ pub(super) fn run_method_ctl(
                 deadline: min_deadline(config.bnb_deadline, deadline_cap),
             };
             let outcome = branch_and_bound_ctl(inst, &limits, ctl);
+            let mut stats = EngineStats::new();
+            stats.set("nodes", outcome.nodes);
+            stats.set("prunes_incumbent", outcome.prunes_incumbent);
+            stats.set("prunes_foreign", outcome.prunes_foreign);
+            stats.set("prunes_candidate", outcome.prunes_candidate);
+            stats.set("incumbent_updates", outcome.incumbent_updates);
+            stats.set("complete", outcome.complete as u64);
             match outcome.optimum {
                 Some(opt) => Ok(EngineSolution {
                     schedule: opt.schedule,
@@ -146,6 +161,7 @@ pub(super) fn run_method_ctl(
                     },
                     cancelled: outcome.cancelled,
                     proven_lower: None,
+                    stats,
                 }),
                 None => Err(Failed(match config.bnb_deadline {
                     Some(d) => format!(
@@ -165,6 +181,14 @@ pub(super) fn run_method_ctl(
                 deadline: min_deadline(config.bnb_deadline, deadline_cap),
             };
             let outcome = cp_solve_ctl(inst, &limits, ctl).map_err(NotApplicable)?;
+            let mut stats = EngineStats::new();
+            stats.set("nodes", outcome.nodes);
+            stats.set("conflicts", outcome.conflicts);
+            stats.set("restarts", outcome.restarts);
+            stats.set("propagations", outcome.propagations);
+            stats.set("probes_sat", outcome.probes_sat);
+            stats.set("probes_unsat", outcome.probes_unsat);
+            stats.set("complete", outcome.complete as u64);
             match outcome.best {
                 Some(opt) => {
                     // Optimal only when the completed proof reaches this
@@ -183,6 +207,7 @@ pub(super) fn run_method_ctl(
                         },
                         cancelled: outcome.cancelled,
                         proven_lower: outcome.proven_lower,
+                        stats,
                     })
                 }
                 None if outcome.complete => {
@@ -205,6 +230,7 @@ pub(super) fn run_method_ctl(
                 guarantee: Guarantee::SqrtSumP,
                 cancelled: false,
                 proven_lower: None,
+                stats: EngineStats::new(),
             })
         }
         Method::Alg2 => {
@@ -225,6 +251,7 @@ pub(super) fn run_method_ctl(
                 guarantee: Guarantee::Heuristic,
                 cancelled: false,
                 proven_lower: None,
+                stats: EngineStats::new(),
             })
         }
         Method::Bjw => {
@@ -268,7 +295,16 @@ pub(super) fn run_method_ctl(
             // The guarantee carries the ε the DP actually ran at — equal
             // to the configured ε unless the state cap forced coarsening.
             let guarantee = Guarantee::OnePlusEps(report.eps_effective);
-            Ok(solved(inst, report.schedule, guarantee))
+            let mut stats = EngineStats::new();
+            stats.set("expanded", report.expanded);
+            stats.set("pruned", report.pruned);
+            stats.set("peak_states", report.peak_states as u64);
+            // ε in parts-per-million: counters are integers, and µ-level
+            // resolution is far below anything coarsening produces.
+            stats.set("eps_effective_ppm", (report.eps_effective * 1e6) as u64);
+            let mut sol = solved(inst, report.schedule, guarantee);
+            sol.stats = stats;
+            Ok(sol)
         }
         Method::R2TwoApprox => {
             if !is_unrelated(inst) {
@@ -293,6 +329,7 @@ pub(super) fn run_method_ctl(
                 guarantee: Guarantee::Heuristic,
                 cancelled: false,
                 proven_lower: None,
+                stats: EngineStats::new(),
             }),
             None => Err(Failed("greedy found no feasible schedule".into())),
         },

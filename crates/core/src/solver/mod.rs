@@ -63,7 +63,7 @@ pub use config::{
 };
 pub use guarantee::Guarantee;
 pub use method::{Method, MethodPolicy};
-pub use report::{EngineOutcome, EngineRun, SolveReport};
+pub use report::{EngineOutcome, EngineRun, EngineStats, SolveReport};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -161,6 +161,7 @@ impl Solver {
 
     /// Solves one instance under the configured policy.
     pub fn solve(&self, inst: &Instance) -> Result<SolveReport, SolveError> {
+        let _solve_span = bisched_obs::span_arg("solve", "core", "jobs", inst.num_jobs() as u64);
         let t0 = Instant::now();
         if !bisched_graph::is_bipartite(inst.graph()) {
             return Err(SolveError::NotBipartite);
@@ -238,6 +239,7 @@ impl Solver {
                         makespan: sol.makespan,
                         guarantee: sol.guarantee.clone(),
                     },
+                    stats: sol.stats.clone(),
                     wall_time,
                     cancelled: false,
                 });
@@ -247,6 +249,7 @@ impl Solver {
                 attempts.push(EngineRun {
                     method,
                     outcome: EngineOutcome::NotApplicable { reason },
+                    stats: EngineStats::new(),
                     wall_time,
                     cancelled: false,
                 });
@@ -256,6 +259,7 @@ impl Solver {
                 attempts.push(EngineRun {
                     method,
                     outcome: EngineOutcome::Failed { reason },
+                    stats: EngineStats::new(),
                     wall_time,
                     cancelled: false,
                 });
@@ -281,6 +285,8 @@ impl Solver {
         attempts: &mut Vec<EngineRun>,
     ) -> (Result<(EngineSolution, Method), SolveError>, Duration) {
         let t0 = Instant::now();
+        let race_span =
+            bisched_obs::span_arg("portfolio_race", "race", "members", methods.len() as u64);
         let ctl = SearchCtl::new();
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<(usize, EngineRun, Option<EngineSolution>)>> =
@@ -311,6 +317,7 @@ impl Solver {
             });
         }
         let race_time = t0.elapsed();
+        drop(race_span);
         let mut ordered = results.into_inner().unwrap();
         ordered.sort_by_key(|(i, ..)| *i);
 
@@ -390,6 +397,7 @@ impl Solver {
         race_start: Instant,
     ) -> (EngineRun, Option<EngineSolution>) {
         if ctl.cancelled() {
+            bisched_obs::instant("race_member_skipped", "race", "member", method as u64);
             return (
                 EngineRun {
                     method,
@@ -397,6 +405,7 @@ impl Solver {
                         reason: "cancelled before start: a racing engine already proved optimality"
                             .into(),
                     },
+                    stats: EngineStats::new(),
                     wall_time: Duration::ZERO,
                     cancelled: true,
                 },
@@ -407,14 +416,25 @@ impl Solver {
             .config
             .race_deadline
             .map(|d| d.saturating_sub(race_start.elapsed()));
+        let mut member_span = bisched_obs::span_arg(method.name(), "race", "member", method as u64);
         let t0 = Instant::now();
         let result = run_method_ctl(&self.config, inst, method, Some(ctl), cap);
         let wall_time = t0.elapsed();
         match result {
             Ok(sol) => {
                 ctl.publish_makespan(&sol.makespan);
+                bisched_obs::instant(
+                    "race_publish",
+                    "race",
+                    "makespan_floor",
+                    sol.makespan.floor(),
+                );
                 if sol.guarantee == Guarantee::Optimal {
                     ctl.cancel();
+                    bisched_obs::instant("race_cancel", "race", "winner", method as u64);
+                }
+                if sol.cancelled {
+                    member_span.set_arg("cancelled_mid_run", 1);
                 }
                 let run = EngineRun {
                     method,
@@ -422,6 +442,7 @@ impl Solver {
                         makespan: sol.makespan,
                         guarantee: sol.guarantee.clone(),
                     },
+                    stats: sol.stats.clone(),
                     wall_time,
                     cancelled: sol.cancelled,
                 };
@@ -431,6 +452,7 @@ impl Solver {
                 EngineRun {
                     method,
                     outcome: EngineOutcome::NotApplicable { reason },
+                    stats: EngineStats::new(),
                     wall_time,
                     cancelled: false,
                 },
@@ -440,6 +462,7 @@ impl Solver {
                 EngineRun {
                     method,
                     outcome: EngineOutcome::Failed { reason },
+                    stats: EngineStats::new(),
                     wall_time,
                     cancelled: false,
                 },
@@ -874,6 +897,77 @@ mod tests {
             // Cancelled before it even started: zero-time attribution.
             assert_eq!(bnb.wall_time, Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn forced_engines_report_nonempty_stats() {
+        let inst =
+            Instance::identical(3, vec![4, 3, 3, 2, 2], Graph::complete_bipartite(2, 3)).unwrap();
+        for m in [Method::BranchAndBound, Method::Cp] {
+            let s = SolverConfig::new()
+                .method(m)
+                .build()
+                .unwrap()
+                .solve(&inst)
+                .unwrap();
+            let run = s.attempts.iter().find(|a| a.method == m).unwrap();
+            assert!(!run.stats.is_empty(), "{m} must report counters");
+            assert!(run.stats.get("nodes").unwrap() > 0, "{m} expanded nodes");
+            assert_eq!(run.stats.get("complete"), Some(1), "{m} completed");
+        }
+        let r2 = Instance::unrelated(
+            vec![vec![3, 9, 4, 8], vec![8, 2, 7, 3]],
+            Graph::from_edges(4, &[(0, 1), (2, 3)]),
+        )
+        .unwrap();
+        let s = SolverConfig::new()
+            .method(Method::R2Fptas)
+            .build()
+            .unwrap()
+            .solve(&r2)
+            .unwrap();
+        let run = s
+            .attempts
+            .iter()
+            .find(|a| a.method == Method::R2Fptas)
+            .unwrap();
+        assert!(!run.stats.is_empty());
+        assert!(run.stats.get("expanded").unwrap() > 0);
+        assert!(run.stats.get("peak_states").unwrap() > 0);
+        // Engines with no instrumentation report empty stats, not junk.
+        let greedy = SolverConfig::new()
+            .method(Method::GreedyLpt)
+            .build()
+            .unwrap()
+            .solve(&inst)
+            .unwrap();
+        assert!(greedy.attempts[0].stats.is_empty());
+    }
+
+    #[test]
+    fn portfolio_trace_carries_race_cancel_events() {
+        // Same shape as `race_cancels_the_slow_engine_after_a_proof`: the
+        // exact DP's proof cancels branch and bound — with the flight
+        // recorder on, that cancellation must be visible in the trace.
+        let p: Vec<u64> = (0..30).map(|j| 1 + j % 4).collect();
+        let inst = Instance::uniform(vec![2, 1], p, Graph::path(30)).unwrap();
+        bisched_obs::start_recording(1 << 16);
+        let s = SolverConfig::new()
+            .portfolio(vec![Method::ExactQ2, Method::BranchAndBound])
+            .build()
+            .unwrap()
+            .solve(&inst)
+            .unwrap();
+        let trace = bisched_obs::stop_recording();
+        assert_eq!(s.guarantee, Guarantee::Optimal);
+        let names: Vec<&str> = trace.events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"portfolio_race"), "race span missing");
+        assert!(names.contains(&"race_publish"), "publish instant missing");
+        assert!(names.contains(&"race_cancel"), "cancel instant missing");
+        // The member spans are labelled by engine name.
+        assert!(names.contains(&"exact-q2"));
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"race_cancel\""));
     }
 
     #[test]

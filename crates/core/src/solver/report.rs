@@ -32,13 +32,69 @@ pub enum EngineOutcome {
     },
 }
 
-/// A single engine invocation: method, outcome, wall time.
+/// Named machine-readable counters from one engine run — the
+/// dispatch-training substrate ROADMAP's "measured, not hardcoded"
+/// Auto-dispatch item needs. A small ordered list rather than a map:
+/// engines report a handful of counters, insertion order is the natural
+/// display order, and `&'static str` keys keep the hot paths
+/// allocation-free.
+///
+/// ```
+/// use bisched_core::EngineStats;
+/// let mut s = EngineStats::new();
+/// s.set("nodes", 42);
+/// s.set("nodes", 43); // overwrite, not append
+/// assert_eq!(s.get("nodes"), Some(43));
+/// assert_eq!(s.iter().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl EngineStats {
+    /// An empty counter set (what non-instrumented engines report).
+    pub fn new() -> Self {
+        EngineStats::default()
+    }
+
+    /// Sets (or overwrites) one counter.
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((name, value)),
+        }
+    }
+
+    /// Reads one counter back.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// `true` when the engine reported no counters.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+/// A single engine invocation: method, outcome, wall time, counters.
 #[derive(Clone, Debug)]
 pub struct EngineRun {
     /// The engine that ran.
     pub method: Method,
     /// What happened.
     pub outcome: EngineOutcome,
+    /// The engine's machine-readable runtime counters (empty for engines
+    /// that report none, and for attempts that failed before running).
+    pub stats: EngineStats,
     /// Wall-clock time spent inside **this engine alone** — in a
     /// portfolio race each member is timed from its own start to its own
     /// finish, never cumulatively from the portfolio's start.

@@ -103,6 +103,15 @@ pub struct CpOutcome {
     pub conflicts: u64,
     /// Restarts performed.
     pub restarts: u64,
+    /// Domain wipes performed by propagation (neighbor and capacity
+    /// removals plus unit-propagated singletons), across all probes.
+    pub propagations: u64,
+    /// Binary-search probes answered SAT (each tightened the upper
+    /// bound).
+    pub probes_sat: u64,
+    /// Binary-search probes that finished UNSAT (each raised the proven
+    /// lower bound).
+    pub probes_unsat: u64,
     /// `true` iff a [`SearchCtl`] cancellation cut the solve short (a
     /// special case of `!complete`).
     pub cancelled: bool,
@@ -158,6 +167,9 @@ pub fn cp_solve_ctl(
         nodes: 0,
         conflicts: 0,
         restarts: 0,
+        propagations: 0,
+        probes_sat: 0,
+        probes_unsat: 0,
         node_limit: limits.node_limit,
         deadline: limits.deadline.map(|d| Instant::now() + d),
         ctl,
@@ -262,6 +274,9 @@ fn outcome(
         nodes: stats.nodes,
         conflicts: stats.conflicts,
         restarts: stats.restarts,
+        propagations: stats.propagations,
+        probes_sat: stats.probes_sat,
+        probes_unsat: stats.probes_unsat,
         cancelled: stats.cancelled,
     }
 }
@@ -342,6 +357,9 @@ struct Stats<'a> {
     nodes: u64,
     conflicts: u64,
     restarts: u64,
+    propagations: u64,
+    probes_sat: u64,
+    probes_unsat: u64,
     node_limit: u64,
     deadline: Option<Instant>,
     ctl: Option<&'a SearchCtl>,
@@ -455,24 +473,38 @@ impl<'a> Decide<'a> {
                     && self.domain[j as usize].count_ones() == 1
                 {
                     let i = self.domain[j as usize].trailing_zeros();
-                    if !self.assign_and_propagate(j, i, t) {
+                    if !self.assign_and_propagate(j, i, t, stats) {
                         root_ok = false;
                         break;
                     }
                 }
             }
             if !root_ok {
+                stats.probes_unsat += 1;
+                bisched_obs::instant("cp_probe_unsat", "cp", "t_scaled", t);
                 return Probe::Unsat;
             }
             match self.run(t, stats) {
                 Ok(true) => {
                     let achieved = *self.loads.iter().max().unwrap_or(&0);
+                    stats.probes_sat += 1;
+                    bisched_obs::instant("cp_probe_sat", "cp", "achieved_scaled", achieved);
                     return Probe::Sat(self.assigned.clone(), achieved);
                 }
-                Ok(false) => return Probe::Unsat,
+                Ok(false) => {
+                    stats.probes_unsat += 1;
+                    bisched_obs::instant("cp_probe_unsat", "cp", "t_scaled", t);
+                    return Probe::Unsat;
+                }
                 Err(Stop::Budget) => return Probe::Stopped,
                 Err(Stop::Restart) => {
                     stats.restarts += 1;
+                    bisched_obs::instant(
+                        "cp_restart",
+                        "cp",
+                        "conflict_limit",
+                        self.run_conflict_limit,
+                    );
                     self.run_conflict_limit = self.run_conflict_limit.saturating_mul(2);
                 }
             }
@@ -564,7 +596,7 @@ impl<'a> Decide<'a> {
         for &(_, i) in &cands {
             let trail_mark = self.trail.len();
             let assign_mark = self.assign_log.len();
-            if self.assign_and_propagate(j, i, t) {
+            if self.assign_and_propagate(j, i, t, stats) {
                 match self.run(t, stats) {
                     Ok(true) => return Ok(true),
                     Ok(false) => {}
@@ -605,7 +637,8 @@ impl<'a> Decide<'a> {
     /// Assigns `j -> i` and runs propagation to a fixpoint: neighbor and
     /// capacity domain wipes, then unit-propagating every singleton.
     /// `false` means some domain emptied (state is left for `undo`).
-    fn assign_and_propagate(&mut self, j: u32, i: u32, t: u64) -> bool {
+    /// Every domain wipe is charged to `stats.propagations`.
+    fn assign_and_propagate(&mut self, j: u32, i: u32, t: u64, stats: &mut Stats) -> bool {
         let mut queue = vec![(j, i)];
         while let Some((j, i)) = queue.pop() {
             if self.assigned[j as usize] != UNASSIGNED {
@@ -645,6 +678,7 @@ impl<'a> Decide<'a> {
                     continue;
                 }
                 self.trail.push((k, d));
+                stats.propagations += 1;
                 let nd = d & !(1 << i);
                 self.domain[k as usize] = nd;
                 if nd == 0 {

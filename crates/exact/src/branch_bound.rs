@@ -82,6 +82,18 @@ pub struct BnbOutcome {
     /// `true` iff the search stopped because its [`SearchCtl`] was
     /// cancelled (a special case of `!complete`).
     pub cancelled: bool,
+    /// Subtrees cut because the incremental lower bound reached the
+    /// search's own incumbent.
+    pub prunes_incumbent: u64,
+    /// Subtrees cut against a racing engine's published (foreign) bound.
+    pub prunes_foreign: u64,
+    /// Candidate lists abandoned wholesale once a (sorted) candidate's
+    /// completion time reached the incumbent.
+    pub prunes_candidate: u64,
+    /// Incumbent improvements (the search's convergence timeline; each
+    /// one also lands in the flight recorder as a `bnb_incumbent`
+    /// instant when recording is on).
+    pub incumbent_updates: u64,
 }
 
 /// Exact branch and bound with a node budget; see
@@ -146,6 +158,10 @@ pub fn branch_and_bound_ctl(
         ctl,
         foreign: f64::INFINITY,
         cancelled: false,
+        prunes_incumbent: 0,
+        prunes_foreign: 0,
+        prunes_candidate: 0,
+        incumbent_updates: 0,
     };
     search.run(0);
     BnbOutcome {
@@ -153,6 +169,10 @@ pub fn branch_and_bound_ctl(
         optimum: search.best,
         nodes: search.nodes,
         cancelled: search.cancelled,
+        prunes_incumbent: search.prunes_incumbent,
+        prunes_foreign: search.prunes_foreign,
+        prunes_candidate: search.prunes_candidate,
+        incumbent_updates: search.incumbent_updates,
     }
 }
 
@@ -314,6 +334,12 @@ struct Search<'a> {
     foreign: f64,
     /// Set when `ctl` cancellation cut the search short.
     cancelled: bool,
+    /// Prune tallies per bound kind plus incumbent improvements; plain
+    /// integer bumps on the hot path, surfaced in [`BnbOutcome`].
+    prunes_incumbent: u64,
+    prunes_foreign: u64,
+    prunes_candidate: u64,
+    incumbent_updates: u64,
 }
 
 impl Search<'_> {
@@ -358,6 +384,11 @@ impl Search<'_> {
                 if let Some(ctl) = self.ctl {
                     ctl.publish_makespan(&mk);
                 }
+                self.incumbent_updates += 1;
+                // Incumbent-convergence timeline: one instant per
+                // improvement — rare by construction, so safe to emit
+                // even from the search's hot recursion.
+                bisched_obs::instant("bnb_incumbent", "bnb", "makespan_floor", mk.floor());
                 self.best = Some(Optimum {
                     schedule: Schedule::new(self.assignment.clone()),
                     makespan: mk,
@@ -371,12 +402,14 @@ impl Search<'_> {
                 .lower_bound(&self.loads, depth)
                 .max(self.current_makespan());
             if self.best.as_ref().is_some_and(|b| lb >= b.makespan) {
+                self.prunes_incumbent += 1;
                 return;
             }
             // Foreign-bound cut: a racing engine already achieved a
             // makespan this subtree cannot beat (conservative rounding —
             // see `search_ctl`).
             if rat_to_f64_down(&lb) >= self.foreign {
+                self.prunes_foreign += 1;
                 return;
             }
         }
@@ -411,6 +444,7 @@ impl Search<'_> {
             // this node, and candidates are sorted, so the first one at
             // or past the incumbent ends the whole list.
             if self.best.as_ref().is_some_and(|b| c >= b.makespan) {
+                self.prunes_candidate += 1;
                 break;
             }
             let cost = job_cost(self.inst, i, j);

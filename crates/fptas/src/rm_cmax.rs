@@ -587,6 +587,9 @@ fn sweep_keyed<K: Keyer>(
             return Ok(incumbent_result(incumbent, peak_states, expanded, pruned));
         }
         peak_states = peak_states.max(cur.len());
+        // One counter sample per layer (~n per sweep): the DP's live
+        // width over time, the flight recorder's view of state growth.
+        bisched_obs::counter("fptas_layer_width", "fptas", cur.len() as u64);
         prev_width = cur.len();
         backs.push(Back {
             parent: std::mem::take(&mut cur.parent),

@@ -1,0 +1,217 @@
+//! A minimal leveled logger: `2026-08-08T12:00:00.123Z INFO  [service]
+//! message` on stderr, with a process-global level. No timestamps
+//! crates, no formatting on suppressed lines (the level check happens in
+//! the macros before arguments are evaluated).
+//!
+//! ```
+//! use bisched_obs::log::LogLevel;
+//! bisched_obs::log::set_level(LogLevel::Debug);
+//! bisched_obs::info!("doctest", "served {} requests", 12);
+//! bisched_obs::debug!("doctest", "cache key = {:x}", 0xf00du32);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severities, most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    /// The service cannot do what was asked.
+    Error = 0,
+    /// Degraded but proceeding.
+    Warn = 1,
+    /// Life-cycle events (the default level).
+    Info = 2,
+    /// Per-request detail.
+    Debug = 3,
+    /// Everything, including hot-path chatter.
+    Trace = 4,
+}
+
+impl LogLevel {
+    /// Fixed-width tag used in the output line.
+    pub fn tag(self) -> &'static str {
+        match self {
+            LogLevel::Error => "ERROR",
+            LogLevel::Warn => "WARN ",
+            LogLevel::Info => "INFO ",
+            LogLevel::Debug => "DEBUG",
+            LogLevel::Trace => "TRACE",
+        }
+    }
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag().trim_end())
+    }
+}
+
+impl std::str::FromStr for LogLevel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(LogLevel::Error),
+            "warn" | "warning" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            "trace" => Ok(LogLevel::Trace),
+            other => Err(format!(
+                "unknown log level '{other}' (expected error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Sets the process-global log level.
+pub fn set_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-global log level.
+pub fn level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Error,
+        1 => LogLevel::Warn,
+        2 => LogLevel::Info,
+        3 => LogLevel::Debug,
+        _ => LogLevel::Trace,
+    }
+}
+
+/// Would a line at `l` be emitted right now? The macros call this before
+/// evaluating their format arguments.
+#[inline]
+pub fn enabled(l: LogLevel) -> bool {
+    (l as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Renders a UNIX timestamp as UTC `YYYY-MM-DDTHH:MM:SS.mmmZ` with the
+/// standard days-from-civil inversion — no date-time dependency.
+fn format_utc(now: SystemTime) -> String {
+    let d = now.duration_since(UNIX_EPOCH).unwrap_or_default();
+    let secs = d.as_secs();
+    let millis = d.subsec_millis();
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (hh, mm, ss) = (rem / 3600, (rem / 60) % 60, rem % 60);
+    // civil-from-days (Howard Hinnant's algorithm), valid for the era
+    // we care about.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!("{year:04}-{month:02}-{day:02}T{hh:02}:{mm:02}:{ss:02}.{millis:03}Z")
+}
+
+/// Writes one line to stderr if `level` passes the global filter. Prefer
+/// the [`error!`](crate::error), [`warn!`](crate::warn),
+/// [`info!`](crate::info), [`debug!`](crate::debug), and
+/// [`trace!`](crate::trace) macros, which skip argument evaluation for
+/// suppressed lines.
+pub fn log(level: LogLevel, component: &str, args: fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    eprintln!(
+        "{} {} [{component}] {args}",
+        format_utc(SystemTime::now()),
+        level.tag()
+    );
+}
+
+/// Logs at [`LogLevel::Error`].
+#[macro_export]
+macro_rules! error {
+    ($component:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::LogLevel::Error) {
+            $crate::log::log($crate::log::LogLevel::Error, $component, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`LogLevel::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($component:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::LogLevel::Warn) {
+            $crate::log::log($crate::log::LogLevel::Warn, $component, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`LogLevel::Info`].
+#[macro_export]
+macro_rules! info {
+    ($component:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::LogLevel::Info) {
+            $crate::log::log($crate::log::LogLevel::Info, $component, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`LogLevel::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($component:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::LogLevel::Debug) {
+            $crate::log::log($crate::log::LogLevel::Debug, $component, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`LogLevel::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($component:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::LogLevel::Trace) {
+            $crate::log::log($crate::log::LogLevel::Trace, $component, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert!(LogLevel::Error < LogLevel::Trace);
+        assert_eq!("warn".parse::<LogLevel>().unwrap(), LogLevel::Warn);
+        assert_eq!("DEBUG".parse::<LogLevel>().unwrap(), LogLevel::Debug);
+        assert!("loud".parse::<LogLevel>().is_err());
+    }
+
+    #[test]
+    fn utc_formatting_matches_known_instants() {
+        let t = UNIX_EPOCH + Duration::from_millis(0);
+        assert_eq!(format_utc(t), "1970-01-01T00:00:00.000Z");
+        // 2022-05-30 12:34:56.789 UTC (IPPS 2022 week).
+        let t = UNIX_EPOCH + Duration::from_millis(1_653_914_096_789);
+        assert_eq!(format_utc(t), "2022-05-30T12:34:56.789Z");
+        // A leap-year day.
+        let t = UNIX_EPOCH + Duration::from_secs(951_836_400); // 2000-02-29T15:00:00Z
+        assert_eq!(format_utc(t), "2000-02-29T15:00:00.000Z");
+    }
+
+    #[test]
+    fn filter_respects_the_global_level() {
+        let prev = level();
+        set_level(LogLevel::Warn);
+        assert!(enabled(LogLevel::Error));
+        assert!(enabled(LogLevel::Warn));
+        assert!(!enabled(LogLevel::Info));
+        set_level(prev);
+    }
+}

@@ -79,6 +79,13 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("stats response missing payload".into()))
     }
 
+    /// Fetches the Prometheus text exposition (the `metrics` verb).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let resp = self.request(&Request::verb("metrics"))?;
+        resp.metrics
+            .ok_or_else(|| ClientError::Protocol("metrics response missing payload".into()))
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
         self.request(&Request::verb("shutdown"))

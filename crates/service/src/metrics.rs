@@ -12,8 +12,11 @@ use std::time::Instant;
 /// Power-of-two latency buckets over microseconds: bucket `b ≥ 1` holds
 /// samples in `[2^(b-1), 2^b)` µs and bucket 0 holds only 0 µs samples
 /// (sub-microsecond measurements truncated by the caller), so 64 buckets
-/// span nanoseconds to hours. Quantiles report the bucket's upper bound —
-/// within 2× of the true value, which is plenty for service dashboards.
+/// span nanoseconds to hours. Quantiles report the bucket's *geometric
+/// midpoint* `2^(b-½)` µs — the unbiased point estimate for a bucket
+/// whose samples are spread across a power-of-two range. (The earlier
+/// upper-bound convention overstated every quantile by up to 2×, which
+/// compounds when dashboards difference p99 − p50.)
 ///
 /// Edge cases (regression-tested below): an empty histogram reports 0.0
 /// for every quantile rather than a phantom first bucket, and 0 µs
@@ -23,6 +26,7 @@ use std::time::Instant;
 pub struct LatencyHist {
     buckets: [u64; 64],
     count: u64,
+    sum_us: u64,
 }
 
 impl Default for LatencyHist {
@@ -30,6 +34,7 @@ impl Default for LatencyHist {
         LatencyHist {
             buckets: [0; 64],
             count: 0,
+            sum_us: 0,
         }
     }
 }
@@ -40,10 +45,12 @@ impl LatencyHist {
         let b = (64 - micros.leading_zeros()) as usize; // 0 µs -> bucket 0
         self.buckets[b.min(63)] += 1;
         self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(micros);
     }
 
-    /// Upper bound of the bucket containing quantile `q ∈ [0, 1]`, in
-    /// milliseconds; 0 when empty.
+    /// Geometric midpoint of the bucket containing quantile `q ∈ [0, 1]`,
+    /// in milliseconds; 0 when empty (and for 0 µs samples, whose bucket
+    /// is the degenerate `[0, 1)`).
     pub fn quantile_ms(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -53,7 +60,11 @@ impl LatencyHist {
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return (1u64 << b) as f64 / 1000.0;
+                if b == 0 {
+                    return 0.0;
+                }
+                // √(2^(b-1) · 2^b) = 2^b / √2.
+                return (1u64 << b) as f64 / std::f64::consts::SQRT_2 / 1000.0;
             }
         }
         f64::INFINITY
@@ -62,6 +73,16 @@ impl LatencyHist {
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all recorded samples, microseconds (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// The raw bucket counts; bucket `b ≥ 1` covers `[2^(b-1), 2^b)` µs.
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
     }
 }
 
@@ -83,6 +104,13 @@ pub struct Metrics {
     pub batched_jobs: AtomicU64,
     started: Instant,
     hist: Mutex<LatencyHist>,
+    /// Time solve jobs spent waiting in the bounded queue before a worker
+    /// drained them (cache hits never enqueue, so never appear here).
+    queue_hist: Mutex<LatencyHist>,
+    /// Wall time of the micro-batch `solve_batch` call that carried each
+    /// job — the latency the job actually experienced while solving,
+    /// batch-mates included.
+    solve_hist: Mutex<LatencyHist>,
     wins: Mutex<HashMap<Method, u64>>,
     /// Race-cancelled engine attempts, per method. Kept apart from the
     /// win counters: a cancelled attempt is neither a win nor a loss
@@ -102,6 +130,8 @@ impl Default for Metrics {
             batched_jobs: AtomicU64::new(0),
             started: Instant::now(),
             hist: Mutex::new(LatencyHist::default()),
+            queue_hist: Mutex::new(LatencyHist::default()),
+            solve_hist: Mutex::new(LatencyHist::default()),
             wins: Mutex::new(HashMap::new()),
             cancelled: Mutex::new(HashMap::new()),
         }
@@ -112,6 +142,17 @@ impl Metrics {
     /// Records one served solve's latency.
     pub fn record_latency(&self, micros: u64) {
         self.hist.lock().unwrap().record(micros);
+    }
+
+    /// Records how long one job sat queued before a worker drained it.
+    pub fn record_queue_wait(&self, micros: u64) {
+        self.queue_hist.lock().unwrap().record(micros);
+    }
+
+    /// Records the solve-phase wall time one job experienced (its whole
+    /// micro-batch's `solve_batch` duration).
+    pub fn record_solve_time(&self, micros: u64) {
+        self.solve_hist.lock().unwrap().record(micros);
     }
 
     /// Credits `method` with a win (it produced a freshly solved
@@ -130,6 +171,8 @@ impl Metrics {
     /// `stats` verb's payload.
     pub fn snapshot(&self, cache: crate::cache::CacheCounters, cache_len: usize) -> StatsData {
         let hist = self.hist.lock().unwrap();
+        let queue_hist = self.queue_hist.lock().unwrap();
+        let solve_hist = self.solve_hist.lock().unwrap();
         let mut method_wins: Vec<(String, u64)> = self
             .wins
             .lock()
@@ -165,12 +208,158 @@ impl Metrics {
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
             p50_ms: hist.quantile_ms(0.50),
             p99_ms: hist.quantile_ms(0.99),
+            queue_p50_ms: queue_hist.quantile_ms(0.50),
+            queue_p99_ms: queue_hist.quantile_ms(0.99),
+            solve_p50_ms: solve_hist.quantile_ms(0.50),
+            solve_p99_ms: solve_hist.quantile_ms(0.99),
             cancelled: method_cancelled.iter().map(|(_, n)| n).sum(),
             method_wins,
             method_cancelled,
             uptime_s: self.started.elapsed().as_secs_f64(),
         }
     }
+
+    /// Renders everything as Prometheus text exposition (version 0.0.4):
+    /// the `metrics` verb's payload. Counters use `_total` suffixes, the
+    /// three latency histograms emit cumulative `le` buckets in seconds
+    /// (empty buckets skipped — cumulative counts stay correct), and
+    /// per-engine tables become labeled series.
+    pub fn prometheus(&self, cache: crate::cache::CacheCounters, cache_len: usize) -> String {
+        let mut out = String::with_capacity(4096);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "bisched_requests_total",
+            "Requests received, any verb.",
+            self.requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "bisched_solved_total",
+            "Solve requests answered ok.",
+            self.solved.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "bisched_errors_total",
+            "Solve requests answered error.",
+            self.errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "bisched_busy_total",
+            "Solve requests rejected busy (backpressure).",
+            self.busy.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "bisched_batches_total",
+            "Micro-batches executed by the worker pool.",
+            self.batches.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "bisched_batched_jobs_total",
+            "Solve jobs carried by those micro-batches.",
+            self.batched_jobs.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "bisched_cache_hits_total",
+            "Canonicalization-cache hits.",
+            cache.hits,
+        );
+        counter(
+            &mut out,
+            "bisched_cache_misses_total",
+            "Canonicalization-cache misses.",
+            cache.misses,
+        );
+        counter(
+            &mut out,
+            "bisched_cache_evictions_total",
+            "Entries evicted from the canonicalization cache.",
+            cache.evictions,
+        );
+        out.push_str(&format!(
+            "# HELP bisched_cache_entries Entries currently cached.\n\
+             # TYPE bisched_cache_entries gauge\n\
+             bisched_cache_entries {cache_len}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP bisched_uptime_seconds Seconds since the service started.\n\
+             # TYPE bisched_uptime_seconds gauge\n\
+             bisched_uptime_seconds {}\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+        labeled_counter_table(
+            &mut out,
+            "bisched_method_wins_total",
+            "Freshly solved schedules credited to each engine.",
+            &self.wins.lock().unwrap(),
+        );
+        labeled_counter_table(
+            &mut out,
+            "bisched_method_cancelled_total",
+            "Engine attempts a portfolio race cancelled.",
+            &self.cancelled.lock().unwrap(),
+        );
+        prometheus_histogram(
+            &mut out,
+            "bisched_request_latency_seconds",
+            "End-to-end latency of ok solves, cache hits included.",
+            &self.hist.lock().unwrap(),
+        );
+        prometheus_histogram(
+            &mut out,
+            "bisched_queue_wait_seconds",
+            "Time solve jobs waited in the bounded queue.",
+            &self.queue_hist.lock().unwrap(),
+        );
+        prometheus_histogram(
+            &mut out,
+            "bisched_solve_time_seconds",
+            "Solve-phase wall time jobs experienced (whole micro-batch).",
+            &self.solve_hist.lock().unwrap(),
+        );
+        out
+    }
+}
+
+/// One `name{method="..."} n` line per engine, sorted by name for stable
+/// scrape diffs.
+fn labeled_counter_table(out: &mut String, name: &str, help: &str, table: &HashMap<Method, u64>) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+    let mut rows: Vec<(&'static str, u64)> = table.iter().map(|(m, &n)| (m.name(), n)).collect();
+    rows.sort();
+    for (method, n) in rows {
+        out.push_str(&format!("{name}{{method=\"{method}\"}} {n}\n"));
+    }
+}
+
+/// A [`LatencyHist`] as a Prometheus histogram: cumulative `le` buckets
+/// in seconds (the power-of-two upper bounds), `_sum`, `_count`.
+fn prometheus_histogram(out: &mut String, name: &str, help: &str, h: &LatencyHist) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (b, &n) in h.buckets().iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let le = (1u64 << b) as f64 / 1e6;
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+        h.count(),
+        h.sum_us() as f64 / 1e6,
+        h.count()
+    ));
 }
 
 #[cfg(test)]
@@ -185,10 +374,12 @@ mod tests {
         }
         assert_eq!(h.count(), 10);
         let p50 = h.quantile_ms(0.5);
-        // Median sample is 50 µs; its bucket's upper bound is 64 µs.
-        assert!((0.05..=0.128).contains(&p50), "p50 = {p50}");
+        // Median sample is 50 µs, in bucket [32, 64); the reported
+        // geometric midpoint must stay inside that bucket.
+        assert!((0.032..=0.064).contains(&p50), "p50 = {p50}");
+        assert!((p50 - 0.0452).abs() < 1e-3, "p50 = {p50} not 2^5.5 µs");
         let p99 = h.quantile_ms(0.99);
-        assert!(p99 >= 0.1, "p99 = {p99}");
+        assert!(p99 >= 0.065, "p99 = {p99}");
         assert!(h.quantile_ms(1.0) >= p99);
     }
 
@@ -218,19 +409,38 @@ mod tests {
             let v = h.quantile_ms(q);
             assert!((0.0..=0.001).contains(&v), "q = {q}: {v}");
         }
-        // Mixing in one large sample moves only the top quantiles.
+        // Mixing in one large sample moves only the top quantiles: 1 s
+        // lands in bucket [2^19, 2^20) µs, whose midpoint is ≈ 741 ms.
         h.record(1_000_000);
         assert!(h.quantile_ms(0.5) <= 0.001);
-        assert!(h.quantile_ms(1.0) >= 1000.0);
+        assert!(h.quantile_ms(1.0) >= 500.0);
     }
 
     #[test]
     fn single_sample_quantiles_bracket_it() {
         let mut h = LatencyHist::default();
-        h.record(700); // bucket upper bound: 1024 µs
+        h.record(700); // bucket [512, 1024) µs, midpoint 2^9.5 ≈ 724 µs
         for q in [0.0, 0.5, 1.0] {
             let v = h.quantile_ms(q);
-            assert!((0.7..=1.024).contains(&v), "q = {q}: {v}");
+            assert!((0.512..=1.024).contains(&v), "q = {q}: {v}");
+            assert!((v - 0.7241).abs() < 1e-3, "q = {q}: {v} not the midpoint");
+        }
+    }
+
+    #[test]
+    fn midpoint_is_within_sqrt2_of_any_sample_in_the_bucket() {
+        // The estimator's worst-case multiplicative error is √2 in either
+        // direction — the property the upper-bound convention lacked (it
+        // could overstate by 2×).
+        for sample in [1u64, 3, 33, 700, 5_000, 1_000_000] {
+            let mut h = LatencyHist::default();
+            h.record(sample);
+            let v_us = h.quantile_ms(0.5) * 1000.0;
+            let ratio = v_us / sample as f64;
+            assert!(
+                ((std::f64::consts::SQRT_2).recip()..=std::f64::consts::SQRT_2).contains(&ratio),
+                "sample {sample} µs reported as {v_us} µs (ratio {ratio})"
+            );
         }
     }
 
@@ -272,6 +482,84 @@ mod tests {
         assert!((s.hit_rate - 0.75).abs() < 1e-12);
         assert_eq!(s.method_wins, vec![("alg1".to_string(), 2)]);
         assert!(s.p50_ms > 0.0);
+    }
+
+    #[test]
+    fn snapshot_splits_queue_and_solve_latency() {
+        let m = Metrics::default();
+        m.record_latency(1_000);
+        m.record_queue_wait(10); // bucket [8, 16): midpoint ≈ 11 µs
+        m.record_solve_time(900); // bucket [512, 1024): midpoint ≈ 724 µs
+        let s = m.snapshot(crate::cache::CacheCounters::default(), 0);
+        assert!(s.queue_p50_ms > 0.0 && s.queue_p50_ms < 0.016);
+        assert!(s.solve_p50_ms > 0.5 && s.solve_p50_ms < 1.024);
+        assert!(
+            s.queue_p50_ms < s.solve_p50_ms,
+            "the split must keep the components apart"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let m = Metrics::default();
+        m.requests.store(7, Ordering::Relaxed);
+        m.solved.store(5, Ordering::Relaxed);
+        m.record_win(Method::Cp);
+        m.record_cancelled(Method::BranchAndBound);
+        m.record_latency(700);
+        m.record_latency(90_000);
+        m.record_queue_wait(40);
+        m.record_solve_time(650);
+        let text = m.prometheus(
+            crate::cache::CacheCounters {
+                hits: 2,
+                misses: 3,
+                evictions: 1,
+                insertions: 3,
+            },
+            3,
+        );
+        assert!(text.contains("# TYPE bisched_requests_total counter"));
+        assert!(text.contains("bisched_requests_total 7"));
+        assert!(text.contains("bisched_cache_hits_total 2"));
+        assert!(text.contains("bisched_cache_entries 3"));
+        assert!(text.contains("bisched_method_wins_total{method=\"cp\"} 1"));
+        assert!(text.contains("bisched_method_cancelled_total{method=\"branch-and-bound\"} 1"));
+        // Histogram shape: cumulative buckets ending at +Inf == _count,
+        // and _sum carries the exact microsecond total in seconds.
+        assert!(text.contains("bisched_request_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("bisched_request_latency_seconds_count 2"));
+        assert!(text.contains("bisched_request_latency_seconds_sum 0.0907"));
+        assert!(text.contains("bisched_queue_wait_seconds_count 1"));
+        assert!(text.contains("bisched_solve_time_seconds_count 1"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(!name.is_empty());
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
+        }
+        // Cumulative bucket counts are monotone within each histogram.
+        let mut last: Option<(String, u64)> = None;
+        for line in text.lines() {
+            if let Some((head, v)) = line.split_once("_bucket{le=\"") {
+                if v.starts_with("+Inf") {
+                    continue;
+                }
+                let n: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+                if let Some((prev_head, prev_n)) = &last {
+                    if prev_head == head {
+                        assert!(n >= *prev_n, "non-monotone buckets: {line}");
+                    }
+                }
+                last = Some((head.to_string(), n));
+            }
+        }
     }
 
     #[test]

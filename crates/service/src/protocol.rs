@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// verb-specific and optional on the wire.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Request {
-    /// `"solve"`, `"stats"`, `"ping"`, or `"shutdown"`.
+    /// `"solve"`, `"stats"`, `"metrics"`, `"ping"`, or `"shutdown"`.
     pub verb: String,
     /// Client correlation id, echoed verbatim in the response.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -141,6 +141,11 @@ pub struct Response {
     /// Metrics snapshot (`stats`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub stats: Option<StatsData>,
+    /// Prometheus text exposition (`metrics`): the same counters as
+    /// `stats` plus full latency histograms, ready for a scrape
+    /// endpoint to relay verbatim.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<String>,
 }
 
 impl Response {
@@ -159,6 +164,7 @@ impl Response {
             time_ms: None,
             error: None,
             stats: None,
+            metrics: None,
         }
     }
 
@@ -214,11 +220,25 @@ pub struct StatsData {
     /// Solve jobs that went through those batches.
     pub batched_jobs: u64,
     /// Median request latency over all `ok` solves, cache hits included,
-    /// in milliseconds (bucketed upper bound).
+    /// in milliseconds (log-bucketed; geometric-midpoint estimate).
     pub p50_ms: f64,
     /// 99th-percentile request latency (same population as
-    /// [`p50_ms`](Self::p50_ms)), milliseconds (bucketed upper bound).
+    /// [`p50_ms`](Self::p50_ms)), milliseconds.
     pub p99_ms: f64,
+    /// Median time solve jobs waited in the bounded queue before a
+    /// worker drained them, milliseconds (cache hits never enqueue).
+    #[serde(default)]
+    pub queue_p50_ms: f64,
+    /// 99th-percentile queue wait, milliseconds.
+    #[serde(default)]
+    pub queue_p99_ms: f64,
+    /// Median solve-phase wall time jobs experienced (their whole
+    /// micro-batch's `solve_batch` duration), milliseconds.
+    #[serde(default)]
+    pub solve_p50_ms: f64,
+    /// 99th-percentile solve-phase wall time, milliseconds.
+    #[serde(default)]
+    pub solve_p99_ms: f64,
     /// Engine attempts a portfolio race cancelled (neither wins nor
     /// losses), total across methods.
     #[serde(default)]

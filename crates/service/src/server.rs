@@ -77,12 +77,19 @@ impl Shared {
         self.metrics.snapshot(cache.counters(), cache.len())
     }
 
+    /// Prometheus text exposition for the `metrics` verb.
+    pub(crate) fn prometheus(&self) -> String {
+        let cache = self.cache.lock().unwrap();
+        self.metrics.prometheus(cache.counters(), cache.len())
+    }
+
     /// Idempotent shutdown trigger: refuse new work, close the queue,
     /// poke the accept loop awake.
     fn begin_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
+        bisched_obs::info!("service", "shutdown initiated, draining the queue");
         *self.queue.lock().unwrap() = None;
         // Unblock `accept` so the loop observes the flag. A wildcard bind
         // address (0.0.0.0 / ::) is not connectable everywhere; poke via
@@ -134,6 +141,14 @@ impl Service {
                 .spawn(move || accept_loop(listener, shared, handlers))
                 .expect("spawn accept thread")
         };
+        bisched_obs::info!(
+            "service",
+            "listening on {addr} — {} workers, batch {}, queue {}, cache {}",
+            opts.workers.max(1),
+            opts.batch,
+            opts.queue_cap.max(1),
+            opts.cache_cap,
+        );
         Ok(Service {
             shared,
             addr,
@@ -174,8 +189,9 @@ impl Service {
             let _ = handler.join();
         }
         let stats = self.shared.stats();
-        eprintln!(
-            "bisched-service: shut down after {:.1}s — {} requests, {} solved ({} cached, hit rate {:.2}), {} busy, {} errors, p50 {:.3}ms p99 {:.3}ms",
+        bisched_obs::info!(
+            "service",
+            "shut down after {:.1}s — {} requests, {} solved ({} cached, hit rate {:.2}), {} busy, {} errors, p50 {:.3}ms p99 {:.3}ms (queue p50 {:.3}ms, solve p50 {:.3}ms)",
             stats.uptime_s,
             stats.requests,
             stats.solved,
@@ -185,6 +201,8 @@ impl Service {
             stats.errors,
             stats.p50_ms,
             stats.p99_ms,
+            stats.queue_p50_ms,
+            stats.solve_p50_ms,
         );
         stats
     }
@@ -200,6 +218,9 @@ fn accept_loop(
             break;
         }
         let Ok(stream) = stream else { continue };
+        if let Ok(peer) = stream.peer_addr() {
+            bisched_obs::debug!("service", "connection from {peer}");
+        }
         let shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("bisched-conn".into())
@@ -270,13 +291,21 @@ fn handle_request(line: &str, shared: &Shared) -> Response {
     shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
     let req: Request = match serde_json::from_str(line) {
         Ok(r) => r,
-        Err(e) => return Response::error(None, format!("bad request: {e}")),
+        Err(e) => {
+            bisched_obs::debug!("service", "unparseable request line: {e}");
+            return Response::error(None, format!("bad request: {e}"));
+        }
     };
     match req.verb.as_str() {
         "ping" => Response::ok(req.id),
         "stats" => {
             let mut r = Response::ok(req.id);
             r.stats = Some(shared.stats());
+            r
+        }
+        "metrics" => {
+            let mut r = Response::ok(req.id);
+            r.metrics = Some(shared.prometheus());
             r
         }
         "shutdown" => {
@@ -290,6 +319,7 @@ fn handle_request(line: &str, shared: &Shared) -> Response {
 
 fn handle_solve(req: &Request, shared: &Shared) -> Response {
     let t0 = Instant::now();
+    let _request_span = bisched_obs::span("solve_request", "service");
     let id = req.id;
     let fail = |r: Response, shared: &Shared| {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -310,7 +340,9 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
         Ok(i) => i,
         Err(e) => return fail(Response::error(id, e.to_string()), shared),
     };
+    let canon_span = bisched_obs::span("canonicalize", "service");
     let mut canonical = canonicalize(&instance);
+    drop(canon_span);
     if let Some(submitted) = &submitted_speeds {
         let map = sorted_to_submitted(&instance.speeds(), submitted);
         for m in canonical.machine_perm.iter_mut() {
@@ -333,8 +365,10 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
     if !req.no_cache.unwrap_or(false) {
         let hit = shared.cache.lock().unwrap().get(cache_key, &cache_cert);
         if let Some(report) = hit {
+            bisched_obs::instant("cache_hit", "service", "", 0);
             return finish_solve(id, &canonical, &report, true, t0, shared);
         }
+        bisched_obs::instant("cache_miss", "service", "", 0);
     }
 
     // Miss: enqueue for the worker pool (bounded — `busy` on overflow).
@@ -345,6 +379,7 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
         certificate: cache_cert,
         config,
         reply: reply_tx,
+        enqueued: Instant::now(),
     };
     let send_result = {
         let queue = shared.queue.lock().unwrap();
@@ -357,6 +392,7 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
         Ok(()) => {}
         Err(Some(TrySendError::Full(_))) => {
             shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+            bisched_obs::debug!("service", "queue full, rejecting request {id:?}");
             return Response::busy(id);
         }
         Err(Some(TrySendError::Disconnected(_))) | Err(None) => {

@@ -32,6 +32,9 @@ pub(crate) struct Job {
     pub config: SolverConfig,
     /// Oneshot reply channel back to the connection handler.
     pub reply: Sender<JobReply>,
+    /// When the handler enqueued the job — a worker draining it records
+    /// the elapsed time as the job's queue-wait component.
+    pub enqueued: std::time::Instant,
 }
 
 /// What a worker sends back (in **canonical** labeling; the handler maps
@@ -89,11 +92,19 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared, batch_max: usize) {
 /// group shares one `Solver` and one `solve_batch` call), results are
 /// cached and replied per job.
 fn process_batch(batch: Vec<Job>, shared: &Shared) {
+    let _batch_span = bisched_obs::span_arg("batch", "service", "jobs", batch.len() as u64);
     shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
     shared
         .metrics
         .batched_jobs
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    // Queue wait ends the moment the batch is collected; the solve phase
+    // is measured separately below.
+    for job in &batch {
+        shared
+            .metrics
+            .record_queue_wait(job.enqueued.elapsed().as_micros() as u64);
+    }
     let mut groups: Vec<(SolverConfig, Vec<Job>)> = Vec::new();
     for job in batch {
         match groups.iter_mut().find(|(c, _)| *c == job.config) {
@@ -115,8 +126,14 @@ fn process_batch(batch: Vec<Job>, shared: &Shared) {
             }
         };
         let instances: Vec<Instance> = jobs.iter().map(|j| j.instance.clone()).collect();
+        let solve_t0 = std::time::Instant::now();
         let reports = solver.solve_batch(&instances);
+        // Every job in the group waited for the whole `solve_batch` call
+        // before its reply could be sent, so the group's wall time *is*
+        // each job's solve-phase latency.
+        let solve_us = solve_t0.elapsed().as_micros() as u64;
         for (job, result) in jobs.into_iter().zip(reports) {
+            shared.metrics.record_solve_time(solve_us);
             match result {
                 Ok(report) => {
                     let report = Arc::new(report);
@@ -126,11 +143,14 @@ fn process_batch(batch: Vec<Job>, shared: &Shared) {
                             shared.metrics.record_cancelled(run.method);
                         }
                     }
-                    shared.cache.lock().unwrap().insert(
-                        job.fingerprint,
-                        job.certificate,
-                        Arc::clone(&report),
-                    );
+                    {
+                        let mut cache = shared.cache.lock().unwrap();
+                        let evictions_before = cache.counters().evictions;
+                        cache.insert(job.fingerprint, job.certificate, Arc::clone(&report));
+                        if cache.counters().evictions > evictions_before {
+                            bisched_obs::instant("cache_evict", "service", "", 0);
+                        }
+                    }
                     let _ = job.reply.send(JobReply::Solved(report));
                 }
                 Err(e) => {

@@ -117,6 +117,25 @@ fn concurrent_mixed_workload_validates_hits_cache_and_drains() {
     assert!(stats.batches > 0);
     assert!(stats.batched_jobs >= stats.cache_misses);
     assert!(stats.hit_rate > 0.0 && stats.hit_rate < 1.0);
+    // The latency split is populated: every miss went through the queue
+    // and a solve_batch call.
+    assert!(stats.solve_p50_ms > 0.0, "solve-time histogram is empty");
+
+    // The `metrics` verb serves the same counters as Prometheus text.
+    let text = client.metrics().expect("metrics");
+    assert!(text.contains(&format!(
+        "bisched_solved_total {}",
+        4 * workload.len() as u64
+    )));
+    assert!(text.contains("# TYPE bisched_request_latency_seconds histogram"));
+    assert!(text.contains("bisched_queue_wait_seconds_count"));
+    assert!(text.contains("bisched_solve_time_seconds_bucket{le=\"+Inf\"}"));
+    let wins: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("bisched_method_wins_total{"))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(wins, stats.cache_misses, "one win per fresh solve");
 
     // Graceful shutdown over the wire; join must drain and return the
     // final numbers without losing anything accepted.

@@ -151,6 +151,50 @@
 //! `peak_states` counters; the `fptas-scaling` lab suite and the
 //! `fptas_scaling` criterion bench pin its performance.
 //!
+//! ## Observing a solve
+//!
+//! Every attempt in a [`SolveReport`](core::SolveReport) carries the
+//! engine's runtime counters as [`EngineStats`](core::EngineStats) —
+//! nodes expanded, prunes per bound kind, CP propagations and probe
+//! outcomes, FPTAS layer statistics — at no cost beyond the counters the
+//! engines already kept. For a *timeline*, the [`obs`] flight recorder
+//! captures engine spans, portfolio race events, incumbent updates, and
+//! probe bounds into lock-free per-thread rings (when off, each emit
+//! site costs one relaxed atomic load), and exports Chrome trace-event
+//! JSON for `chrome://tracing` or <https://ui.perfetto.dev>:
+//!
+//! ```
+//! use bisched::prelude::*;
+//!
+//! let inst = Instance::identical(3, vec![4, 3, 3, 2, 2], Graph::path(5)).unwrap();
+//! let solver = SolverConfig::new()
+//!     .method(Method::BranchAndBound)
+//!     .build()
+//!     .unwrap();
+//!
+//! bisched::obs::start_recording(1 << 14); // ring capacity per thread
+//! let report = solver.solve(&inst).unwrap();
+//! let trace = bisched::obs::stop_recording();
+//!
+//! // Counters ride on every attempt…
+//! let run = &report.attempts[0];
+//! assert!(run.stats.get("nodes").unwrap() > 0);
+//! assert_eq!(run.stats.get("complete"), Some(1));
+//! // …and the trace is ready for Perfetto (dropped events are counted,
+//! // never silent).
+//! let json = trace.to_chrome_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! assert_eq!(trace.dropped, 0);
+//! ```
+//!
+//! From the command line, `bisched_cli solve inst.txt --portfolio
+//! exact-q2,branch-and-bound,cp --trace-out trace.json` records a whole
+//! portfolio race (member spans, `race_publish`/`race_cancel` instants),
+//! `lab run --trace-out` traces a benchmark suite, and a running daemon
+//! serves Prometheus text exposition through the `metrics` verb
+//! (`bisched_cli metrics --addr …`). The daemon logs through the
+//! leveled logger in [`obs::log`] (`serve --log-level debug`).
+//!
 //! ## Running as a service
 //!
 //! For bulk traffic, [`service`] wraps the solver in a long-running
@@ -184,8 +228,10 @@
 //! workload.jsonl --repeat 2` pushes a JSONL workload through it,
 //! validates every returned schedule, and prints req/s and the cache
 //! hit rate. The `stats` verb exposes requests served, hit rate,
-//! p50/p99 latency, per-engine win counts, and per-engine race-cancelled
-//! attempt counts (cancellations are neither wins nor losses).
+//! p50/p99 latency — split into queue-wait and solve-time components —
+//! per-engine win counts, and per-engine race-cancelled attempt counts
+//! (cancellations are neither wins nor losses); the `metrics` verb
+//! serves the same counters as Prometheus text exposition.
 //!
 //! ## Benchmarking with the lab
 //!
@@ -256,10 +302,13 @@
 //! * [`core`] — the paper's Algorithms 1–5, Theorem 4, the Theorem 8/24
 //!   gap reductions, and the [`Solver`](core::Solver) engine;
 //! * [`random`] — Section 4.1's random-graph analysis;
+//! * [`obs`] — the flight recorder (lock-free per-thread event rings,
+//!   Chrome trace-event export) and the leveled logger;
 //! * [`lab`] — the scenario corpus, benchmark harness, and
 //!   perf-regression gate behind `bisched_cli lab`;
 //! * [`service`] — the solve daemon: JSON-lines TCP protocol,
-//!   canonicalization cache, micro-batching worker pool, stats.
+//!   canonicalization cache, micro-batching worker pool, stats and
+//!   Prometheus metrics.
 
 #![warn(missing_docs)]
 
@@ -271,6 +320,7 @@ pub use bisched_fptas as fptas;
 pub use bisched_graph as graph;
 pub use bisched_lab as lab;
 pub use bisched_model as model;
+pub use bisched_obs as obs;
 pub use bisched_random as random;
 pub use bisched_service as service;
 
