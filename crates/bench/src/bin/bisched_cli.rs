@@ -8,15 +8,19 @@
 //!                          [--eps <e>] [--fptas-state-cap <states>]
 //!                          [--node-limit <nodes>] [--cp-node-limit <nodes>]
 //!                          [--bnb-deadline-ms <ms>] [--race-deadline-ms <ms>]
-//!                          [--exact-budget <mass>] [--trace-out <file>] [--json]
+//!                          [--exact-budget <mass>] [--trace-out <file>]
+//!                          [--profile-out <file>] [--json]
 //! bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
 //!                   [--cache-cap <n>] [--queue-cap <n>] [--log-level <level>]
+//!                   [--log-json] [--exemplar-k <n>] [--exemplar-window-s <s>]
 //! bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>]
 //!                    [--method <m>] [--no-cache] [--shutdown] [--json]
 //! bisched_cli metrics --addr <host:port>
+//! bisched_cli trace --addr <host:port> [--json]
 //! bisched_cli lab list
 //! bisched_cli lab run --suite quick|full|paper-sec4|fptas-scaling [--out <path>]
 //!                     [--reps <n>] [--warmup <n>] [--seq] [--trace-out <file>]
+//!                     [--profile-out <file>]
 //! bisched_cli lab compare <old.json> <new.json> [--fail-threshold <pct>]
 //!                         [--quality-threshold <pct>]
 //! ```
@@ -37,7 +41,12 @@
 //! the flight recorder for the solve and writes a Chrome trace-event JSON
 //! file — load it at `chrome://tracing` or <https://ui.perfetto.dev> to
 //! see the portfolio race, engine spans, and incumbent/probe timelines on
-//! a timeline per thread. `--json` emits the full
+//! a timeline per thread. `--profile-out` folds the same recording into a
+//! **self-time profile** and writes flamegraph-collapsed stacks
+//! (`solve;portfolio_race;cp 1234` — one line per distinct span stack,
+//! self-microseconds as the weight; pipe into `flamegraph.pl` or paste
+//! into a flamegraph viewer); both flags share one recording, so they
+//! compose. `--json` emits the full
 //! `SolveReport` — method, guarantee, makespan, lower bound, per-engine
 //! timings (plus the race's own wall time and per-attempt `cancelled`
 //! flags under a portfolio) — as a single JSON object for experiment
@@ -46,9 +55,15 @@
 //! Instances use the text format of `bisched_model::io` (see its docs).
 //! `serve` runs the `bisched-service` daemon until a `shutdown` request
 //! arrives (`--log-level error|warn|info|debug|trace` tunes its stderr
-//! logging); `metrics` fetches a running daemon's Prometheus text
+//! logging, `--log-json` switches it to one JSON object per line, and
+//! `--exemplar-k` / `--exemplar-window-s` size the always-on slow-request
+//! exemplar buffer); `metrics` fetches a running daemon's Prometheus text
 //! exposition (the `metrics` verb) and prints it to stdout, ready to be
-//! relayed by a scrape endpoint; `submit` pushes a JSONL workload (one
+//! relayed by a scrape endpoint; `trace` fetches the daemon's
+//! slow-request exemplars (the `trace` verb) — the K worst requests of
+//! the current and previous windows as span trees with engine counters —
+//! and pretty-prints them (`--json` for the raw payload);
+//! `submit` pushes a JSONL workload (one
 //! `InstanceData` object
 //! per line) through a running daemon, validates every returned schedule
 //! client-side, and prints a throughput summary — `--repeat` replays the
@@ -81,6 +96,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("lab") => cmd_lab(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
@@ -102,16 +118,20 @@ const USAGE: &str = "usage:
                            [--portfolio <m1,m2,...>] [--eps <e>] [--fptas-state-cap <states>]
                            [--node-limit <nodes>] [--cp-node-limit <nodes>]
                            [--bnb-deadline-ms <ms>] [--race-deadline-ms <ms>]
-                           [--exact-budget <mass>] [--trace-out <file>] [--json]
+                           [--exact-budget <mass>] [--trace-out <file>]
+                           [--profile-out <file>] [--json]
   bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
                     [--cache-cap <n>] [--queue-cap <n>]
-                    [--log-level error|warn|info|debug|trace]
+                    [--log-level error|warn|info|debug|trace] [--log-json]
+                    [--exemplar-k <n>] [--exemplar-window-s <s>]
   bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>] [--method <m>]
                      [--no-cache] [--shutdown] [--json]
   bisched_cli metrics --addr <host:port>
+  bisched_cli trace --addr <host:port> [--json]
   bisched_cli lab list
   bisched_cli lab run --suite quick|full|paper-sec4|fptas-scaling [--out <path>]
                       [--reps <n>] [--warmup <n>] [--seq] [--trace-out <file>]
+                      [--profile-out <file>]
   bisched_cli lab compare <old.json> <new.json> [--fail-threshold <pct>]
                           [--quality-threshold <pct>]";
 
@@ -168,16 +188,56 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The recording-backed output flags shared by `solve` and `lab run`.
+#[derive(Default)]
+struct RecorderOuts {
+    /// Chrome trace-event JSON destination (`--trace-out`).
+    trace: Option<String>,
+    /// Flamegraph-collapsed self-time profile destination
+    /// (`--profile-out`).
+    profile: Option<String>,
+}
+
+impl RecorderOuts {
+    fn wanted(&self) -> bool {
+        self.trace.is_some() || self.profile.is_some()
+    }
+
+    /// Stops the recorder once and writes whichever outputs were asked
+    /// for — both flags fold the same recording.
+    fn write(&self) -> Result<(), String> {
+        if !self.wanted() {
+            return Ok(());
+        }
+        let trace = bisched_obs::stop_recording();
+        if let Some(path) = &self.trace {
+            std::fs::write(path, trace.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "trace: {} events ({} dropped) -> {path}",
+                trace.events.len(),
+                trace.dropped
+            );
+        }
+        if let Some(path) = &self.profile {
+            let profile = bisched_obs::Profile::from_trace(&trace);
+            std::fs::write(path, profile.to_collapsed()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("profile: {} span stacks -> {path}", profile.rows.len());
+        }
+        Ok(())
+    }
+}
+
 /// Parses the `solve` flags into a solver configuration.
-fn parse_solve_flags(args: &[String]) -> Result<(SolverConfig, bool, Option<String>), String> {
+fn parse_solve_flags(args: &[String]) -> Result<(SolverConfig, bool, RecorderOuts), String> {
     let mut config = SolverConfig::new();
     let mut json = false;
-    let mut trace_out: Option<String> = None;
+    let mut outs = RecorderOuts::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
-            "--trace-out" => trace_out = Some(parse(it.next(), "--trace-out value")?),
+            "--trace-out" => outs.trace = Some(parse(it.next(), "--trace-out value")?),
+            "--profile-out" => outs.profile = Some(parse(it.next(), "--profile-out value")?),
             "--eps" => {
                 let eps: f64 = parse(it.next(), "--eps value")?;
                 config = config.eps(eps);
@@ -228,25 +288,13 @@ fn parse_solve_flags(args: &[String]) -> Result<(SolverConfig, bool, Option<Stri
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    Ok((config, json, trace_out))
+    Ok((config, json, outs))
 }
 
-/// Per-thread flight-recorder ring capacity for `--trace-out` (events
-/// are ~56 bytes, so this is a few MB per recording thread).
+/// Per-thread flight-recorder ring capacity for `--trace-out` /
+/// `--profile-out` (events are ~56 bytes, so this is a few MB per
+/// recording thread).
 const TRACE_CAPACITY: usize = 1 << 16;
-
-/// Stops the flight recorder and writes Chrome trace-event JSON to
-/// `path` (open at `chrome://tracing` or <https://ui.perfetto.dev>).
-fn write_trace(path: &str) -> Result<(), String> {
-    let trace = bisched_obs::stop_recording();
-    std::fs::write(path, trace.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
-    eprintln!(
-        "trace: {} events ({} dropped) -> {path}",
-        trace.events.len(),
-        trace.dropped
-    );
-    Ok(())
-}
 
 /// Renders the full report as one JSON object for experiment scripts.
 fn report_to_json(inst: &Instance, report: &SolveReport) -> Value {
@@ -360,6 +408,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--log-level" => {
                 let level: bisched_obs::log::LogLevel = parse(it.next(), "--log-level value")?;
                 bisched_obs::log::set_level(level);
+            }
+            "--log-json" => bisched_obs::log::set_format(bisched_obs::log::LogFormat::Json),
+            "--exemplar-k" => opts.exemplar_k = parse(it.next(), "--exemplar-k value")?,
+            "--exemplar-window-s" => {
+                let secs: f64 = parse(it.next(), "--exemplar-window-s value")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--exemplar-window-s must be positive\n{USAGE}"));
+                }
+                opts.exemplar_window = std::time::Duration::from_secs_f64(secs);
             }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -551,6 +608,74 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use bisched_service::{Client, SpanData};
+    let mut addr: Option<String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse(it.next(), "--addr value")?),
+            "--json" => json = true,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("trace requires --addr\n{USAGE}"))?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    let exemplars = client.trace().map_err(|e| format!("trace: {e}"))?;
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&exemplars).expect("exemplars serialize")
+        );
+        return Ok(());
+    }
+    // Indented span tree per exemplar, slowest first — counters inline
+    // so a slow request explains itself without another round trip.
+    fn print_span(span: &SpanData, depth: usize) {
+        let indent = "  ".repeat(depth + 1);
+        let counters = if span.counters.is_empty() {
+            String::new()
+        } else {
+            let kv: Vec<String> = span
+                .counters
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            format!("  [{}]", kv.join(" "))
+        };
+        println!(
+            "{indent}{:<16} +{:.3} ms  {:.3} ms{counters}",
+            span.name, span.start_ms, span.dur_ms
+        );
+        for child in &span.children {
+            print_span(child, depth + 1);
+        }
+    }
+    println!(
+        "slow-request exemplars: window {} ({}s, k={})",
+        exemplars.window, exemplars.window_s, exemplars.k
+    );
+    for (label, bucket) in [
+        ("current", &exemplars.current),
+        ("previous", &exemplars.previous),
+    ] {
+        println!("{label} window: {} exemplar(s)", bucket.len());
+        for ex in bucket {
+            println!(
+                "  request {}  {:.3} ms  {}  fingerprint {}{}",
+                ex.request_id,
+                ex.total_ms,
+                ex.method.as_deref().unwrap_or("-"),
+                &ex.fingerprint[..8.min(ex.fingerprint.len())],
+                if ex.cached { "  (cache hit)" } else { "" }
+            );
+            print_span(&ex.root, 1);
+        }
+    }
+    Ok(())
+}
+
 fn cmd_lab(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("list") => cmd_lab_list(),
@@ -586,7 +711,7 @@ fn cmd_lab_list() -> Result<(), String> {
 fn cmd_lab_run(args: &[String]) -> Result<(), String> {
     let mut suite_name: Option<String> = None;
     let mut out: Option<String> = None;
-    let mut trace_out: Option<String> = None;
+    let mut outs = RecorderOuts::default();
     let mut opts = bisched_lab::RunOptions::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -596,7 +721,8 @@ fn cmd_lab_run(args: &[String]) -> Result<(), String> {
             "--reps" => opts.reps = parse(it.next(), "--reps value")?,
             "--warmup" => opts.warmup = parse(it.next(), "--warmup value")?,
             "--seq" => opts.parallel = false,
-            "--trace-out" => trace_out = Some(parse(it.next(), "--trace-out value")?),
+            "--trace-out" => outs.trace = Some(parse(it.next(), "--trace-out value")?),
+            "--profile-out" => outs.profile = Some(parse(it.next(), "--profile-out value")?),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -607,15 +733,13 @@ fn cmd_lab_run(args: &[String]) -> Result<(), String> {
             bisched_lab::suite_names().join(", ")
         )
     })?;
-    // A traced lab run measures an *instrumented* suite: fine for seeing
-    // where the time goes, not for committing as a perf baseline.
-    if trace_out.is_some() {
+    // A traced/profiled lab run measures an *instrumented* suite: fine
+    // for seeing where the time goes, not for committing as a baseline.
+    if outs.wanted() {
         bisched_obs::start_recording(TRACE_CAPACITY);
     }
     let report = bisched_lab::run_suite(&suite, &opts);
-    if let Some(path) = &trace_out {
-        write_trace(path)?;
-    }
+    outs.write()?;
     let errored: Vec<&bisched_lab::CellReport> =
         report.cells.iter().filter(|c| c.error.is_some()).collect();
     for cell in &errored {
@@ -692,15 +816,13 @@ fn cmd_lab_compare(args: &[String]) -> Result<(), String> {
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let inst = load(args)?;
-    let (config, json, trace_out) = parse_solve_flags(args.get(1..).unwrap_or(&[]))?;
+    let (config, json, outs) = parse_solve_flags(args.get(1..).unwrap_or(&[]))?;
     let solver = config.build().map_err(|e| e.to_string())?;
-    if trace_out.is_some() {
+    if outs.wanted() {
         bisched_obs::start_recording(TRACE_CAPACITY);
     }
     let solve_result = solver.solve(&inst);
-    if let Some(path) = &trace_out {
-        write_trace(path)?;
-    }
+    outs.write()?;
     let report = solve_result.map_err(|e| e.to_string())?;
     report.schedule.validate(&inst).map_err(|e| e.to_string())?;
     if json {

@@ -163,4 +163,29 @@ impl SolveReport {
             None
         }
     }
+
+    /// The attempt whose schedule this report returned: the first
+    /// `Solved` run of the winning method. `None` only for reports
+    /// without attempt provenance (e.g. hand-built in tests).
+    pub fn winner_run(&self) -> Option<&EngineRun> {
+        self.attempts
+            .iter()
+            .find(|run| run.method == self.method && run.makespan().is_some())
+    }
+
+    /// Per-engine attempt counts as `(method-name, attempts)` pairs in
+    /// first-attempt order — the "what ran, how often" companion to the
+    /// winner's counters (a portfolio may try an engine once; a
+    /// fallback chain may retry).
+    pub fn attempt_counts(&self) -> Vec<(&'static str, u64)> {
+        let mut counts: Vec<(&'static str, u64)> = Vec::new();
+        for run in &self.attempts {
+            let name = run.method.name();
+            match counts.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((name, 1)),
+            }
+        }
+        counts
+    }
 }

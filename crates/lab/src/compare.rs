@@ -44,15 +44,121 @@ pub struct Finding {
     pub new: f64,
     /// Relative change in percent (`(new - old) / old * 100`).
     pub delta_pct: f64,
+    /// Counter attribution: what the winning engine did differently
+    /// (`bnb_nodes 46k→412k, prunes/node 0.71→0.22`), built from the
+    /// cells' schema-v2 `counters`. Empty when neither side carries
+    /// counters (v1 vs v1).
+    pub attribution: String,
 }
 
 impl Finding {
     fn describe(&self) -> String {
-        format!(
+        let mut line = format!(
             "{:<40} {:>9}  {:>10.4} -> {:>10.4}  ({:+.1}%)",
             self.cell, self.metric, self.old, self.new, self.delta_pct
-        )
+        );
+        if !self.attribution.is_empty() {
+            line.push_str(" · ");
+            line.push_str(&self.attribution);
+        }
+        line
     }
+}
+
+/// Humane counter formatting: `46213` → `46k`, `1234567` → `1.2M`.
+fn fmt_count(v: u64) -> String {
+    if v >= 10_000_000 {
+        format!("{}M", v / 1_000_000)
+    } else if v >= 1_000_000 {
+        format!("{:.1}M", v as f64 / 1e6)
+    } else if v >= 10_000 {
+        format!("{}k", v / 1_000)
+    } else if v >= 1_000 {
+        format!("{:.1}k", v as f64 / 1e3)
+    } else {
+        v.to_string()
+    }
+}
+
+/// Explains a cell's change through its engine-counter deltas: method
+/// switch, the largest counter moves (≥ 20% and non-trivial absolute
+/// change, worst first, capped at four), and the derived prunes/node
+/// ratio for tree-search engines — "what did the engine do differently",
+/// next to "how much slower" in the finding line.
+fn attribute(o: &CellReport, n: &CellReport) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if o.method != n.method && !o.method.is_empty() && !n.method.is_empty() {
+        parts.push(format!("method {}→{}", o.method, n.method));
+    }
+    let old_counters: BTreeMap<&str, u64> =
+        o.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let new_counters: BTreeMap<&str, u64> =
+        n.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    // Largest relative movers first; a counter missing on one side (an
+    // engine change, or a v1 baseline) is shown as `—`.
+    let mut moves: Vec<(f64, String)> = Vec::new();
+    for (name, &nv) in &new_counters {
+        match old_counters.get(name) {
+            Some(&ov) => {
+                let ratio = nv.max(1) as f64 / ov.max(1) as f64;
+                let magnitude = ratio.max(1.0 / ratio);
+                if magnitude >= 1.2 && nv.abs_diff(ov) >= 8 {
+                    parts_push_move(&mut moves, magnitude, name, fmt_count(ov), fmt_count(nv));
+                }
+            }
+            None if nv > 0 => {
+                parts_push_move(&mut moves, 1.0, name, "—".into(), fmt_count(nv));
+            }
+            None => {}
+        }
+    }
+    for (name, &ov) in &old_counters {
+        if !new_counters.contains_key(name) && ov > 0 {
+            parts_push_move(&mut moves, 1.0, name, fmt_count(ov), "—".into());
+        }
+    }
+    moves.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    moves.truncate(4);
+    parts.extend(moves.into_iter().map(|(_, s)| s));
+    // Derived pruning efficiency: total prunes per explored node. A
+    // regression that explores 9x the nodes at a third of the prune
+    // rate is a search-ordering problem, not a slow evaluator.
+    if let (Some(old_ppn), Some(new_ppn)) = (prunes_per_node(o), prunes_per_node(n)) {
+        if old_ppn > 0.0 && (new_ppn / old_ppn).max(old_ppn / new_ppn.max(1e-12)) >= 1.2 {
+            parts.push(format!("prunes/node {old_ppn:.2}→{new_ppn:.2}"));
+        }
+    }
+    parts.join(", ")
+}
+
+fn parts_push_move(
+    moves: &mut Vec<(f64, String)>,
+    magnitude: f64,
+    name: &str,
+    o: String,
+    n: String,
+) {
+    moves.push((magnitude, format!("{name} {o}→{n}")));
+}
+
+/// `(sum of prunes_* counters) / nodes`, when the cell's winner
+/// reported a node count.
+fn prunes_per_node(c: &CellReport) -> Option<f64> {
+    let nodes = c
+        .counters
+        .iter()
+        .find(|(k, _)| k == "nodes")
+        .map(|&(_, v)| v)?;
+    if nodes == 0 {
+        return None;
+    }
+    let prunes: u64 = c
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("prunes"))
+        .map(|&(_, v)| v)
+        .sum();
+    Some(prunes as f64 / nodes as f64)
 }
 
 /// The gate's verdict.
@@ -163,6 +269,9 @@ pub fn compare(old: &LabReport, new: &LabReport, opts: &CompareOptions) -> Compa
             outcome.missing.push(key.clone());
             continue;
         };
+        // One attribution per cell pair; every finding for the cell
+        // carries it, so even the ranked worst-3 excerpt explains itself.
+        let attribution = attribute(o, n);
         match (&o.error, &n.error) {
             (None, Some(_)) => {
                 // A cell that used to solve and now errors is the worst
@@ -173,6 +282,7 @@ pub fn compare(old: &LabReport, new: &LabReport, opts: &CompareOptions) -> Compa
                     old: 0.0,
                     new: 1.0,
                     delta_pct: f64::INFINITY,
+                    attribution,
                 });
                 continue;
             }
@@ -186,6 +296,7 @@ pub fn compare(old: &LabReport, new: &LabReport, opts: &CompareOptions) -> Compa
             old: o.p50_ms,
             new: n.p50_ms,
             delta_pct: time_delta,
+            attribution: attribution.clone(),
         };
         // A shrink can never pass -100%, so a generous fail threshold
         // (CI uses several hundred percent) must not silence the
@@ -204,6 +315,7 @@ pub fn compare(old: &LabReport, new: &LabReport, opts: &CompareOptions) -> Compa
                 old: o.ratio_lb,
                 new: n.ratio_lb,
                 delta_pct: q_delta,
+                attribution,
             });
         }
     }
@@ -234,8 +346,16 @@ mod tests {
             ratio_opt: None,
             method: "alg1".into(),
             guarantee: "heuristic".into(),
+            counters: Vec::new(),
+            engine_attempts: Vec::new(),
             error: None,
         }
+    }
+
+    fn counters(c: &mut CellReport, method: &str, pairs: &[(&str, u64)]) {
+        c.method = method.into();
+        c.counters = pairs.iter().map(|&(k, v)| (k.into(), v)).collect();
+        c.engine_attempts = vec![(method.into(), 1)];
     }
 
     fn report(cells: Vec<CellReport>) -> LabReport {
@@ -340,5 +460,119 @@ mod tests {
         let out = compare(&old, &new, &CompareOptions::default());
         assert!(out.passed());
         assert_eq!(out.improvements.len(), 1);
+    }
+
+    #[test]
+    fn regressions_name_their_counter_deltas() {
+        let mut old = report(vec![cell("a", 1.0, 1.0)]);
+        counters(
+            &mut old.cells[0],
+            "branch-and-bound",
+            &[("nodes", 46_213), ("prunes_incumbent", 33_107)],
+        );
+        let mut new = report(vec![cell("a", 3.0, 1.0)]); // +200%
+        counters(
+            &mut new.cells[0],
+            "branch-and-bound",
+            &[("nodes", 412_345), ("prunes_incumbent", 91_000)],
+        );
+        let out = compare(&old, &new, &CompareOptions::default());
+        assert!(!out.passed());
+        let f = &out.regressions[0];
+        assert!(
+            f.attribution.contains("nodes 46k→412k"),
+            "{}",
+            f.attribution
+        );
+        // 33107/46213 = 0.72 vs 91000/412345 = 0.22: pruning collapsed.
+        assert!(
+            f.attribution.contains("prunes/node 0.72→0.22"),
+            "{}",
+            f.attribution
+        );
+        let line = out.render();
+        assert!(line.contains(" · nodes 46k→412k"), "{line}");
+    }
+
+    #[test]
+    fn method_switch_is_attributed_and_orphan_counters_marked() {
+        let mut old = report(vec![cell("a", 1.0, 1.0)]);
+        counters(&mut old.cells[0], "alg1", &[]);
+        let mut new = report(vec![cell("a", 5.0, 1.0)]);
+        counters(&mut new.cells[0], "cp", &[("propagations", 120_000)]);
+        let out = compare(&old, &new, &CompareOptions::default());
+        let f = &out.regressions[0];
+        assert!(
+            f.attribution.contains("method alg1→cp"),
+            "{}",
+            f.attribution
+        );
+        assert!(
+            f.attribution.contains("propagations —→120k"),
+            "{}",
+            f.attribution
+        );
+    }
+
+    #[test]
+    fn v1_baselines_without_counters_do_not_break_attribution() {
+        // v1 vs v1: no counters anywhere — the finding renders without a
+        // dangling separator.
+        let old = report(vec![cell("a", 1.0, 1.0)]);
+        let mut new = report(vec![cell("a", 3.0, 1.0)]);
+        new.cells[0].method = "alg1".into();
+        let out = compare(&old, &new, &CompareOptions::default());
+        assert_eq!(out.regressions[0].attribution, "");
+        assert!(!out.regressions[0].describe().contains(" · "));
+
+        // v1 baseline vs v2 candidate: new-side counters still show up.
+        let mut new2 = report(vec![cell("a", 3.0, 1.0)]);
+        counters(&mut new2.cells[0], "alg1", &[("nodes", 500)]);
+        let out = compare(&old, &new2, &CompareOptions::default());
+        assert!(
+            out.regressions[0].attribution.contains("nodes —→500"),
+            "{}",
+            out.regressions[0].attribution
+        );
+    }
+
+    #[test]
+    fn attribution_ignores_noise_and_caps_the_mover_list() {
+        let mut old = report(vec![cell("a", 1.0, 1.0)]);
+        counters(
+            &mut old.cells[0],
+            "branch-and-bound",
+            &[
+                ("a1", 100),
+                ("a2", 100),
+                ("a3", 100),
+                ("a4", 100),
+                ("a5", 100),
+                ("steady", 1_000),
+                ("tiny", 2),
+            ],
+        );
+        let mut new = report(vec![cell("a", 3.0, 1.0)]);
+        counters(
+            &mut new.cells[0],
+            "branch-and-bound",
+            &[
+                ("a1", 200),
+                ("a2", 300),
+                ("a3", 400),
+                ("a4", 500),
+                ("a5", 600),
+                ("steady", 1_050), // +5%: below the 20% bar
+                ("tiny", 4),       // 2x but abs delta 2: noise
+            ],
+        );
+        let out = compare(&old, &new, &CompareOptions::default());
+        let attr = &out.regressions[0].attribution;
+        // Worst four movers only, largest first.
+        assert!(attr.starts_with("a5 100→600"), "{attr}");
+        assert!(attr.contains("a2 100→300"), "{attr}");
+        assert!(!attr.contains("a1"), "{attr}");
+        assert!(!attr.contains("steady"), "{attr}");
+        assert!(!attr.contains("tiny"), "{attr}");
     }
 }

@@ -1,15 +1,18 @@
 //! Machine-readable benchmark reports (`BENCH_<suite>.json`) and their
 //! Markdown rendering.
 //!
-//! The JSON schema (version 1) is a single object:
+//! The JSON schema (version 2) is a single object:
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "suite": "quick",
 //!   "warmup": 1, "reps": 5,
 //!   "total_wall_s": 2.31,
-//!   "cells": [ { "scenario": "...", "config": "auto", ... } ],
+//!   "cells": [ { "scenario": "...", "config": "auto",
+//!                "counters": [["nodes", 46213], ["prunes_incumbent", 33107]],
+//!                "engine_attempts": [["branch-and-bound", 1], ["alg1", 1]],
+//!                ... } ],
 //!   "sec4_graph": [ ... ],   // paper-sec4 / full suites only
 //!   "sec4_alg2":  [ ... ]
 //! }
@@ -17,12 +20,21 @@
 //!
 //! Cells key on `scenario/config`; the regression gate
 //! ([`crate::compare`]) matches old and new reports cell-by-cell.
+//!
+//! **v1 → v2**: version 2 adds two per-cell fields — `counters` (the
+//! winning engine's `EngineStats`, last rep) and `engine_attempts`
+//! (per-engine attempt counts). Both deserialize to empty from a v1
+//! file, so `lab compare` accepts a v1 baseline against a v2 candidate:
+//! timing and quality gates work unchanged, and counter attribution
+//! simply reports the old side as absent until the baseline is
+//! re-seeded.
 
 use bisched_random::{Alg2Row, RandomGraphRow};
 use serde::{Deserialize, Serialize};
 
-/// Current JSON schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Current JSON schema version. Version 2 added per-cell `counters` and
+/// `engine_attempts` (absent ⇒ empty when reading v1 files).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One (scenario × config) measurement row.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -63,6 +75,17 @@ pub struct CellReport {
     pub method: String,
     /// Guarantee attached to the returned schedule.
     pub guarantee: String,
+    /// The winning engine's runtime counters from the last timed rep
+    /// (`EngineStats` pairs — B&B `nodes`/prunes, CP `propagations`/
+    /// `restarts`, FPTAS `expanded`/`peak_states`, ...). Empty for
+    /// engines that report none, and for v1 files. Schema v2.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub counters: Vec<(String, u64)>,
+    /// Per-engine attempt counts of the last timed rep, first-attempt
+    /// order — which engines ran (portfolio members, fallbacks), not
+    /// just which won. Empty for v1 files. Schema v2.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub engine_attempts: Vec<(String, u64)>,
     /// Solve error, when the cell failed (timings are zero then).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
@@ -218,8 +241,26 @@ mod tests {
             ratio_opt: Some(1.0),
             method: "alg1".into(),
             guarantee: "optimal".into(),
+            counters: vec![("nodes".into(), 42)],
+            engine_attempts: vec![("alg1".into(), 1)],
             error: None,
         }
+    }
+
+    #[test]
+    fn v1_files_deserialize_with_empty_counters() {
+        // A schema-1 cell (no counters/engine_attempts on disk) must
+        // still load — the upgrade path for committed baselines.
+        let v1 = r#"{"schema":1,"suite":"quick","warmup":0,"reps":1,
+            "total_wall_s":0.1,"cells":[{"scenario":"a","config":"auto",
+            "model":"P","family":"K{2,2}","jobs":4,"machines":2,"reps":1,
+            "mean_ms":0.5,"p50_ms":0.4,"p90_ms":0.7,"max_ms":0.8,
+            "makespan":6.0,"lower_bound":5.0,"ratio_lb":1.2,
+            "method":"alg1","guarantee":"optimal"}]}"#;
+        let back: LabReport = serde_json::from_str(v1).unwrap();
+        assert_eq!(back.schema, 1);
+        assert!(back.cells[0].counters.is_empty());
+        assert!(back.cells[0].engine_attempts.is_empty());
     }
 
     #[test]
@@ -240,6 +281,8 @@ mod tests {
         assert_eq!(back.cells.len(), 2);
         assert_eq!(back.cells[0].key(), "a/auto");
         assert_eq!(back.cells[1].ratio_opt, Some(1.0));
+        assert_eq!(back.cells[0].counters, vec![("nodes".to_string(), 42)]);
+        assert_eq!(back.cells[0].engine_attempts, vec![("alg1".to_string(), 1)]);
         assert!(back.sec4_graph.is_none());
     }
 

@@ -112,6 +112,8 @@ fn run_cell(
         ratio_opt: None,
         method: String::new(),
         guarantee: String::new(),
+        counters: Vec::new(),
+        engine_attempts: Vec::new(),
         error: None,
     };
     let solver = match config.config.clone().build() {
@@ -157,6 +159,22 @@ fn run_cell(
         report.makespan.ratio_to(&report.lower_bound)
     };
     cell.ratio_opt = optimum.map(|opt| report.makespan.ratio_to(opt));
+    // Schema v2: the winner's counters and the per-engine attempt
+    // counts from the last timed rep (engines are deterministic, so the
+    // last rep is representative) — what `lab compare` attributes p50
+    // regressions to.
+    if let Some(winner) = report.winner_run() {
+        cell.counters = winner
+            .stats
+            .iter()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+    }
+    cell.engine_attempts = report
+        .attempt_counts()
+        .into_iter()
+        .map(|(n, c)| (n.to_string(), c))
+        .collect();
     cell
 }
 
@@ -237,7 +255,17 @@ mod tests {
             assert!(cell.ratio_lb >= 1.0 - 1e-9, "{} below LB", cell.key());
             assert!(cell.max_ms >= cell.p50_ms);
             assert!(!cell.method.is_empty());
+            assert!(
+                !cell.engine_attempts.is_empty(),
+                "{}: solved cells must record what ran",
+                cell.key()
+            );
         }
+        // Instrumented engines (bnb/cp/fptas) surface their counters.
+        assert!(
+            report.cells.iter().any(|c| !c.counters.is_empty()),
+            "no cell carried winner counters"
+        );
         // The matrix covers all three machine models.
         let models: std::collections::HashSet<_> =
             report.cells.iter().map(|c| c.model.clone()).collect();

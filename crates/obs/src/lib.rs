@@ -48,8 +48,10 @@
 #![warn(missing_docs)]
 
 pub mod log;
+mod profile;
 mod trace;
 
+pub use profile::{Profile, ProfileRow};
 pub use trace::{Trace, TraceEvent};
 
 use std::cell::{RefCell, UnsafeCell};
@@ -221,7 +223,7 @@ pub fn stop_recording() -> Trace {
         events.extend(ring.drain());
         dropped += ring.dropped.load(Ordering::Relaxed);
     }
-    events.sort_by_key(|e| (e.ts_us, e.tid, e.dur_us));
+    trace::sort_events(&mut events);
     Trace { events, dropped }
 }
 

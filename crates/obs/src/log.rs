@@ -3,14 +3,28 @@
 //! crates, no formatting on suppressed lines (the level check happens in
 //! the macros before arguments are evaluated).
 //!
+//! Two output formats, selected process-globally with [`set_format`]:
+//! human-readable text (default) and **JSON lines** — one structured
+//! object per line (`ts`, `level`, `component`, `msg`, and `request_id`
+//! when a [`request_scope`] is active on the emitting thread) for log
+//! aggregation pipelines.
+//!
 //! ```
 //! use bisched_obs::log::LogLevel;
 //! bisched_obs::log::set_level(LogLevel::Debug);
 //! bisched_obs::info!("doctest", "served {} requests", 12);
 //! bisched_obs::debug!("doctest", "cache key = {:x}", 0xf00du32);
+//! {
+//!     let _scope = bisched_obs::log::request_scope(42);
+//!     assert_eq!(bisched_obs::log::current_request_id(), Some(42));
+//!     bisched_obs::info!("doctest", "this line carries request_id 42");
+//! }
+//! assert_eq!(bisched_obs::log::current_request_id(), None);
 //! ```
 
+use std::cell::Cell;
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -31,7 +45,7 @@ pub enum LogLevel {
 }
 
 impl LogLevel {
-    /// Fixed-width tag used in the output line.
+    /// Fixed-width tag used in the text output line.
     pub fn tag(self) -> &'static str {
         match self {
             LogLevel::Error => "ERROR",
@@ -39,6 +53,17 @@ impl LogLevel {
             LogLevel::Info => "INFO ",
             LogLevel::Debug => "DEBUG",
             LogLevel::Trace => "TRACE",
+        }
+    }
+
+    /// Lowercase name used in the JSON output (`"level":"info"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+            LogLevel::Trace => "trace",
         }
     }
 }
@@ -65,11 +90,76 @@ impl std::str::FromStr for LogLevel {
     }
 }
 
+/// How log lines are rendered; see [`set_format`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// `2026-08-08T12:00:00.123Z INFO  [service] message` (the default).
+    #[default]
+    Text,
+    /// One JSON object per line:
+    /// `{"ts":"...","level":"info","component":"service","msg":"...",
+    /// "request_id":7}` (the `request_id` field appears only inside a
+    /// [`request_scope`]).
+    Json,
+}
+
 static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = Text, 1 = Json
 
 /// Sets the process-global log level.
 pub fn set_level(level: LogLevel) {
     LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Sets the process-global output format.
+pub fn set_format(format: LogFormat) {
+    FORMAT.store(
+        match format {
+            LogFormat::Text => 0,
+            LogFormat::Json => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current process-global output format.
+pub fn format() -> LogFormat {
+    match FORMAT.load(Ordering::Relaxed) {
+        0 => LogFormat::Text,
+        _ => LogFormat::Json,
+    }
+}
+
+thread_local! {
+    /// The request id log lines on this thread are attributed to, when a
+    /// [`request_scope`] is active.
+    static REQUEST_ID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Attributes every log line emitted on this thread to `id` until the
+/// returned guard drops (scopes nest; the outer id is restored). The
+/// service enters a scope per request so its log lines — and anything
+/// the engines log beneath — carry the request id in both formats.
+pub fn request_scope(id: u64) -> RequestIdGuard {
+    let prev = REQUEST_ID.with(|slot| slot.replace(Some(id)));
+    RequestIdGuard { prev }
+}
+
+/// The request id attributed to this thread's log lines, if any.
+pub fn current_request_id() -> Option<u64> {
+    REQUEST_ID.with(|slot| slot.get())
+}
+
+/// Restores the previous request-id scope on drop; see [`request_scope`].
+#[must_use = "the request scope ends when this guard drops"]
+pub struct RequestIdGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for RequestIdGuard {
+    fn drop(&mut self) {
+        REQUEST_ID.with(|slot| slot.set(self.prev));
+    }
 }
 
 /// The current process-global log level.
@@ -114,6 +204,50 @@ fn format_utc(now: SystemTime) -> String {
     format!("{year:04}-{month:02}-{day:02}T{hh:02}:{mm:02}:{ss:02}.{millis:03}Z")
 }
 
+/// Renders one log line (without trailing newline) in the given format —
+/// the pure core of [`log`], separated so tests can pin both formats
+/// without capturing stderr.
+fn render(
+    fmt_mode: LogFormat,
+    ts: SystemTime,
+    level: LogLevel,
+    component: &str,
+    request_id: Option<u64>,
+    args: fmt::Arguments<'_>,
+) -> String {
+    match fmt_mode {
+        LogFormat::Text => match request_id {
+            Some(rid) => format!(
+                "{} {} [{component}] [rid={rid}] {args}",
+                format_utc(ts),
+                level.tag()
+            ),
+            None => format!("{} {} [{component}] {args}", format_utc(ts), level.tag()),
+        },
+        LogFormat::Json => {
+            let mut out = String::with_capacity(96);
+            out.push_str("{\"ts\":\"");
+            out.push_str(&format_utc(ts));
+            out.push_str("\",\"level\":\"");
+            out.push_str(level.name());
+            out.push_str("\",\"component\":\"");
+            crate::trace::escape_into(&mut out, component);
+            out.push_str("\",\"msg\":\"");
+            let msg = args
+                .as_str()
+                .map(str::to_owned)
+                .unwrap_or_else(|| args.to_string());
+            crate::trace::escape_into(&mut out, &msg);
+            out.push('"');
+            if let Some(rid) = request_id {
+                let _ = write!(out, ",\"request_id\":{rid}");
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
 /// Writes one line to stderr if `level` passes the global filter. Prefer
 /// the [`error!`](crate::error), [`warn!`](crate::warn),
 /// [`info!`](crate::info), [`debug!`](crate::debug), and
@@ -123,11 +257,15 @@ pub fn log(level: LogLevel, component: &str, args: fmt::Arguments<'_>) {
     if !enabled(level) {
         return;
     }
-    eprintln!(
-        "{} {} [{component}] {args}",
-        format_utc(SystemTime::now()),
-        level.tag()
+    let line = render(
+        format(),
+        SystemTime::now(),
+        level,
+        component,
+        current_request_id(),
+        args,
     );
+    eprintln!("{line}");
 }
 
 /// Logs at [`LogLevel::Error`].
@@ -213,5 +351,86 @@ mod tests {
         assert!(enabled(LogLevel::Warn));
         assert!(!enabled(LogLevel::Info));
         set_level(prev);
+    }
+
+    #[test]
+    fn request_scopes_nest_and_restore() {
+        assert_eq!(current_request_id(), None);
+        {
+            let _outer = request_scope(7);
+            assert_eq!(current_request_id(), Some(7));
+            {
+                let _inner = request_scope(8);
+                assert_eq!(current_request_id(), Some(8));
+            }
+            assert_eq!(current_request_id(), Some(7));
+        }
+        assert_eq!(current_request_id(), None);
+    }
+
+    #[test]
+    fn text_render_includes_rid_only_in_scope() {
+        let t = UNIX_EPOCH + Duration::from_millis(1_653_914_096_789);
+        let plain = render(
+            LogFormat::Text,
+            t,
+            LogLevel::Info,
+            "service",
+            None,
+            format_args!("hello"),
+        );
+        assert_eq!(plain, "2022-05-30T12:34:56.789Z INFO  [service] hello");
+        let scoped = render(
+            LogFormat::Text,
+            t,
+            LogLevel::Warn,
+            "service",
+            Some(42),
+            format_args!("slow"),
+        );
+        assert_eq!(
+            scoped,
+            "2022-05-30T12:34:56.789Z WARN  [service] [rid=42] slow"
+        );
+    }
+
+    #[test]
+    fn json_render_is_one_escaped_object_per_line() {
+        let t = UNIX_EPOCH + Duration::from_millis(1_653_914_096_789);
+        let line = render(
+            LogFormat::Json,
+            t,
+            LogLevel::Error,
+            "ser\"vice",
+            Some(9),
+            format_args!("bad \"input\"\nline2"),
+        );
+        assert_eq!(
+            line,
+            "{\"ts\":\"2022-05-30T12:34:56.789Z\",\"level\":\"error\",\
+             \"component\":\"ser\\\"vice\",\"msg\":\"bad \\\"input\\\"\\nline2\",\
+             \"request_id\":9}"
+        );
+        assert!(!line.contains('\n'));
+        let no_rid = render(
+            LogFormat::Json,
+            t,
+            LogLevel::Info,
+            "c",
+            None,
+            format_args!("m"),
+        );
+        assert!(!no_rid.contains("request_id"));
+        assert!(no_rid.ends_with("\"msg\":\"m\"}"));
+    }
+
+    #[test]
+    fn format_toggle_round_trips() {
+        let prev = format();
+        set_format(LogFormat::Json);
+        assert_eq!(format(), LogFormat::Json);
+        set_format(LogFormat::Text);
+        assert_eq!(format(), LogFormat::Text);
+        set_format(prev);
     }
 }

@@ -34,9 +34,18 @@ pub struct Trace {
     pub dropped: u64,
 }
 
-/// Minimal JSON string escape (the strings are workspace-internal
-/// `&'static str`s, but correctness costs nothing).
-fn escape_into(out: &mut String, s: &str) {
+/// Orders a merged event stream for emission: **stable** sort by
+/// `(ts_us, tid)` only. Stability matters — events a single thread
+/// pushed at the same microsecond keep their drain (= emission) order,
+/// so Perfetto renders identical recordings identically; sorting by any
+/// further key (e.g. duration) would reorder same-timestamp events
+/// within a thread and break that guarantee.
+pub(crate) fn sort_events(events: &mut [TraceEvent]) {
+    events.sort_by_key(|e| (e.ts_us, e.tid));
+}
+
+/// Minimal JSON string escape (shared with the JSON log format).
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -96,6 +105,33 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sort_is_stable_within_a_thread_at_equal_timestamps() {
+        let ev = |ts: u64, tid: u64, dur: u64, name: &'static str| TraceEvent {
+            ts_us: ts,
+            dur_us: dur,
+            kind: EventKind::Span,
+            name,
+            cat: "test",
+            arg_name: "",
+            arg: 0,
+            tid,
+        };
+        // Thread 1 drained (a, b, c) at the same microsecond with
+        // durations that a (ts, tid, dur) sort would reorder; thread 0
+        // arrives later in the merged vec but sorts first.
+        let mut events = vec![
+            ev(5, 1, 3, "a"),
+            ev(5, 1, 9, "b"),
+            ev(5, 1, 1, "c"),
+            ev(5, 0, 2, "z"),
+            ev(4, 1, 0, "first"),
+        ];
+        sort_events(&mut events);
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["first", "z", "a", "b", "c"]);
+    }
 
     #[test]
     fn chrome_json_is_well_formed_and_typed() {

@@ -86,6 +86,15 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("metrics response missing payload".into()))
     }
 
+    /// Fetches the slow-request exemplars (the `trace` verb): the K
+    /// worst requests of the current and previous windows, each with
+    /// its span tree and engine counters.
+    pub fn trace(&mut self) -> Result<crate::exemplar::TraceData, ClientError> {
+        let resp = self.request(&Request::verb("trace"))?;
+        resp.exemplars
+            .ok_or_else(|| ClientError::Protocol("trace response missing payload".into()))
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
         self.request(&Request::verb("shutdown"))

@@ -40,6 +40,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod exemplar;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
@@ -47,6 +48,7 @@ mod worker;
 
 pub use cache::{CacheCounters, LruCache};
 pub use client::{Client, ClientError};
+pub use exemplar::{ExemplarData, SpanData, TraceData};
 pub use metrics::{LatencyHist, Metrics};
-pub use protocol::{Request, Response, StatsData};
+pub use protocol::{AttemptData, Request, Response, StatsData};
 pub use server::{serve, ServeOptions, Service};

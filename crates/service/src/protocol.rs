@@ -2,7 +2,8 @@
 //! response object per line out. See `PROTOCOL.md` for the full schema
 //! and examples.
 
-use bisched_core::{Method, MethodPolicy, SolveError, SolverConfig};
+use crate::exemplar::TraceData;
+use bisched_core::{EngineOutcome, EngineRun, Method, MethodPolicy, SolveError, SolverConfig};
 use bisched_model::InstanceData;
 use serde::{Deserialize, Serialize};
 
@@ -10,7 +11,8 @@ use serde::{Deserialize, Serialize};
 /// verb-specific and optional on the wire.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Request {
-    /// `"solve"`, `"stats"`, `"metrics"`, `"ping"`, or `"shutdown"`.
+    /// `"solve"`, `"stats"`, `"metrics"`, `"trace"`, `"ping"`, or
+    /// `"shutdown"`.
     pub verb: String,
     /// Client correlation id, echoed verbatim in the response.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -135,6 +137,11 @@ pub struct Response {
     /// Server-side wall time for this request, milliseconds (solve).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub time_ms: Option<f64>,
+    /// Every engine attempt behind this result with its runtime
+    /// counters (solve; absent on cache hits — the counters would
+    /// describe the *original* solve, not this request).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub attempts: Option<Vec<AttemptData>>,
     /// Error detail (`status != "ok"`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
@@ -146,6 +153,11 @@ pub struct Response {
     /// endpoint to relay verbatim.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<String>,
+    /// Slow-request exemplars (`trace`): the K worst requests of the
+    /// current and previous windows, each with its full span tree and
+    /// engine counters.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub exemplars: Option<TraceData>,
 }
 
 impl Response {
@@ -162,9 +174,11 @@ impl Response {
             assignment: None,
             cached: None,
             time_ms: None,
+            attempts: None,
             error: None,
             stats: None,
             metrics: None,
+            exemplars: None,
         }
     }
 
@@ -190,6 +204,47 @@ impl Response {
     /// An error response from a typed [`SolveError`].
     pub fn solve_error(id: Option<u64>, e: &SolveError) -> Self {
         Response::error(id, e.to_string())
+    }
+}
+
+/// One engine attempt behind a solve response — the wire form of
+/// [`EngineRun`], counters included (previously dropped at the protocol
+/// boundary).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AttemptData {
+    /// Engine name (`"branch-and-bound"`, `"cp"`, `"fptas"`, ...).
+    pub method: String,
+    /// `"solved"`, `"not_applicable"`, or `"failed"`.
+    pub outcome: String,
+    /// Why, for non-solved outcomes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub reason: Option<String>,
+    /// Whether a portfolio race cancelled this attempt.
+    pub cancelled: bool,
+    /// Wall time inside this engine alone, milliseconds.
+    pub wall_ms: f64,
+    /// The engine's runtime counters (`EngineStats` pairs, in the
+    /// engine's own emission order; empty when it reports none).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub stats: Vec<(String, u64)>,
+}
+
+impl AttemptData {
+    /// Converts one in-process engine run to its wire form.
+    pub fn from_run(run: &EngineRun) -> AttemptData {
+        let (outcome, reason) = match &run.outcome {
+            EngineOutcome::Solved { .. } => ("solved", None),
+            EngineOutcome::NotApplicable { reason } => ("not_applicable", Some(reason.clone())),
+            EngineOutcome::Failed { reason } => ("failed", Some(reason.clone())),
+        };
+        AttemptData {
+            method: run.method.name().to_string(),
+            outcome: outcome.to_string(),
+            reason,
+            cancelled: run.cancelled,
+            wall_ms: run.wall_time.as_secs_f64() * 1e3,
+            stats: run.stats.iter().map(|(n, v)| (n.to_string(), v)).collect(),
+        }
     }
 }
 

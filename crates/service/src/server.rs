@@ -8,15 +8,16 @@
 //! logs the final stats to stderr, and returns them.
 
 use crate::cache::LruCache;
+use crate::exemplar::{ExemplarData, SlowRing, SpanData};
 use crate::metrics::Metrics;
-use crate::protocol::{Request, Response, StatsData};
+use crate::protocol::{AttemptData, Request, Response, StatsData};
 use crate::worker::{spawn_workers, Job, JobReply};
 use bisched_core::SolverConfig;
 use bisched_model::canonical::fnv128;
 use bisched_model::canonicalize;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -40,6 +41,12 @@ pub struct ServeOptions {
     /// Base solver configuration; per-request `eps`/`method`/`portfolio`
     /// override it.
     pub base_config: SolverConfig,
+    /// Slow-request exemplars kept per window (the K in "K worst");
+    /// `trace` verb payload size. Minimum 1.
+    pub exemplar_k: usize,
+    /// Exemplar window length; the previous window stays fetchable for
+    /// one more window after it completes.
+    pub exemplar_window: Duration,
 }
 
 impl Default for ServeOptions {
@@ -53,6 +60,8 @@ impl Default for ServeOptions {
             cache_cap: 4096,
             queue_cap: 1024,
             base_config: SolverConfig::new(),
+            exemplar_k: 8,
+            exemplar_window: Duration::from_secs(60),
         }
     }
 }
@@ -68,6 +77,11 @@ pub(crate) struct Shared {
     queue: Mutex<Option<SyncSender<Job>>>,
     shutting_down: AtomicBool,
     addr: SocketAddr,
+    /// Request-id mint: each solve request gets the next value, which
+    /// tags its spans, log lines, and exemplar.
+    next_request_id: AtomicU64,
+    /// The slow-request exemplar buffer behind the `trace` verb.
+    exemplars: Mutex<SlowRing>,
 }
 
 impl Shared {
@@ -130,6 +144,12 @@ impl Service {
             queue: Mutex::new(Some(tx)),
             shutting_down: AtomicBool::new(false),
             addr,
+            next_request_id: AtomicU64::new(0),
+            exemplars: Mutex::new(SlowRing::new(
+                opts.exemplar_k,
+                opts.exemplar_window,
+                Instant::now(),
+            )),
         });
         let workers = spawn_workers(opts.workers.max(1), opts.batch, rx, Arc::clone(&shared));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -308,6 +328,11 @@ fn handle_request(line: &str, shared: &Shared) -> Response {
             r.metrics = Some(shared.prometheus());
             r
         }
+        "trace" => {
+            let mut r = Response::ok(req.id);
+            r.exemplars = Some(shared.exemplars.lock().unwrap().snapshot(Instant::now()));
+            r
+        }
         "shutdown" => {
             shared.begin_shutdown();
             Response::ok(req.id)
@@ -319,7 +344,11 @@ fn handle_request(line: &str, shared: &Shared) -> Response {
 
 fn handle_solve(req: &Request, shared: &Shared) -> Response {
     let t0 = Instant::now();
-    let _request_span = bisched_obs::span("solve_request", "service");
+    // Mint the request id first: every span and log line this request
+    // produces — here and in the worker — carries it.
+    let rid = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let _rid_scope = bisched_obs::log::request_scope(rid);
+    let _request_span = bisched_obs::span_arg("solve_request", "service", "request_id", rid);
     let id = req.id;
     let fail = |r: Response, shared: &Shared| {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -340,9 +369,11 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
         Ok(i) => i,
         Err(e) => return fail(Response::error(id, e.to_string()), shared),
     };
-    let canon_span = bisched_obs::span("canonicalize", "service");
+    let canon_t0 = Instant::now();
+    let canon_span = bisched_obs::span_arg("canonicalize", "service", "request_id", rid);
     let mut canonical = canonicalize(&instance);
     drop(canon_span);
+    let canon_us = canon_t0.elapsed().as_micros() as u64;
     if let Some(submitted) = &submitted_speeds {
         let map = sorted_to_submitted(&instance.speeds(), submitted);
         for m in canonical.machine_perm.iter_mut() {
@@ -365,15 +396,18 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
     if !req.no_cache.unwrap_or(false) {
         let hit = shared.cache.lock().unwrap().get(cache_key, &cache_cert);
         if let Some(report) = hit {
-            bisched_obs::instant("cache_hit", "service", "", 0);
-            return finish_solve(id, &canonical, &report, true, t0, shared);
+            bisched_obs::instant("cache_hit", "service", "request_id", rid);
+            return finish_solve(
+                id, rid, &canonical, &report, true, t0, canon_us, None, shared,
+            );
         }
-        bisched_obs::instant("cache_miss", "service", "", 0);
+        bisched_obs::instant("cache_miss", "service", "request_id", rid);
     }
 
     // Miss: enqueue for the worker pool (bounded — `busy` on overflow).
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
+        request_id: rid,
         instance: canonical.instance.clone(),
         fingerprint: cache_key,
         certificate: cache_cert,
@@ -400,19 +434,40 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
         }
     }
     match reply_rx.recv() {
-        Ok(JobReply::Solved(report)) => finish_solve(id, &canonical, &report, false, t0, shared),
+        Ok(JobReply::Solved {
+            report,
+            queue_us,
+            solve_us,
+        }) => finish_solve(
+            id,
+            rid,
+            &canonical,
+            &report,
+            false,
+            t0,
+            canon_us,
+            Some((queue_us, solve_us)),
+            shared,
+        ),
         Ok(JobReply::Failed(e)) => fail(Response::solve_error(id, &e), shared),
         Err(_) => fail(Response::error(id, "worker dropped the request"), shared),
     }
 }
 
-/// Builds the `ok` solve response in the request's labeling.
+/// Builds the `ok` solve response in the request's labeling, and offers
+/// the finished request to the slow-request exemplar buffer. `timing` is
+/// `Some((queue_us, solve_us))` for worker-solved requests, `None` for
+/// cache hits (which never enqueue).
+#[allow(clippy::too_many_arguments)]
 fn finish_solve(
     id: Option<u64>,
+    rid: u64,
     canonical: &bisched_model::Canonical,
     report: &bisched_core::SolveReport,
     cached: bool,
     t0: Instant,
+    canon_us: u64,
+    timing: Option<(u64, u64)>,
     shared: &Shared,
 ) -> Response {
     let schedule = canonical.schedule_to_original(&report.schedule);
@@ -426,10 +481,94 @@ fn finish_solve(
     r.assignment = Some(schedule.assignment().to_vec());
     r.cached = Some(cached);
     let elapsed = t0.elapsed();
-    r.time_ms = Some(elapsed.as_secs_f64() * 1e3);
+    let total_ms = elapsed.as_secs_f64() * 1e3;
+    r.time_ms = Some(total_ms);
+    // Counters travel only on fresh solves: a cache hit's attempts
+    // would describe the original request's work, not this one's.
+    if !cached {
+        r.attempts = Some(report.attempts.iter().map(AttemptData::from_run).collect());
+    }
     shared.metrics.solved.fetch_add(1, Ordering::Relaxed);
     shared.metrics.record_latency(elapsed.as_micros() as u64);
+    bisched_obs::debug!(
+        "service",
+        "solved via {} in {total_ms:.3}ms (cached: {cached})",
+        report.method.name()
+    );
+    let exemplar = ExemplarData {
+        request_id: rid,
+        total_ms,
+        cached,
+        method: Some(report.method.name().to_string()),
+        fingerprint: format!("{:032x}", canonical.fingerprint),
+        root: exemplar_tree(total_ms, canon_us, timing, report, cached),
+    };
+    shared
+        .exemplars
+        .lock()
+        .unwrap()
+        .record(exemplar, Instant::now());
     r
+}
+
+/// Assembles the exemplar's span tree from the measured phase boundaries
+/// and the report's per-engine attempts. Cache hits get a
+/// canonicalize-only tree: the engine spans of the original solve would
+/// misattribute this request's time.
+fn exemplar_tree(
+    total_ms: f64,
+    canon_us: u64,
+    timing: Option<(u64, u64)>,
+    report: &bisched_core::SolveReport,
+    cached: bool,
+) -> SpanData {
+    let canon_ms = canon_us as f64 / 1e3;
+    let mut children = vec![SpanData {
+        name: "canonicalize".into(),
+        start_ms: 0.0,
+        dur_ms: canon_ms,
+        counters: vec![],
+        children: vec![],
+    }];
+    if let (Some((queue_us, solve_us)), false) = (timing, cached) {
+        let queue_ms = queue_us as f64 / 1e3;
+        let solve_ms = solve_us as f64 / 1e3;
+        children.push(SpanData {
+            name: "queue".into(),
+            start_ms: canon_ms,
+            dur_ms: queue_ms,
+            counters: vec![],
+            children: vec![],
+        });
+        let batch_start = canon_ms + queue_ms;
+        // Race members run concurrently, so each engine span starts at
+        // the batch start; its own wall time is its duration.
+        let engine_spans = report
+            .attempts
+            .iter()
+            .map(|run| SpanData {
+                name: run.method.name().to_string(),
+                start_ms: batch_start,
+                dur_ms: run.wall_time.as_secs_f64() * 1e3,
+                counters: run.stats.iter().map(|(n, v)| (n.to_string(), v)).collect(),
+                children: vec![],
+            })
+            .collect();
+        children.push(SpanData {
+            name: "solve_batch".into(),
+            start_ms: batch_start,
+            dur_ms: solve_ms,
+            counters: vec![],
+            children: engine_spans,
+        });
+    }
+    SpanData {
+        name: "solve_request".into(),
+        start_ms: 0.0,
+        dur_ms: total_ms,
+        counters: vec![],
+        children,
+    }
 }
 
 /// Maps each position of the server's sorted `Q` speeds vector to a

@@ -22,6 +22,8 @@ use std::thread::JoinHandle;
 /// The handler keeps the label permutations; the worker only needs the
 /// canonical instance and its cache key.
 pub(crate) struct Job {
+    /// The server-minted request id, for span/log attribution.
+    pub request_id: u64,
     /// The instance in canonical form.
     pub instance: Instance,
     /// Cache key of the canonical form.
@@ -40,8 +42,18 @@ pub(crate) struct Job {
 /// What a worker sends back (in **canonical** labeling; the handler maps
 /// it through its [`Canonical`] perms).
 pub(crate) enum JobReply {
-    /// The canonical instance's solve report.
-    Solved(Arc<SolveReport>),
+    /// The canonical instance's solve report, with the job's measured
+    /// phase timings (the handler folds them into its slow-request
+    /// exemplar span tree).
+    Solved {
+        /// The report, shared with the cache.
+        report: Arc<SolveReport>,
+        /// Time the job waited in the bounded queue, microseconds.
+        queue_us: u64,
+        /// Wall time of the job's whole micro-batch `solve_batch` call,
+        /// microseconds (every job in a batch waits for all of it).
+        solve_us: u64,
+    },
     /// The solve failed.
     Failed(SolveError),
 }
@@ -99,11 +111,13 @@ fn process_batch(batch: Vec<Job>, shared: &Shared) {
         .batched_jobs
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
     // Queue wait ends the moment the batch is collected; the solve phase
-    // is measured separately below.
+    // is measured separately below. The per-job wait is kept (via
+    // `drained_at`) so the reply can carry it back to the handler.
+    let drained_at = std::time::Instant::now();
     for job in &batch {
         shared
             .metrics
-            .record_queue_wait(job.enqueued.elapsed().as_micros() as u64);
+            .record_queue_wait(drained_at.duration_since(job.enqueued).as_micros() as u64);
     }
     let mut groups: Vec<(SolverConfig, Vec<Job>)> = Vec::new();
     for job in batch {
@@ -133,7 +147,10 @@ fn process_batch(batch: Vec<Job>, shared: &Shared) {
         // each job's solve-phase latency.
         let solve_us = solve_t0.elapsed().as_micros() as u64;
         for (job, result) in jobs.into_iter().zip(reports) {
+            // Log lines emitted while settling this job carry its rid.
+            let _rid = bisched_obs::log::request_scope(job.request_id);
             shared.metrics.record_solve_time(solve_us);
+            let queue_us = drained_at.duration_since(job.enqueued).as_micros() as u64;
             match result {
                 Ok(report) => {
                     let report = Arc::new(report);
@@ -151,7 +168,12 @@ fn process_batch(batch: Vec<Job>, shared: &Shared) {
                             bisched_obs::instant("cache_evict", "service", "", 0);
                         }
                     }
-                    let _ = job.reply.send(JobReply::Solved(report));
+                    bisched_obs::instant("job_done", "service", "request_id", job.request_id);
+                    let _ = job.reply.send(JobReply::Solved {
+                        report,
+                        queue_us,
+                        solve_us,
+                    });
                 }
                 Err(e) => {
                     let _ = job.reply.send(JobReply::Failed(e));

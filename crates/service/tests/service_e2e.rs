@@ -294,6 +294,190 @@ fn per_request_overrides_and_errors() {
 }
 
 #[test]
+fn trace_verb_returns_exemplars_with_engine_counters() {
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        batch: 4,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let mut client = Client::connect(service.local_addr()).expect("connect");
+
+    // Force branch-and-bound so the winning attempt carries `nodes`
+    // counters all the way into the exemplar span tree.
+    let inst = Instance::identical(
+        2,
+        vec![5, 3, 8, 2, 9, 4, 7, 6],
+        bisched_graph::Graph::from_edges(8, &[(0, 1), (2, 3), (4, 5)]),
+    )
+    .unwrap();
+    let mut req = Request::solve(InstanceData::from_instance(&inst));
+    req.method = Some("branch-and-bound".into());
+    req.id = Some(1);
+    let resp = client.request(&req).expect("solve");
+    assert_eq!(resp.status, "ok", "{:?}", resp.error);
+
+    // Satellite: the solve response itself surfaces the counters.
+    let attempts = resp.attempts.as_ref().expect("fresh solve has attempts");
+    let winner = attempts
+        .iter()
+        .find(|a| a.method == "branch-and-bound" && a.outcome == "solved")
+        .expect("forced engine attempt present");
+    assert!(
+        winner.stats.iter().any(|(n, v)| n == "nodes" && *v > 0),
+        "bnb attempt must report a node count, got {:?}",
+        winner.stats
+    );
+
+    // A cache hit must NOT carry attempts (they'd describe the original
+    // solve, not this request).
+    let hit = client.request(&req).expect("cached solve");
+    assert_eq!(hit.cached, Some(true));
+    assert!(hit.attempts.is_none());
+
+    // The trace verb returns the request as a slow-request exemplar
+    // whose span tree reaches the engine counters.
+    let trace = client.trace().expect("trace");
+    assert!(trace.k >= 1);
+    let ex = trace
+        .current
+        .iter()
+        .chain(&trace.previous)
+        .find(|e| !e.cached && e.method.as_deref() == Some("branch-and-bound"))
+        .expect("fresh bnb request captured as an exemplar");
+    assert_eq!(ex.root.name, "solve_request");
+    assert!(ex.total_ms > 0.0);
+    let phases: Vec<&str> = ex.root.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(phases, vec!["canonicalize", "queue", "solve_batch"]);
+    let batch = ex.root.children.last().unwrap();
+    let engine = batch
+        .children
+        .iter()
+        .find(|s| s.name == "branch-and-bound")
+        .expect("engine span under solve_batch");
+    assert!(
+        engine.counters.iter().any(|(n, v)| n == "nodes" && *v > 0),
+        "exemplar engine span must carry counters, got {:?}",
+        engine.counters
+    );
+    // The cached repeat is captured too — with a canonicalize-only tree.
+    let cached_ex = trace
+        .current
+        .iter()
+        .chain(&trace.previous)
+        .find(|e| e.cached)
+        .expect("cache hit captured as an exemplar");
+    assert_eq!(cached_ex.root.children.len(), 1);
+    assert_eq!(cached_ex.root.children[0].name, "canonicalize");
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn exemplar_ring_keeps_the_worst_under_concurrency() {
+    // k = 1: whatever survives must be the single slowest request the
+    // window saw, no matter how many clients raced.
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        batch: 2,
+        exemplar_k: 1,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let addr = service.local_addr();
+
+    let workload = Arc::new(mixed_workload());
+    let threads: Vec<_> = (0..3)
+        .map(|_| {
+            let workload = Arc::clone(&workload);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut worst: f64 = 0.0;
+                for inst in workload.iter() {
+                    let resp = client
+                        .solve(InstanceData::from_instance(inst))
+                        .expect("solve");
+                    assert_eq!(resp.status, "ok");
+                    worst = worst.max(resp.time_ms.unwrap());
+                }
+                worst
+            })
+        })
+        .collect();
+    let worst_seen = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .fold(0.0f64, f64::max);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let trace = client.trace().expect("trace");
+    assert_eq!(trace.k, 1);
+    assert_eq!(
+        trace.current.len(),
+        1,
+        "k = 1 keeps exactly one exemplar despite {} requests",
+        3 * workload.len()
+    );
+    // `time_ms` and the exemplar's `total_ms` are the same measurement,
+    // so the survivor must be exactly the slowest response any client
+    // observed (faster exemplars were evicted by slower ones).
+    assert_eq!(
+        trace.current[0].total_ms, worst_seen,
+        "the surviving exemplar must be the slowest request"
+    );
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn exemplar_window_rolls_current_into_previous() {
+    let window = std::time::Duration::from_secs(1);
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        batch: 1,
+        exemplar_k: 4,
+        exemplar_window: window,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let mut client = Client::connect(service.local_addr()).expect("connect");
+
+    let inst = Instance::identical(2, vec![4, 2, 5], bisched_graph::Graph::path(3)).unwrap();
+    let resp = client
+        .solve(InstanceData::from_instance(&inst))
+        .expect("solve");
+    assert_eq!(resp.status, "ok");
+    let before = client.trace().expect("trace before roll");
+    assert_eq!(before.window, 0);
+    assert_eq!(before.current.len(), 1);
+    assert!(before.previous.is_empty());
+
+    // One window later (well inside the second window, so the first
+    // window's exemplar must survive as `previous`).
+    std::thread::sleep(window + window / 5);
+    let after = client.trace().expect("trace after roll");
+    assert_eq!(after.window, 1, "window index advances");
+    assert!(after.current.is_empty(), "new window starts empty");
+    assert_eq!(
+        after.previous.len(),
+        1,
+        "the completed window stays fetchable"
+    );
+    assert_eq!(
+        after.previous[0].request_id, before.current[0].request_id,
+        "same exemplar, one window older"
+    );
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
 fn unsorted_q_speeds_answered_in_submitted_machine_order() {
     let service = Service::start(ServeOptions {
         addr: "127.0.0.1:0".into(),

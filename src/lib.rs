@@ -187,13 +187,44 @@
 //! assert_eq!(trace.dropped, 0);
 //! ```
 //!
+//! The same recording folds into a **self-time profile** — per
+//! `(thread, span-stack)` rows splitting wall time into total vs self
+//! (time not spent in child spans), exported in the flamegraph-collapsed
+//! format (`solve;portfolio_race;cp 1234`, self-µs as the weight):
+//!
+//! ```
+//! # use bisched::prelude::*;
+//! # let inst = Instance::identical(3, vec![4, 3, 3, 2, 2], Graph::path(5)).unwrap();
+//! # let solver = SolverConfig::new().method(Method::BranchAndBound).build().unwrap();
+//! # bisched::obs::start_recording(1 << 14);
+//! # let _ = solver.solve(&inst).unwrap();
+//! # let trace = bisched::obs::stop_recording();
+//! let profile = bisched::obs::Profile::from_trace(&trace);
+//! for row in &profile.rows {
+//!     assert!(row.self_us <= row.total_us);
+//! }
+//! let collapsed = profile.to_collapsed(); // one `name(;name)* <µs>` per line
+//! ```
+//!
 //! From the command line, `bisched_cli solve inst.txt --portfolio
 //! exact-q2,branch-and-bound,cp --trace-out trace.json` records a whole
 //! portfolio race (member spans, `race_publish`/`race_cancel` instants),
-//! `lab run --trace-out` traces a benchmark suite, and a running daemon
-//! serves Prometheus text exposition through the `metrics` verb
-//! (`bisched_cli metrics --addr …`). The daemon logs through the
-//! leveled logger in [`obs::log`] (`serve --log-level debug`).
+//! `--profile-out prof.collapsed` writes the collapsed profile of the
+//! same recording (both flags compose), and `lab run --trace-out` /
+//! `lab run --profile-out` do the same for a benchmark suite. A running
+//! daemon serves Prometheus text exposition through the `metrics` verb
+//! (`bisched_cli metrics --addr …`) and **slow-request exemplars**
+//! through the `trace` verb (`bisched_cli trace --addr …`): always-on,
+//! the K slowest requests of the current and previous windows as span
+//! trees — canonicalize/queue/solve phases plus one span per engine
+//! attempt with its counters — so a p99 outlier is explainable after
+//! the fact with no recording pre-armed. Each request is tagged with a
+//! request id minted at accept; the id appears on the daemon's log
+//! lines (`[rid=N]`, or a `request_id` field under `serve --log-json`),
+//! on its flight-recorder spans, and on its exemplar, so one slow
+//! request can be chased across all three surfaces. The daemon logs
+//! through the leveled logger in [`obs::log`] (`serve --log-level
+//! debug`).
 //!
 //! ## Running as a service
 //!
