@@ -1,0 +1,1421 @@
+//! # bisched-analyze — token-level workspace invariant linter
+//!
+//! A dependency-free static checker for the cross-cutting invariants
+//! that rustc cannot see because they span files, crates, and docs:
+//!
+//! * **cache-key-fields** — every `SolverConfig` field is either folded
+//!   into `config_cache_bytes` (the response-cache key) or listed in
+//!   `CACHE_KEY_ALLOWLIST` with a written justification. A field that is
+//!   merely destructured (or discarded via `let _ = field;`) does not
+//!   count as encoded.
+//! * **method-coverage** — every `Method` enum variant has a wire name
+//!   in `name()`, appears in `Method::ALL` (which drives `FromStr`
+//!   parsing and the per-method metrics label set), has a dispatch arm
+//!   in `engines.rs`, and has its wire name documented in `PROTOCOL.md`.
+//! * **safety-comments** — every `unsafe` block and `unsafe impl`
+//!   carries a `// SAFETY:` comment (same contract clippy's
+//!   `undocumented_unsafe_blocks` enforces, but applied token-level to
+//!   *all* cfg branches, including `cfg(bisched_model)` code clippy
+//!   never expands).
+//! * **forbid-unsafe** — every workspace member declares
+//!   `#![forbid(unsafe_code)]` and `[lints] workspace = true`, except
+//!   the crates named in [`FORBID_UNSAFE_EXCEPTIONS`]; stale exceptions
+//!   are themselves findings.
+//! * **metric-registry** — every `bisched_*` metric name emitted by the
+//!   service/bench layers is declared in `METRIC_NAMES`
+//!   (`crates/service/src/metrics.rs`), and every
+//!   `bisched_obs::span/span_arg/instant/counter` call site passes a
+//!   string literal drawn from `EVENT_NAMES` (`crates/obs/src/names.rs`).
+//!
+//! ## Why token-level, not `syn`
+//!
+//! The workspace is offline and dependency-free; the linter must build
+//! before anything else as CI's first gate. A small lossless-enough
+//! lexer (comments and literals handled, brace depth tracked) is
+//! sufficient for every check above, and `--self-check` (see
+//! [`self_check`]) proves each lint actually fires by running the suite
+//! against seeded in-memory mutations of the real tree.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates allowed to contain `unsafe` (and therefore exempt from the
+/// `#![forbid(unsafe_code)]` requirement). This list *is* the analyzer
+/// config: adding a crate here is a reviewed, diffable act.
+pub const FORBID_UNSAFE_EXCEPTIONS: &[&str] = &[
+    // The model-checked lock-free ring and the concurrency facade.
+    "bisched-obs",
+    // The counting global allocator behind exp_fptas_scaling.
+    "bisched-bench",
+];
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+/// One invariant violation: which lint, where, and what to do about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The lint's stable name (e.g. `cache-key-fields`).
+    pub lint: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line the finding anchors to.
+    pub line: usize,
+    /// Human-readable description naming the violated invariant.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}",
+            self.lint, self.file, self.line, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources: filesystem access with an override layer for --self-check
+// ---------------------------------------------------------------------------
+
+/// Read-only view of the workspace tree. `overrides` maps
+/// workspace-relative paths (forward slashes) to replacement contents,
+/// letting [`self_check`] lint mutated sources without touching disk.
+pub struct Sources {
+    /// Workspace root (the directory holding the `[workspace]` manifest).
+    pub root: PathBuf,
+    /// Relative path → replacement content.
+    pub overrides: Vec<(String, String)>,
+}
+
+impl Sources {
+    /// A plain view of the tree at `root` with no overrides.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Sources {
+            root: root.into(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Reads a workspace-relative file, honoring overrides.
+    pub fn read(&self, rel: &str) -> Result<String, String> {
+        if let Some((_, content)) = self.overrides.iter().find(|(p, _)| p == rel) {
+            return Ok(content.clone());
+        }
+        fs::read_to_string(self.root.join(rel)).map_err(|e| format!("{rel}: {e}"))
+    }
+
+    /// All `.rs` files (workspace-relative, sorted) under `rel_dir`,
+    /// skipping `target/` and VCS metadata.
+    pub fn walk_rs(&self, rel_dir: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let base = self.root.join(rel_dir);
+        walk(&base, &mut out);
+        let mut rel: Vec<String> = out
+            .iter()
+            .filter_map(|p| {
+                p.strip_prefix(&self.root)
+                    .ok()
+                    .map(|r| r.to_string_lossy().replace('\\', "/"))
+            })
+            .collect();
+        rel.sort();
+        rel
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+/// A lexed token: identifier/keyword, string-literal contents, or a
+/// single punctuation character. Comments, whitespace, numbers, char
+/// literals, and lifetimes are consumed but not emitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// The contents of a string literal (escapes left as-is).
+    Str(String),
+    /// Any other single character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: usize,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes Rust-ish source into [`Token`]s. Robust to nested block
+/// comments, raw strings (`r"…"`, `r#"…"#`, `br##"…"##`), escapes, char
+/// literals, and lifetimes; everything the lints need, nothing more.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                i += 1;
+                let lit_start = i;
+                while i < n {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => break,
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                let lit = String::from_utf8_lossy(&b[lit_start..i.min(n)]).into_owned();
+                toks.push(Token {
+                    line: start_line,
+                    tok: Tok::Str(lit),
+                });
+                i += 1; // closing quote
+            }
+            b'\'' => {
+                if i + 1 < n && b[i + 1] == b'\\' {
+                    // Escaped char literal: scan to its closing quote.
+                    i += 2;
+                    while i < n && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < n && b[i + 2] == b'\'' {
+                    i += 3; // plain char literal 'x'
+                } else {
+                    i += 1; // lifetime tick; the ident lexes separately
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                i += 1;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+            }
+            _ if is_ident_start(c) => {
+                // Raw / byte string literals look like idents at first.
+                if let Some((skip, lit, newlines)) = raw_string_at(&b[i..]) {
+                    toks.push(Token {
+                        line,
+                        tok: Tok::Str(lit),
+                    });
+                    line += newlines;
+                    i += skip;
+                    continue;
+                }
+                let start = i;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    line,
+                    tok: Tok::Ident(String::from_utf8_lossy(&b[start..i]).into_owned()),
+                });
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            _ => {
+                toks.push(Token {
+                    line,
+                    tok: Tok::Punct(c as char),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// If `rest` begins a raw or byte string literal (`r"`, `r#"`, `br"`,
+/// `b"`, …), returns `(bytes_consumed, contents, newlines_inside)`.
+fn raw_string_at(rest: &[u8]) -> Option<(usize, String, usize)> {
+    let mut j = 0usize;
+    if rest.first() == Some(&b'b') {
+        j += 1;
+    }
+    let raw = rest.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && rest.get(j + hashes) == Some(&b'#') {
+        hashes += 1;
+    }
+    j += hashes;
+    if rest.get(j) != Some(&b'"') || (!raw && j == 0) {
+        return None;
+    }
+    j += 1;
+    let start = j;
+    let n = rest.len();
+    while j < n {
+        if raw {
+            if rest[j] == b'"'
+                && rest[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == b'#')
+                    .count()
+                    == hashes
+            {
+                let lit = String::from_utf8_lossy(&rest[start..j]).into_owned();
+                let newlines = lit.bytes().filter(|&c| c == b'\n').count();
+                return Some((j + 1 + hashes, lit, newlines));
+            }
+            j += 1;
+        } else {
+            match rest[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    let lit = String::from_utf8_lossy(&rest[start..j]).into_owned();
+                    let newlines = lit.bytes().filter(|&c| c == b'\n').count();
+                    return Some((j + 1, lit, newlines));
+                }
+                _ => j += 1,
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    matches!(&t.tok, Tok::Ident(i) if i == s)
+}
+fn is_punct(t: &Token, c: char) -> bool {
+    matches!(&t.tok, Tok::Punct(p) if *p == c)
+}
+
+/// Finds `kw name … { body }` and returns `(decl_line, body_tokens)`
+/// with the outer braces excluded. `kw` is e.g. `fn`, `struct`, `enum`.
+pub fn braced_item<'a>(toks: &'a [Token], kw: &str, name: &str) -> Option<(usize, &'a [Token])> {
+    for i in 0..toks.len().saturating_sub(1) {
+        if is_ident(&toks[i], kw) && is_ident(&toks[i + 1], name) {
+            let mut j = i + 2;
+            while j < toks.len() && !is_punct(&toks[j], '{') {
+                // A `;`-terminated item (tuple struct, decl) has no body.
+                if is_punct(&toks[j], ';') {
+                    break;
+                }
+                j += 1;
+            }
+            if j >= toks.len() || !is_punct(&toks[j], '{') {
+                continue;
+            }
+            let open = j;
+            let mut depth = 0usize;
+            while j < toks.len() {
+                if is_punct(&toks[j], '{') {
+                    depth += 1;
+                } else if is_punct(&toks[j], '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((toks[i].line, &toks[open + 1..j]));
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Finds `const NAME: … = [ … ]` (or `&[ … ]`) and returns
+/// `(decl_line, body_tokens)` of the bracketed initializer.
+pub fn const_array_body<'a>(toks: &'a [Token], name: &str) -> Option<(usize, &'a [Token])> {
+    for i in 0..toks.len().saturating_sub(1) {
+        if is_ident(&toks[i], "const") && is_ident(&toks[i + 1], name) {
+            // Skip the type annotation: find `=` at bracket depth 0.
+            let mut j = i + 2;
+            let mut depth = 0isize;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('[' | '(' | '{') => depth += 1,
+                    Tok::Punct(']' | ')' | '}') => depth -= 1,
+                    Tok::Punct('=') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // First `[` after `=` opens the initializer.
+            while j < toks.len() && !is_punct(&toks[j], '[') {
+                j += 1;
+            }
+            let open = j;
+            let mut depth = 0usize;
+            while j < toks.len() {
+                if is_punct(&toks[j], '[') {
+                    depth += 1;
+                } else if is_punct(&toks[j], ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((toks[i].line, &toks[open + 1..j]));
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Field names of a struct body: `ident :` at brace/paren/bracket depth
+/// 0, excluding path segments (`a::b`) and the `pub` keyword.
+pub fn struct_fields(body: &[Token]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0isize;
+    for i in 0..body.len() {
+        match &body[i].tok {
+            Tok::Punct('{' | '(' | '[' | '<') => depth += 1,
+            // Clamp at zero so a stray `>` (e.g. in `->`) cannot push
+            // later fields out of visibility.
+            Tok::Punct('}' | ')' | ']' | '>') => depth = (depth - 1).max(0),
+            Tok::Ident(name) if depth == 0 => {
+                let next_is_colon = body.get(i + 1).is_some_and(|t| is_punct(t, ':'));
+                let next2_is_colon = body.get(i + 2).is_some_and(|t| is_punct(t, ':'));
+                let prev_is_colon = i > 0 && is_punct(&body[i - 1], ':');
+                if next_is_colon && !next2_is_colon && !prev_is_colon && name != "pub" {
+                    out.push((body[i].line, name.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Variant names of an enum body: identifiers at depth 0 followed by
+/// `,`, `(`, `{`, `=`, or the end of the body.
+pub fn enum_variants(body: &[Token]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0isize;
+    for i in 0..body.len() {
+        match &body[i].tok {
+            Tok::Punct('{' | '(' | '[') => depth += 1,
+            Tok::Punct('}' | ')' | ']') => depth -= 1,
+            Tok::Ident(name) if depth == 0 => {
+                let starts_upper = name.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+                let follower_ok = matches!(
+                    body.get(i + 1).map(|t| &t.tok),
+                    None | Some(Tok::Punct(',' | '(' | '{' | '='))
+                );
+                if starts_upper && follower_ok {
+                    out.push((body[i].line, name.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Does the stream contain the path `Qualifier::name`?
+pub fn contains_path(toks: &[Token], qualifier: &str, name: &str) -> bool {
+    toks.windows(4).any(|w| {
+        is_ident(&w[0], qualifier)
+            && is_punct(&w[1], ':')
+            && is_punct(&w[2], ':')
+            && is_ident(&w[3], name)
+    })
+}
+
+fn contains_ident(toks: &[Token], name: &str) -> bool {
+    toks.iter().any(|t| is_ident(t, name))
+}
+
+/// All string literals (with lines) in a token stream.
+pub fn strings(toks: &[Token]) -> Vec<(usize, String)> {
+    toks.iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Str(s) => Some((t.line, s.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Match-arm pairs `Qualifier::Variant => "literal"` in a token stream.
+pub fn arm_strings(toks: &[Token], qualifier: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for w in toks.windows(7) {
+        if is_ident(&w[0], qualifier)
+            && is_punct(&w[1], ':')
+            && is_punct(&w[2], ':')
+            && is_punct(&w[4], '=')
+            && is_punct(&w[5], '>')
+        {
+            if let (Tok::Ident(v), Tok::Str(s)) = (&w[3].tok, &w[6].tok) {
+                out.push((v.clone(), s.clone()));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lint 1: cache-key-fields
+// ---------------------------------------------------------------------------
+
+const CONFIG_RS: &str = "crates/core/src/solver/config.rs";
+const SERVER_RS: &str = "crates/service/src/server.rs";
+const METHOD_RS: &str = "crates/core/src/solver/method.rs";
+const ENGINES_RS: &str = "crates/core/src/solver/engines.rs";
+const PROTOCOL_MD: &str = "crates/service/PROTOCOL.md";
+const METRICS_RS: &str = "crates/service/src/metrics.rs";
+const NAMES_RS: &str = "crates/obs/src/names.rs";
+
+/// Every `SolverConfig` field must be encoded by `config_cache_bytes`
+/// or justified in `CACHE_KEY_ALLOWLIST`. See module docs.
+pub fn lint_cache_key_fields(src: &Sources, out: &mut Vec<Finding>) -> Result<(), String> {
+    let config = lex(&src.read(CONFIG_RS)?);
+    let server_text = src.read(SERVER_RS)?;
+    let server = lex(&server_text);
+
+    let (_, cfg_body) = braced_item(&config, "struct", "SolverConfig")
+        .ok_or("struct SolverConfig not found in config.rs")?;
+    let fields = struct_fields(cfg_body);
+    if fields.is_empty() {
+        return Err("SolverConfig parsed with zero fields".into());
+    }
+
+    let (fn_line, fn_body) = braced_item(&server, "fn", "config_cache_bytes")
+        .ok_or("fn config_cache_bytes not found in server.rs")?;
+
+    // The exhaustive destructure `let SolverConfig { … } = config;`
+    // names every field without encoding it; exclude that span, and
+    // exclude `let _ = field;` discards, when testing coverage.
+    let mut masked = vec![false; fn_body.len()];
+    for i in 0..fn_body.len() {
+        if is_ident(&fn_body[i], "SolverConfig") {
+            let mut j = i + 1;
+            while j < fn_body.len() && !is_punct(&fn_body[j], '{') {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            while j < fn_body.len() {
+                if is_punct(&fn_body[j], '{') {
+                    depth += 1;
+                } else if is_punct(&fn_body[j], '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                masked[j] = true;
+                j += 1;
+            }
+        }
+        // `let _ = x ;`
+        if is_ident(&fn_body[i], "let")
+            && fn_body.get(i + 1).is_some_and(|t| is_ident(t, "_"))
+            && fn_body.get(i + 2).is_some_and(|t| is_punct(t, '='))
+            && fn_body.get(i + 4).is_some_and(|t| is_punct(t, ';'))
+        {
+            masked[i + 3] = true;
+        }
+    }
+    let encoded: BTreeSet<&str> = fn_body
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !masked[*i])
+        .filter_map(|(_, t)| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+
+    // Allowlist: `&[("field", "why"), …]` — string literals alternate.
+    let allow = const_array_body(&server, "CACHE_KEY_ALLOWLIST")
+        .ok_or("CACHE_KEY_ALLOWLIST not found in server.rs")?;
+    let allow_strs = strings(allow.1);
+    let mut allowed: Vec<(String, String)> = Vec::new();
+    for pair in allow_strs.chunks(2) {
+        let field = pair[0].1.clone();
+        let why = pair.get(1).map(|(_, w)| w.clone()).unwrap_or_default();
+        if why.trim().len() < 10 {
+            out.push(Finding {
+                lint: "cache-key-fields",
+                file: SERVER_RS.into(),
+                line: pair[0].0,
+                message: format!(
+                    "CACHE_KEY_ALLOWLIST entry `{field}` lacks a written justification"
+                ),
+            });
+        }
+        allowed.push((field, why));
+    }
+
+    let field_names: BTreeSet<&str> = fields.iter().map(|(_, f)| f.as_str()).collect();
+    for (field, _) in &allowed {
+        if !field_names.contains(field.as_str()) {
+            out.push(Finding {
+                lint: "cache-key-fields",
+                file: SERVER_RS.into(),
+                line: allow.0,
+                message: format!(
+                    "CACHE_KEY_ALLOWLIST names `{field}`, which is not a SolverConfig field \
+                     (stale allowlist entry)"
+                ),
+            });
+        }
+    }
+
+    for (line, field) in &fields {
+        let is_allowed = allowed.iter().any(|(f, _)| f == field);
+        let is_encoded = encoded.contains(field.as_str());
+        if !is_encoded && !is_allowed {
+            out.push(Finding {
+                lint: "cache-key-fields",
+                file: SERVER_RS.into(),
+                line: fn_line,
+                message: format!(
+                    "SolverConfig field `{field}` ({CONFIG_RS}:{line}) is not encoded by \
+                     config_cache_bytes and not justified in CACHE_KEY_ALLOWLIST — two configs \
+                     differing only in `{field}` would collide in the response cache"
+                ),
+            });
+        }
+        if is_encoded && is_allowed {
+            out.push(Finding {
+                lint: "cache-key-fields",
+                file: SERVER_RS.into(),
+                line: fn_line,
+                message: format!(
+                    "SolverConfig field `{field}` is both encoded and allowlisted — drop the \
+                     stale CACHE_KEY_ALLOWLIST entry"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Lint 2: method-coverage
+// ---------------------------------------------------------------------------
+
+/// Every `Method` variant must be wired through the wire-name map,
+/// `Method::ALL` (parsing + metrics label set), the engine dispatch,
+/// and the protocol docs.
+pub fn lint_method_coverage(src: &Sources, out: &mut Vec<Finding>) -> Result<(), String> {
+    let method = lex(&src.read(METHOD_RS)?);
+    let engines = lex(&src.read(ENGINES_RS)?);
+    let protocol = src.read(PROTOCOL_MD)?;
+
+    let (enum_line, enum_body) =
+        braced_item(&method, "enum", "Method").ok_or("enum Method not found in method.rs")?;
+    let variants = enum_variants(enum_body);
+    if variants.is_empty() {
+        return Err("enum Method parsed with zero variants".into());
+    }
+
+    let (name_line, name_body) =
+        braced_item(&method, "fn", "name").ok_or("fn name not found in method.rs")?;
+    let arms = arm_strings(name_body, "Method");
+
+    let (all_line, all_body) =
+        const_array_body(&method, "ALL").ok_or("const ALL not found in method.rs")?;
+
+    for (vline, v) in &variants {
+        let wire = arms.iter().find(|(var, _)| var == v).map(|(_, w)| w);
+        match wire {
+            None => out.push(Finding {
+                lint: "method-coverage",
+                file: METHOD_RS.into(),
+                line: name_line,
+                message: format!(
+                    "Method::{v} (declared {METHOD_RS}:{vline}) has no wire-name arm in name() — \
+                     it cannot be parsed from requests or labeled in metrics"
+                ),
+            }),
+            Some(wire) => {
+                if !protocol.contains(wire.as_str()) {
+                    out.push(Finding {
+                        lint: "method-coverage",
+                        file: PROTOCOL_MD.into(),
+                        line: 1,
+                        message: format!(
+                            "wire name \"{wire}\" (Method::{v}) is not documented in PROTOCOL.md"
+                        ),
+                    });
+                }
+            }
+        }
+        if !contains_path(all_body, "Method", v) && !contains_ident_bare(all_body, v) {
+            out.push(Finding {
+                lint: "method-coverage",
+                file: METHOD_RS.into(),
+                line: all_line,
+                message: format!(
+                    "Method::{v} is missing from Method::ALL — FromStr parsing and the \
+                     per-method metrics label set are driven by ALL, so the variant is \
+                     unreachable over the wire"
+                ),
+            });
+        }
+        if !contains_path(&engines, "Method", v) {
+            out.push(Finding {
+                lint: "method-coverage",
+                file: ENGINES_RS.into(),
+                line: 1,
+                message: format!("Method::{v} has no dispatch arm in engines.rs"),
+            });
+        }
+    }
+
+    // Arms for variants that no longer exist are dead wire names.
+    for (var, wire) in &arms {
+        if !variants.iter().any(|(_, v)| v == var) {
+            out.push(Finding {
+                lint: "method-coverage",
+                file: METHOD_RS.into(),
+                line: enum_line,
+                message: format!(
+                    "name() maps Method::{var} to \"{wire}\" but the enum has no such variant"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn contains_ident_bare(toks: &[Token], name: &str) -> bool {
+    contains_ident(toks, name)
+}
+
+// ---------------------------------------------------------------------------
+// Lint 3: safety-comments
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` block / `unsafe impl` needs a `// SAFETY:` comment on
+/// the same line or contiguously above it (attributes allowed between).
+pub fn lint_safety_comments(src: &Sources, out: &mut Vec<Finding>) -> Result<(), String> {
+    for rel in rs_files(src) {
+        let text = src.read(&rel)?;
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let toks = lex(&text);
+        for i in 0..toks.len() {
+            if !is_ident(&toks[i], "unsafe") {
+                continue;
+            }
+            let next = toks.get(i + 1);
+            let needs_comment = match next {
+                Some(t) if is_punct(t, '{') => true,
+                Some(t) if is_ident(t, "impl") => true,
+                // `unsafe fn`, `unsafe trait`, `unsafe extern` signatures
+                // are covered by their doc comments, not this lint.
+                _ => false,
+            };
+            if !needs_comment {
+                continue;
+            }
+            if !has_safety_comment(&raw_lines, toks[i].line) {
+                let kind = if next.is_some_and(|t| is_ident(t, "impl")) {
+                    "unsafe impl"
+                } else {
+                    "unsafe block"
+                };
+                out.push(Finding {
+                    lint: "safety-comments",
+                    file: rel.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "{kind} without a `// SAFETY:` comment — state the invariant that \
+                         makes it sound"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn has_safety_comment(raw_lines: &[&str], line_1based: usize) -> bool {
+    let idx = line_1based.saturating_sub(1);
+    if raw_lines.get(idx).is_some_and(|l| l.contains("SAFETY:")) {
+        return true;
+    }
+    // Walk up through contiguous comment / attribute lines.
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let t = raw_lines[k].trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") {
+            if t.contains("SAFETY:") {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn rs_files(src: &Sources) -> Vec<String> {
+    let mut files = src.walk_rs("crates");
+    files.extend(src.walk_rs("src"));
+    files.extend(src.walk_rs("vendor"));
+    files
+}
+
+// ---------------------------------------------------------------------------
+// Lint 4: forbid-unsafe
+// ---------------------------------------------------------------------------
+
+/// Every workspace member (plus the root package) must carry
+/// `#![forbid(unsafe_code)]` and `[lints] workspace = true`, unless
+/// named in [`FORBID_UNSAFE_EXCEPTIONS`].
+pub fn lint_forbid_unsafe(src: &Sources, out: &mut Vec<Finding>) -> Result<(), String> {
+    let root_manifest = src.read("Cargo.toml")?;
+    let mut member_dirs = toml_members(&root_manifest);
+    member_dirs.push(".".to_string()); // the root `bisched` package
+
+    let mut seen_exceptions: BTreeSet<&str> = BTreeSet::new();
+    for dir in &member_dirs {
+        let manifest_rel = if dir == "." {
+            "Cargo.toml".to_string()
+        } else {
+            format!("{dir}/Cargo.toml")
+        };
+        let manifest = src.read(&manifest_rel)?;
+        let name = toml_package_name(&manifest)
+            .ok_or_else(|| format!("{manifest_rel}: no package name"))?;
+
+        if !manifest.contains("[lints]") || !toml_lints_workspace(&manifest) {
+            out.push(Finding {
+                lint: "forbid-unsafe",
+                file: manifest_rel.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{name}` does not opt into `[lints] workspace = true` — \
+                     workspace-wide clippy/rustc lint policy is silently skipped"
+                ),
+            });
+        }
+
+        if let Some(exc) = FORBID_UNSAFE_EXCEPTIONS.iter().find(|e| **e == name) {
+            seen_exceptions.insert(exc);
+            continue;
+        }
+        let lib_rel = if dir == "." {
+            "src/lib.rs".to_string()
+        } else {
+            format!("{dir}/src/lib.rs")
+        };
+        let Ok(lib) = src.read(&lib_rel) else {
+            continue; // bin-only member: nothing to anchor the attribute on
+        };
+        let toks = lex(&lib);
+        let has_forbid = toks.windows(6).any(|w| {
+            is_punct(&w[0], '#')
+                && is_punct(&w[1], '!')
+                && is_punct(&w[2], '[')
+                && is_ident(&w[3], "forbid")
+                && is_punct(&w[4], '(')
+                && is_ident(&w[5], "unsafe_code")
+        });
+        if !has_forbid {
+            out.push(Finding {
+                lint: "forbid-unsafe",
+                file: lib_rel,
+                line: 1,
+                message: format!(
+                    "crate `{name}` lacks `#![forbid(unsafe_code)]` and is not listed in \
+                     bisched-analyze's FORBID_UNSAFE_EXCEPTIONS"
+                ),
+            });
+        }
+    }
+
+    for exc in FORBID_UNSAFE_EXCEPTIONS {
+        if !seen_exceptions.contains(exc) {
+            out.push(Finding {
+                lint: "forbid-unsafe",
+                file: "crates/analyze/src/lib.rs".into(),
+                line: 1,
+                message: format!(
+                    "FORBID_UNSAFE_EXCEPTIONS names `{exc}`, which is not a workspace member \
+                     (stale exception)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn toml_members(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        if !in_members {
+            if line.trim_start().starts_with("members") && line.contains('[') {
+                in_members = true;
+            } else {
+                continue;
+            }
+        }
+        let mut rest = line;
+        while let Some(q) = rest.find('"') {
+            let tail = &rest[q + 1..];
+            let Some(e) = tail.find('"') else { break };
+            out.push(tail[..e].to_string());
+            rest = &tail[e + 1..];
+        }
+        if line.contains(']') {
+            break;
+        }
+    }
+    out
+}
+
+fn toml_package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_package = t == "[package]";
+            continue;
+        }
+        if in_package && t.starts_with("name") {
+            let q = t.find('"')?;
+            let rest = &t[q + 1..];
+            return Some(rest[..rest.find('"')?].to_string());
+        }
+    }
+    None
+}
+
+fn toml_lints_workspace(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_lints = t == "[lints]";
+            continue;
+        }
+        if in_lints && t.starts_with("workspace") && t.contains("true") {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Lint 5: metric-registry
+// ---------------------------------------------------------------------------
+
+/// Suffixes a histogram family legitimately appends to a registered
+/// base name in the Prometheus exposition.
+const METRIC_SUFFIXES: &[&str] = &["_bucket", "_sum", "_count"];
+
+/// Crate-path-ish `bisched_*` tokens that are not metric names.
+const NON_METRIC_PREFIXES: &[&str] = &[
+    "bisched_obs",
+    "bisched_core",
+    "bisched_cli",
+    "bisched_analyze",
+    "bisched_model",
+    "bisched_service",
+    "bisched_exact",
+    "bisched_bench",
+    "bisched_fptas",
+    "bisched_graph",
+    "bisched_cp",
+    "bisched_random",
+    "bisched_baselines",
+    "bisched_lab",
+];
+
+/// Metric names must come from `METRIC_NAMES`; flight-recorder event
+/// names must come from `EVENT_NAMES` and be literals at the call site.
+pub fn lint_metric_registry(src: &Sources, out: &mut Vec<Finding>) -> Result<(), String> {
+    // --- Prometheus metric names ---------------------------------------
+    let metrics = lex(&src.read(METRICS_RS)?);
+    let registry =
+        const_array_body(&metrics, "METRIC_NAMES").ok_or("METRIC_NAMES not found in metrics.rs")?;
+    let declared: BTreeSet<String> = strings(registry.1).into_iter().map(|(_, s)| s).collect();
+    if declared.is_empty() {
+        return Err("METRIC_NAMES parsed empty".into());
+    }
+
+    // Metric names are emitted from the service crate and read back by
+    // the bench/lab tooling; scan both for `bisched_*` string contents.
+    let mut metric_files = src.walk_rs("crates/service/src");
+    metric_files.extend(src.walk_rs("crates/bench/src"));
+    metric_files.extend(src.walk_rs("crates/lab/src"));
+    for rel in metric_files {
+        let toks = lex(&src.read(&rel)?);
+        for (line, lit) in strings(&toks) {
+            for name in bisched_tokens(&lit) {
+                if NON_METRIC_PREFIXES.iter().any(|p| name.starts_with(p)) {
+                    continue;
+                }
+                let base = METRIC_SUFFIXES
+                    .iter()
+                    .find_map(|s| name.strip_suffix(s))
+                    .unwrap_or(&name);
+                if !declared.contains(&name) && !declared.contains(base) {
+                    out.push(Finding {
+                        lint: "metric-registry",
+                        file: rel.clone(),
+                        line,
+                        message: format!(
+                            "metric name `{name}` is not declared in METRIC_NAMES \
+                             ({METRICS_RS}) — register it (and its HELP text) there first"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // --- Flight-recorder event names -----------------------------------
+    let names = lex(&src.read(NAMES_RS)?);
+    let events =
+        const_array_body(&names, "EVENT_NAMES").ok_or("EVENT_NAMES not found in names.rs")?;
+    let declared_events: BTreeSet<String> = strings(events.1).into_iter().map(|(_, s)| s).collect();
+    if declared_events.is_empty() {
+        return Err("EVENT_NAMES parsed empty".into());
+    }
+
+    for rel in src.walk_rs("crates") {
+        if rel.starts_with("crates/obs/") {
+            continue; // the recorder's own docs/tests use ad-hoc names
+        }
+        let toks = lex(&src.read(&rel)?);
+        for i in 0..toks.len().saturating_sub(4) {
+            if !(is_ident(&toks[i], "bisched_obs")
+                && is_punct(&toks[i + 1], ':')
+                && is_punct(&toks[i + 2], ':'))
+            {
+                continue;
+            }
+            let f = match &toks[i + 3].tok {
+                Tok::Ident(f) => f.as_str(),
+                _ => continue,
+            };
+            if !matches!(f, "span" | "span_arg" | "instant" | "counter") {
+                continue;
+            }
+            if !toks.get(i + 4).is_some_and(|t| is_punct(t, '(')) {
+                continue; // a `use` or path mention, not a call
+            }
+            // The first argument: tokens up to the first `,` (or the
+            // closing `)`) at paren depth 0.
+            let arg_start = i + 5;
+            let mut j = arg_start;
+            let mut depth = 0isize;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('(' | '[' | '{') => depth += 1,
+                    Tok::Punct(')' | ']' | '}') if depth == 0 => break,
+                    Tok::Punct(')' | ']' | '}') => depth -= 1,
+                    Tok::Punct(',') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let arg = &toks[arg_start..j.min(toks.len())];
+            match arg {
+                [t] => {
+                    if let Tok::Str(name) = &t.tok {
+                        if !declared_events.contains(name) {
+                            out.push(Finding {
+                                lint: "metric-registry",
+                                file: rel.clone(),
+                                line: toks[i].line,
+                                message: format!(
+                                    "event name \"{name}\" passed to bisched_obs::{f} is not \
+                                     declared in EVENT_NAMES ({NAMES_RS})"
+                                ),
+                            });
+                        }
+                    }
+                }
+                // `<expr>.name()` is the one sanctioned dynamic form:
+                // Method wire names, themselves audited exhaustively by
+                // the method-coverage lint.
+                _ if arg.windows(4).any(|w| {
+                    is_punct(&w[0], '.')
+                        && is_ident(&w[1], "name")
+                        && is_punct(&w[2], '(')
+                        && is_punct(&w[3], ')')
+                }) => {}
+                _ => out.push(Finding {
+                    lint: "metric-registry",
+                    file: rel.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "bisched_obs::{f} called with a non-literal event name — trace \
+                         vocabulary must be statically auditable (use an EVENT_NAMES literal \
+                         or a Method `.name()`)"
+                    ),
+                }),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Maximal `bisched_[a-z0-9_]*` tokens inside a string literal.
+fn bisched_tokens(lit: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let b = lit.as_bytes();
+    let mut i = 0usize;
+    while let Some(pos) = lit[i..].find("bisched_") {
+        let start = i + pos;
+        // Must not be preceded by an identifier character.
+        if start > 0 && (b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_') {
+            i = start + 1;
+            continue;
+        }
+        let mut end = start;
+        while end < b.len()
+            && (b[end].is_ascii_lowercase() || b[end].is_ascii_digit() || b[end] == b'_')
+        {
+            end += 1;
+        }
+        out.push(lit[start..end].to_string());
+        i = end;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Runs every lint; returns findings sorted by (file, line). `Err` means
+/// the tree itself could not be analyzed (missing anchor item / IO).
+pub fn run_all(src: &Sources) -> Result<Vec<Finding>, String> {
+    let mut out = Vec::new();
+    lint_cache_key_fields(src, &mut out)?;
+    lint_method_coverage(src, &mut out)?;
+    lint_safety_comments(src, &mut out)?;
+    lint_forbid_unsafe(src, &mut out)?;
+    lint_metric_registry(src, &mut out)?;
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-check: prove each lint fires on a seeded mutation
+// ---------------------------------------------------------------------------
+
+/// Outcome of one seeded mutation in [`self_check`].
+pub struct SelfCheckResult {
+    /// Which mutation was applied.
+    pub mutation: &'static str,
+    /// Did the expected lint produce a matching finding?
+    pub caught: bool,
+    /// The matching finding (or a note on what was expected).
+    pub detail: String,
+}
+
+/// Applies known-bad mutations to in-memory copies of the real sources
+/// and asserts the corresponding lint catches each one. Returns one
+/// result per mutation; `caught == false` anywhere means the linter has
+/// gone blind and CI must fail.
+pub fn self_check(root: &Path) -> Result<Vec<SelfCheckResult>, String> {
+    let clean = run_all(&Sources::new(root))?;
+    if !clean.is_empty() {
+        return Err(format!(
+            "self-check requires a clean tree; {} pre-existing finding(s), first: {}",
+            clean.len(),
+            clean[0]
+        ));
+    }
+
+    let plain = Sources::new(root);
+    let mut results = Vec::new();
+
+    // Mutation: remove the `seed` encoding line from config_cache_bytes.
+    {
+        let server = plain.read(SERVER_RS)?;
+        let mutated: String = server
+            .lines()
+            .filter(|l| !l.contains("seed.to_le_bytes"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        results.push(expect_finding(
+            root,
+            "cache-key-fields: drop `seed` from the cache key",
+            vec![(SERVER_RS.into(), mutated)],
+            "cache-key-fields",
+            "`seed`",
+        )?);
+    }
+
+    // Mutation: drop the exact-q2 wire-name arm from Method::name().
+    {
+        let method = plain.read(METHOD_RS)?;
+        let mutated: String = method
+            .lines()
+            .filter(|l| !l.contains("\"exact-q2\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        results.push(expect_finding(
+            root,
+            "method-coverage: drop the exact-q2 wire-name arm",
+            vec![(METHOD_RS.into(), mutated)],
+            "method-coverage",
+            "ExactQ2",
+        )?);
+    }
+
+    // Mutation: strip every SAFETY comment from the obs ring.
+    {
+        let ring_rel = "crates/obs/src/ring.rs";
+        let ring = plain.read(ring_rel)?;
+        let mutated: String = ring
+            .lines()
+            .map(|l| if l.contains("SAFETY:") { "" } else { l })
+            .collect::<Vec<_>>()
+            .join("\n");
+        results.push(expect_finding(
+            root,
+            "safety-comments: strip SAFETY comments from the obs ring",
+            vec![(ring_rel.into(), mutated)],
+            "safety-comments",
+            "SAFETY",
+        )?);
+    }
+
+    // Mutation: remove #![forbid(unsafe_code)] from bisched-core.
+    {
+        let core_rel = "crates/core/src/lib.rs";
+        let core = plain.read(core_rel)?;
+        let mutated = core.replace("#![forbid(unsafe_code)]", "");
+        results.push(expect_finding(
+            root,
+            "forbid-unsafe: remove forbid(unsafe_code) from bisched-core",
+            vec![(core_rel.into(), mutated)],
+            "forbid-unsafe",
+            "bisched-core",
+        )?);
+    }
+
+    // Mutation: unregister bisched_requests_total from METRIC_NAMES.
+    {
+        let metrics = plain.read(METRICS_RS)?;
+        let mutated = metrics.replacen("\"bisched_requests_total\",", "", 1);
+        results.push(expect_finding(
+            root,
+            "metric-registry: unregister bisched_requests_total",
+            vec![(METRICS_RS.into(), mutated)],
+            "metric-registry",
+            "bisched_requests_total",
+        )?);
+    }
+
+    // Mutation: emit a flight-recorder event under an undeclared name.
+    {
+        let mod_rel = "crates/core/src/solver/mod.rs";
+        let mut solver_mod = plain.read(mod_rel)?;
+        solver_mod.push_str(
+            "\nfn _self_check_probe() { bisched_obs::instant(\"undeclared_event\", \"x\", \"v\", 0); }\n",
+        );
+        results.push(expect_finding(
+            root,
+            "metric-registry: emit an undeclared event name",
+            vec![(mod_rel.into(), solver_mod)],
+            "metric-registry",
+            "undeclared_event",
+        )?);
+    }
+
+    Ok(results)
+}
+
+fn expect_finding(
+    root: &Path,
+    mutation: &'static str,
+    overrides: Vec<(String, String)>,
+    lint: &str,
+    needle: &str,
+) -> Result<SelfCheckResult, String> {
+    let src = Sources {
+        root: root.to_path_buf(),
+        overrides,
+    };
+    let findings = run_all(&src)?;
+    let hit = findings
+        .iter()
+        .find(|f| f.lint == lint && f.message.contains(needle));
+    Ok(match hit {
+        Some(f) => SelfCheckResult {
+            mutation,
+            caught: true,
+            detail: f.to_string(),
+        },
+        None => SelfCheckResult {
+            mutation,
+            caught: false,
+            detail: format!(
+                "expected a `{lint}` finding mentioning {needle}; got {} finding(s): {:?}",
+                findings.len(),
+                findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+            ),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_strips_comments_and_keeps_strings() {
+        let toks = lex(r##"
+            // comment "not a string"
+            /* block /* nested */ still comment */
+            let x = "hello \" world"; // tail
+            let r = r#"raw "quoted" body"#;
+            let c = 'x'; let l: &'static str = "s";
+        "##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, [r#"hello \" world"#, r#"raw "quoted" body"#, "s"]);
+        assert!(toks.iter().any(|t| is_ident(t, "static")));
+    }
+
+    #[test]
+    fn struct_fields_and_enum_variants_parse() {
+        let s = lex(
+            "pub struct S { pub a: u32, b: Option<std::time::Duration>, pub c: Vec<(u8, u8)> }",
+        );
+        let (_, body) = braced_item(&s, "struct", "S").unwrap();
+        let fields: Vec<String> = struct_fields(body).into_iter().map(|(_, f)| f).collect();
+        assert_eq!(fields, ["a", "b", "c"]);
+
+        let e = lex("enum E { #[default] A, B(u32), C { x: u8 }, D = 3, E2 }");
+        let (_, body) = braced_item(&e, "enum", "E").unwrap();
+        let vars: Vec<String> = enum_variants(body).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(vars, ["A", "B", "C", "D", "E2"]);
+    }
+
+    #[test]
+    fn const_array_and_arms_parse() {
+        let t = lex(
+            r#"pub const ALL: [M; 2] = [M::A, M::B]; fn f() { match m { M::A => "a", M::B => "b" } }"#,
+        );
+        let (_, body) = const_array_body(&t, "ALL").unwrap();
+        assert!(contains_path(body, "M", "A") && contains_path(body, "M", "B"));
+        let arms = arm_strings(&t, "M");
+        assert_eq!(arms, [("A".into(), "a".into()), ("B".into(), "b".into())]);
+    }
+
+    #[test]
+    fn bisched_tokens_extracts_metric_names() {
+        assert_eq!(
+            bisched_tokens("# HELP bisched_requests_total req\nbisched_cache_entries 3"),
+            ["bisched_requests_total", "bisched_cache_entries"]
+        );
+        assert!(bisched_tokens("xbisched_foo").is_empty());
+    }
+
+    #[test]
+    fn safety_comment_detection() {
+        let lines: Vec<&str> = vec!["// SAFETY: fine", "#[allow(x)]", "unsafe impl X {}"];
+        assert!(has_safety_comment(&lines, 3));
+        let lines2: Vec<&str> = vec!["fn f() {", "    unsafe { x() }"];
+        assert!(!has_safety_comment(&lines2, 2));
+        let lines3: Vec<&str> = vec!["// SAFETY: same-line check", "let v = unsafe { y() };"];
+        assert!(has_safety_comment(&lines3, 2));
+    }
+}

@@ -1,0 +1,114 @@
+//! `bisched-analyze` — CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p bisched-analyze                 # lint the workspace
+//! cargo run -p bisched-analyze -- --self-check # prove each lint fires
+//! cargo run -p bisched-analyze -- --root PATH  # lint another checkout
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or a failed self-check),
+//! `2` the tree could not be analyzed at all.
+
+#![forbid(unsafe_code)]
+
+use bisched_analyze::{find_workspace_root, run_all, self_check, Sources};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bisched-analyze [--root PATH] [--self-check]
+
+Token-level workspace invariant linter. Lints:
+  cache-key-fields   every SolverConfig field is cache-keyed or allowlisted
+  method-coverage    every Method variant is parseable, dispatched, documented
+  safety-comments    every unsafe block/impl carries a // SAFETY: comment
+  forbid-unsafe      #![forbid(unsafe_code)] everywhere but listed exceptions
+  metric-registry    metric + trace-event names come from declared registries
+
+--self-check mutates in-memory copies of the real sources (drops a config
+field from the cache key, a wire name from Method::name(), a SAFETY
+comment, a forbid attribute, a registry entry) and fails unless every
+mutation is caught.";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut do_self_check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--self-check" => do_self_check = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("bisched-analyze: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    if do_self_check {
+        return match self_check(&root) {
+            Ok(results) => {
+                let mut failed = false;
+                for r in &results {
+                    let mark = if r.caught { "caught" } else { "MISSED" };
+                    println!("self-check [{mark}] {}", r.mutation);
+                    println!("    {}", r.detail);
+                    failed |= !r.caught;
+                }
+                if failed {
+                    eprintln!("bisched-analyze: self-check FAILED — a lint has gone blind");
+                    ExitCode::FAILURE
+                } else {
+                    println!(
+                        "bisched-analyze: self-check ok ({} mutations caught)",
+                        results.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("bisched-analyze: self-check could not run: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match run_all(&Sources::new(&root)) {
+        Ok(findings) if findings.is_empty() => {
+            println!("bisched-analyze: workspace clean ({} lints)", 5);
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("bisched-analyze: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bisched-analyze: cannot analyze tree: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration tests: the linter is clean on the real workspace and the
+//! seeded-mutation self-check catches every planted violation. These run
+//! in plain `cargo test`, so a PR that breaks a cross-cutting invariant
+//! fails the ordinary test suite even before the dedicated CI job.
+
+#![forbid(unsafe_code)]
+
+use bisched_analyze::{find_workspace_root, run_all, self_check, Sources};
+use std::path::Path;
+
+fn root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above CARGO_MANIFEST_DIR")
+}
+
+#[test]
+fn workspace_is_clean() {
+    let findings = run_all(&Sources::new(root())).expect("tree analyzable");
+    assert!(
+        findings.is_empty(),
+        "workspace has invariant violations:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn self_check_catches_every_seeded_mutation() {
+    let results = self_check(&root()).expect("self-check ran");
+    assert!(results.len() >= 6, "expected >= 6 seeded mutations");
+    for r in &results {
+        assert!(
+            r.caught,
+            "lint went blind on: {} — {}",
+            r.mutation, r.detail
+        );
+    }
+}
+
+/// The lints must also fire on *synthetic* trees, not just the seeded
+/// mutations — guards against the checks accidentally keying on
+/// incidental formatting of today's sources.
+#[test]
+fn cache_key_lint_rejects_destructure_only_coverage() {
+    let real = Sources::new(root());
+    // A field that only appears in the exhaustive destructure (and a
+    // `let _ =` discard) is NOT encoded; the lint must say so.
+    let server = real.read("crates/service/src/server.rs").unwrap();
+    let mutated: String = server
+        .lines()
+        .filter(|l| !l.contains("auto_exact_jobs as u64"))
+        .map(|l| {
+            if l.trim_start().starts_with("let _ = fptas_parallel;") {
+                "    let _ = fptas_parallel;\n    let _ = auto_exact_jobs;".to_string()
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let src = Sources {
+        root: root(),
+        overrides: vec![("crates/service/src/server.rs".into(), mutated)],
+    };
+    let findings = run_all(&src).expect("analyzable");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "cache-key-fields" && f.message.contains("auto_exact_jobs")),
+        "destructure + discard must not count as encoding; findings: {findings:?}"
+    );
+}
+
+#[test]
+fn method_lint_rejects_variant_missing_from_all() {
+    let real = Sources::new(root());
+    let method = real.read("crates/core/src/solver/method.rs").unwrap();
+    // Remove GreedyR from the ALL list only (keep the name() arm).
+    let mutated = method.replacen("Method::GreedyR,", "", 1);
+    assert_ne!(mutated, method, "expected Method::GreedyR, in ALL");
+    let src = Sources {
+        root: root(),
+        overrides: vec![("crates/core/src/solver/method.rs".into(), mutated)],
+    };
+    let findings = run_all(&src).expect("analyzable");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "method-coverage" && f.message.contains("GreedyR")),
+        "variant missing from ALL must be flagged; findings: {findings:?}"
+    );
+}
+
+#[test]
+fn stale_allowlist_entry_is_flagged() {
+    let real = Sources::new(root());
+    let server = real.read("crates/service/src/server.rs").unwrap();
+    // The allowlist tuple is the file's first `"fptas_parallel"` literal.
+    let mutated = server.replacen("\"fptas_parallel\",", "\"no_such_field\",", 1);
+    assert_ne!(mutated, server, "expected an allowlist entry to rename");
+    let src = Sources {
+        root: root(),
+        overrides: vec![("crates/service/src/server.rs".into(), mutated)],
+    };
+    let findings = run_all(&src).expect("analyzable");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "cache-key-fields" && f.message.contains("no_such_field")),
+        "allowlist entries must name real fields; findings: {findings:?}"
+    );
+}

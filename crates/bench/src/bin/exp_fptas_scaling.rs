@@ -22,6 +22,9 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates verbatim to `System` (same layout, same
+// pointer discipline); the only addition is a Relaxed counter bump, which
+// allocates nothing and cannot reenter the allocator.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);

@@ -43,7 +43,10 @@
 //! what a "complete" run then proves).
 
 #![warn(missing_docs)]
-
+// Unsafe code is confined to bisched-obs (the model-checked ring)
+// and bisched-bench (a counting allocator); everywhere else it is a
+// hard error. The bisched-analyze forbid-unsafe lint keeps this list.
+#![forbid(unsafe_code)]
 use bisched_exact::bruteforce::Optimum;
 use bisched_exact::search_ctl::SearchCtl;
 use bisched_model::{Instance, MachineEnvironment, Rat, Schedule};

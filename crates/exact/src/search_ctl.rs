@@ -29,7 +29,11 @@
 //! aggressive, never unsound.
 
 use bisched_model::Rat;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// The concurrency facade: std atomics in normal builds, the
+// model-checked shims under `--cfg bisched_model` (the race-control
+// protocol here is explored exhaustively by crates/analyze's
+// `model_search_ctl` suite).
+use bisched_obs::sync::{AtomicBool, AtomicU64, Ordering};
 
 /// Converts `r` to an `f64` guaranteed `>=` the exact rational value.
 pub fn rat_to_f64_up(r: &Rat) -> f64 {

@@ -21,7 +21,10 @@
 //! the monotone integer grid of [`bucket::BucketGrid`].
 
 #![warn(missing_docs)]
-
+// Unsafe code is confined to bisched-obs (the model-checked ring)
+// and bisched-bench (a counting allocator); everywhere else it is a
+// hard error. The bisched-analyze forbid-unsafe lint keeps this list.
+#![forbid(unsafe_code)]
 pub mod bucket;
 pub mod rm_cmax;
 

@@ -48,13 +48,25 @@
 #![warn(missing_docs)]
 
 pub mod log;
+#[cfg(bisched_model)]
+pub mod model;
+pub mod names;
 mod profile;
+#[doc(hidden)]
+pub mod ring;
+pub mod sync;
 mod trace;
 
 pub use profile::{Profile, ProfileRow};
 pub use trace::{Trace, TraceEvent};
 
-use std::cell::{RefCell, UnsafeCell};
+use ring::{Event, Ring};
+use std::cell::RefCell;
+// The recorder's process-global control plane (enable flag, generation,
+// registry) deliberately stays on the `std` primitives: model suites
+// drive `ring::Ring` instances directly, and keeping the globals native
+// means a `bisched_model` build of downstream crates records normally
+// outside of model runs.
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -68,99 +80,6 @@ pub enum EventKind {
     Instant,
     /// A counter sample (`ph: "C"`): value plotted over time.
     Counter,
-}
-
-/// One recorded event. `Copy`, fixed-size, `&'static str`-keyed — built
-/// and stored without touching the allocator.
-#[derive(Clone, Copy, Debug)]
-struct Event {
-    ts_us: u64,
-    dur_us: u64,
-    kind: EventKind,
-    name: &'static str,
-    cat: &'static str,
-    arg_name: &'static str,
-    arg: u64,
-}
-
-const EMPTY_EVENT: Event = Event {
-    ts_us: 0,
-    dur_us: 0,
-    kind: EventKind::Instant,
-    name: "",
-    cat: "",
-    arg_name: "",
-    arg: 0,
-};
-
-/// A single thread's append-only event buffer. The owning thread is the
-/// only writer; slots are written once and published by a `Release`
-/// store of `len`, making the post-stop drain race-free.
-struct Ring {
-    slots: Box<[UnsafeCell<Event>]>,
-    /// Number of published events (`Release` on write, `Acquire` on
-    /// drain). Monotone, never exceeds `slots.len()`.
-    len: AtomicUsize,
-    /// Events rejected because the buffer was full.
-    dropped: AtomicU64,
-    /// Small dense id for the owning thread, stable for the trace.
-    tid: u64,
-}
-
-// SAFETY: `slots` is written only by the owner thread, each slot at most
-// once, strictly before the Release store of `len` that publishes it;
-// other threads only read slots below an Acquire-loaded `len`.
-unsafe impl Sync for Ring {}
-unsafe impl Send for Ring {}
-
-impl Ring {
-    fn new(capacity: usize, tid: u64) -> Ring {
-        let slots: Vec<UnsafeCell<Event>> = (0..capacity)
-            .map(|_| UnsafeCell::new(EMPTY_EVENT))
-            .collect();
-        Ring {
-            slots: slots.into_boxed_slice(),
-            len: AtomicUsize::new(0),
-            dropped: AtomicU64::new(0),
-            tid,
-        }
-    }
-
-    /// Owner-thread-only append; drops (and counts) when full.
-    fn push(&self, ev: Event) {
-        let at = self.len.load(Ordering::Relaxed);
-        if at >= self.slots.len() {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        // SAFETY: only the owner thread writes, and `at` has not been
-        // published yet, so no reader is looking at this slot.
-        unsafe { *self.slots[at].get() = ev };
-        self.len.store(at + 1, Ordering::Release);
-    }
-
-    /// Copies out every published event (safe concurrently with a
-    /// straggling producer: unpublished slots are simply not read).
-    fn drain(&self) -> Vec<TraceEvent> {
-        let n = self.len.load(Ordering::Acquire).min(self.slots.len());
-        (0..n)
-            .map(|i| {
-                // SAFETY: slot `i < n` was fully written before the
-                // Release store that published it.
-                let ev = unsafe { *self.slots[i].get() };
-                TraceEvent {
-                    ts_us: ev.ts_us,
-                    dur_us: ev.dur_us,
-                    kind: ev.kind,
-                    name: ev.name,
-                    cat: ev.cat,
-                    arg_name: ev.arg_name,
-                    arg: ev.arg,
-                    tid: self.tid,
-                }
-            })
-            .collect()
-    }
 }
 
 /// The one flag every emission site checks. Relaxed is sufficient: a
@@ -221,7 +140,7 @@ pub fn stop_recording() -> Trace {
     let mut dropped = 0u64;
     for ring in &rings {
         events.extend(ring.drain());
-        dropped += ring.dropped.load(Ordering::Relaxed);
+        dropped += ring.dropped_count();
     }
     trace::sort_events(&mut events);
     Trace { events, dropped }

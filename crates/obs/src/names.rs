@@ -1,0 +1,39 @@
+//! The single declared registry of flight-recorder event names.
+//!
+//! Every `bisched_obs::span` / `span_arg` / `instant` / `counter` call
+//! site in the workspace must use a name from [`EVENT_NAMES`] — the
+//! `bisched-analyze` `metric-registry` lint enforces it token-level, so
+//! a new instrumentation point is added by declaring its name here in
+//! the same change. A central list keeps trace-consuming tooling
+//! (`Profile::from_trace` self-time folding, the lab's counter
+//! attribution, dashboards fed by the Chrome traces) working against a
+//! known vocabulary instead of chasing ad-hoc strings.
+
+/// Every event name the workspace emits, grouped by subsystem.
+pub const EVENT_NAMES: &[&str] = &[
+    // service request path
+    "solve_request",
+    "canonicalize",
+    "cache_hit",
+    "cache_miss",
+    "cache_evict",
+    "batch",
+    "job_done",
+    // solver dispatch and portfolio race
+    "solve",
+    "portfolio_race",
+    "race_publish",
+    "race_cancel",
+    "race_member_skipped",
+    "incumbent",
+    // branch and bound
+    "bnb_incumbent",
+    // CP propagation engine
+    "cp_probe_sat",
+    "cp_probe_unsat",
+    "cp_restart",
+    // FPTAS dynamic program
+    "fptas_layer",
+    "fptas_layer_width",
+    "layer_width",
+];

@@ -5,8 +5,9 @@
 use crate::protocol::StatsData;
 use bisched_core::Method;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+// Workspace concurrency facade: std passthroughs in normal builds,
+// model-checked shims under `--cfg bisched_model`.
+use bisched_obs::sync::{AtomicU64, Mutex, Ordering};
 use std::time::Instant;
 
 /// Power-of-two latency buckets over microseconds: bucket `b ≥ 1` holds
@@ -85,6 +86,32 @@ impl LatencyHist {
         &self.buckets
     }
 }
+
+/// The single declared registry of every Prometheus series name the
+/// service exposes. [`Metrics::prometheus`] draws exclusively from this
+/// list (histogram names additionally emit the standard `_bucket`,
+/// `_sum`, and `_count` sub-series), and the `bisched-analyze`
+/// `metric-registry` lint fails the build when a `bisched_*` name
+/// appears in the source without being declared here — add the name and
+/// its emission together.
+pub const METRIC_NAMES: &[&str] = &[
+    "bisched_requests_total",
+    "bisched_solved_total",
+    "bisched_errors_total",
+    "bisched_busy_total",
+    "bisched_batches_total",
+    "bisched_batched_jobs_total",
+    "bisched_cache_hits_total",
+    "bisched_cache_misses_total",
+    "bisched_cache_evictions_total",
+    "bisched_cache_entries",
+    "bisched_uptime_seconds",
+    "bisched_method_wins_total",
+    "bisched_method_cancelled_total",
+    "bisched_request_latency_seconds",
+    "bisched_queue_wait_seconds",
+    "bisched_solve_time_seconds",
+];
 
 /// Aggregate service metrics; one instance shared by every handler and
 /// worker thread.
@@ -223,7 +250,8 @@ impl Metrics {
     /// the `metrics` verb's payload. Counters use `_total` suffixes, the
     /// three latency histograms emit cumulative `le` buckets in seconds
     /// (empty buckets skipped — cumulative counts stay correct), and
-    /// per-engine tables become labeled series.
+    /// per-engine tables become labeled series. Every series name comes
+    /// from [`METRIC_NAMES`].
     pub fn prometheus(&self, cache: crate::cache::CacheCounters, cache_len: usize) -> String {
         let mut out = String::with_capacity(4096);
         let counter = |out: &mut String, name: &str, help: &str, v: u64| {
@@ -532,6 +560,33 @@ mod tests {
         assert!(text.contains("bisched_request_latency_seconds_sum 0.0907"));
         assert!(text.contains("bisched_queue_wait_seconds_count 1"));
         assert!(text.contains("bisched_solve_time_seconds_count 1"));
+        // The declared registry is live: every name in METRIC_NAMES is
+        // emitted by a populated exposition, and every emitted series
+        // name is declared (the registry and the code move together).
+        for name in METRIC_NAMES {
+            assert!(
+                text.contains(name),
+                "registered metric {name} never emitted"
+            );
+        }
+        for line in text.lines() {
+            let name = match line
+                .strip_prefix("# HELP ")
+                .or(line.strip_prefix("# TYPE "))
+            {
+                Some(rest) => rest.split_whitespace().next().unwrap_or(""),
+                None => line.split(['{', ' ']).next().unwrap_or(""),
+            };
+            let base = name
+                .strip_suffix("_bucket")
+                .or(name.strip_suffix("_sum"))
+                .or(name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                METRIC_NAMES.contains(&base),
+                "emitted series {name} is not in METRIC_NAMES"
+            );
+        }
         // Every non-comment line is `name[{labels}] value`.
         for line in text.lines() {
             if line.starts_with('#') {

@@ -17,9 +17,14 @@ use bisched_model::canonical::fnv128;
 use bisched_model::canonicalize;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// Atomics and mutexes come from the workspace concurrency facade (std
+// passthroughs in normal builds; model-checked shims under `--cfg
+// bisched_model` — the queue/cache handoff is mirrored and explored by
+// crates/analyze's `model_service_handoff` suite). The mpsc channel
+// itself stays `std`: the facade models the protocol *around* it.
+use bisched_obs::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -591,37 +596,72 @@ fn sorted_to_submitted(sorted: &[u64], submitted: &[u64]) -> Vec<u32> {
         .collect()
 }
 
+/// `SolverConfig` fields deliberately excluded from the cache key, each
+/// with its justification. The `bisched-analyze` `cache-key-fields`
+/// lint reads this table: a config field missing from both
+/// [`config_cache_bytes`] and this list fails the lint, so excluding a
+/// field always costs an explicit written reason.
+// Referenced by the contract test below; the analyzer reads it straight
+// from the source, so the non-test build never touches it.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) const CACHE_KEY_ALLOWLIST: &[(&str, &str)] = &[(
+    "fptas_parallel",
+    "parallel FPTAS expansion is result-identical to the sequential sweep, \
+     so both settings may share cache entries",
+)];
+
 /// Stable byte encoding of everything in a [`SolverConfig`] that can
 /// change a solve's outcome — part of the cache key.
+///
+/// The exhaustive destructure below is deliberate: adding a field to
+/// `SolverConfig` breaks this build until the field is either encoded
+/// here or added to the `CACHE_KEY_ALLOWLIST` with a justification —
+/// a silent wrong-config cache hit is never an option. The
+/// `bisched-analyze` `cache-key-fields` lint checks the same contract
+/// token-level (it fails when a field name appears in neither the body
+/// nor the allowlist).
 fn config_cache_bytes(config: &SolverConfig) -> Vec<u8> {
     use bisched_core::MethodPolicy;
+    let SolverConfig {
+        eps,
+        exact_budget,
+        bnb_node_limit,
+        bnb_deadline,
+        cp_node_limit,
+        race_deadline,
+        auto_exact_jobs,
+        fptas_state_cap,
+        fptas_parallel,
+        seed,
+        policy,
+    } = config;
+    // `fptas_parallel` is deliberately absent from the key: the parallel
+    // expansion is result-identical to the sequential sweep, so both may
+    // share cache entries (see CACHE_KEY_ALLOWLIST).
+    let _ = fptas_parallel;
     let mut out = Vec::new();
-    out.extend_from_slice(&config.eps.to_bits().to_le_bytes());
-    out.extend_from_slice(&config.exact_budget.to_le_bytes());
-    out.extend_from_slice(&config.bnb_node_limit.to_le_bytes());
+    out.extend_from_slice(&eps.to_bits().to_le_bytes());
+    out.extend_from_slice(&exact_budget.to_le_bytes());
+    out.extend_from_slice(&bnb_node_limit.to_le_bytes());
     // `u64::MAX` marks "no deadline" (a real deadline of u64::MAX ns is
     // indistinguishable from none in effect, so the collision is benign).
-    let deadline_ns = config
-        .bnb_deadline
+    let deadline_ns = bnb_deadline
         .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
         .unwrap_or(u64::MAX);
     out.extend_from_slice(&deadline_ns.to_le_bytes());
-    out.extend_from_slice(&config.cp_node_limit.to_le_bytes());
+    out.extend_from_slice(&cp_node_limit.to_le_bytes());
     // Same `u64::MAX`-as-"none" convention for the race deadline.
-    let race_ns = config
-        .race_deadline
+    let race_ns = race_deadline
         .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
         .unwrap_or(u64::MAX);
     out.extend_from_slice(&race_ns.to_le_bytes());
     // `u64::MAX` marks "no FPTAS state cap" (a real cap never reaches it:
     // `SolverConfig::build` rejects 0 and widths are bounded by memory).
-    // `fptas_parallel` is deliberately absent: the parallel expansion is
-    // result-identical to the sequential sweep, so both may share entries.
-    let fptas_cap = config.fptas_state_cap.map(|c| c as u64).unwrap_or(u64::MAX);
+    let fptas_cap = fptas_state_cap.map(|c| c as u64).unwrap_or(u64::MAX);
     out.extend_from_slice(&fptas_cap.to_le_bytes());
-    out.extend_from_slice(&(config.auto_exact_jobs as u64).to_le_bytes());
-    out.extend_from_slice(&config.seed.to_le_bytes());
-    match &config.policy {
+    out.extend_from_slice(&(*auto_exact_jobs as u64).to_le_bytes());
+    out.extend_from_slice(&seed.to_le_bytes());
+    match policy {
         MethodPolicy::Auto => out.push(0),
         MethodPolicy::Force(m) => {
             out.push(1);
@@ -680,5 +720,47 @@ mod tests {
             config_cache_bytes(&base.clone().fptas_parallel(true)),
             baseline
         );
+    }
+
+    /// The cache-key contract: `config_cache_bytes` exhaustively
+    /// destructures `SolverConfig` (a new field is a compile error in
+    /// that function until it is encoded or allowlisted), and every
+    /// allowlisted exclusion both names a real field and genuinely does
+    /// not perturb the key.
+    #[test]
+    fn cache_key_allowlist_matches_reality() {
+        // Mirror destructure: this test stops compiling at the same
+        // moment `config_cache_bytes` does, so the contract cannot rot
+        // silently in a build where tests are skipped.
+        let SolverConfig {
+            eps: _,
+            exact_budget: _,
+            bnb_node_limit: _,
+            bnb_deadline: _,
+            cp_node_limit: _,
+            race_deadline: _,
+            auto_exact_jobs: _,
+            fptas_state_cap: _,
+            fptas_parallel: _,
+            seed: _,
+            policy: _,
+        } = SolverConfig::new();
+
+        assert!(
+            !CACHE_KEY_ALLOWLIST.is_empty(),
+            "allowlist exists to carry justifications; emptying it means \
+             every field is encoded — then delete this assertion too"
+        );
+        for (field, why) in CACHE_KEY_ALLOWLIST {
+            assert!(
+                !why.trim().is_empty(),
+                "allowlisted field `{field}` needs a written justification"
+            );
+            assert_eq!(
+                *field, "fptas_parallel",
+                "new allowlist entry `{field}`: extend this test with a \
+                 key-equality check proving the field really is inert"
+            );
+        }
     }
 }

@@ -299,6 +299,37 @@
 //! which emits one JSON object (req/s, cache hit rate, client-side
 //! p50/p99 latency) instead of the human summary.
 //!
+//! ## Auditing the concurrency
+//!
+//! The workspace's cross-file contracts and lock-free protocols are
+//! machine-checked, not just documented. `bisched-analyze` is a
+//! dependency-free token-level linter over five invariants — cache-key
+//! coverage of `SolverConfig`, `Method` wire-name/dispatch/label
+//! coverage, `SAFETY:` comments on every `unsafe`,
+//! `#![forbid(unsafe_code)]` everywhere outside a two-crate allowlist,
+//! and a closed registry of metric and trace-event names:
+//!
+//! ```text
+//! cargo run -p bisched-analyze            # lint; nonzero exit on drift
+//! bisched_cli analyze --self-check        # 6 seeded mutations must be caught
+//! ```
+//!
+//! The lock-free pieces — the flight recorder's ring, the portfolio
+//! race's [`SearchCtl`](exact::SearchCtl) bound exchange, the service's
+//! shutdown/queue handoff — are explored interleaving-by-interleaving
+//! by the loom-style model checker in [`obs`]`::model`, swapped in by a
+//! cfg so production builds pay nothing:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg bisched_model" cargo test -p bisched-obs -p bisched-analyze
+//! ```
+//!
+//! Each suite asserts its exploration completed (no budget cut) and
+//! carries a seeded-bug mutation test proving the checker still bites;
+//! CI additionally runs the real-thread ring tests under Miri. See
+//! `crates/analyze/README.md` for the lint catalogue and the checker's
+//! scope and limits.
+//!
 //! ## Guarantees and where they come from
 //!
 //! Every report carries a typed [`Guarantee`](core::Guarantee) tied to the
@@ -334,7 +365,9 @@
 //!   gap reductions, and the [`Solver`](core::Solver) engine;
 //! * [`random`] — Section 4.1's random-graph analysis;
 //! * [`obs`] — the flight recorder (lock-free per-thread event rings,
-//!   Chrome trace-event export) and the leveled logger;
+//!   Chrome trace-event export), the leveled logger, and the
+//!   `cfg(bisched_model)` model-checking scheduler behind the `sync`
+//!   facade;
 //! * [`lab`] — the scenario corpus, benchmark harness, and
 //!   perf-regression gate behind `bisched_cli lab`;
 //! * [`service`] — the solve daemon: JSON-lines TCP protocol,
@@ -342,7 +375,10 @@
 //!   Prometheus metrics.
 
 #![warn(missing_docs)]
-
+// Unsafe code is confined to bisched-obs (the model-checked ring)
+// and bisched-bench (a counting allocator); everywhere else it is a
+// hard error. The bisched-analyze forbid-unsafe lint keeps this list.
+#![forbid(unsafe_code)]
 pub use bisched_baselines as baselines;
 pub use bisched_core as core;
 pub use bisched_cp as cp;

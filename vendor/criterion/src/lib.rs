@@ -4,6 +4,10 @@
 //! enough for `cargo bench` to compile, run, and smoke-test the bench
 //! targets without the real statistics engine.
 
+// Unsafe code is confined to bisched-obs (the model-checked ring)
+// and bisched-bench (a counting allocator); everywhere else it is a
+// hard error. The bisched-analyze forbid-unsafe lint keeps this list.
+#![forbid(unsafe_code)]
 use std::fmt::Display;
 use std::time::Instant;
 

@@ -7,6 +7,10 @@
 //! failing inputs are **not shrunk**, and each test's RNG seed is derived
 //! from the test's name, so runs are deterministic.
 
+// Unsafe code is confined to bisched-obs (the model-checked ring)
+// and bisched-bench (a counting allocator); everywhere else it is a
+// hard error. The bisched-analyze forbid-unsafe lint keeps this list.
+#![forbid(unsafe_code)]
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::{Range, RangeInclusive};

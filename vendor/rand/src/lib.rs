@@ -5,6 +5,10 @@
 //! `seed_from_u64`, and [`rngs::StdRng`] backed by xoshiro256** seeded via
 //! splitmix64 — deterministic across platforms and runs.
 
+// Unsafe code is confined to bisched-obs (the model-checked ring)
+// and bisched-bench (a counting allocator); everywhere else it is a
+// hard error. The bisched-analyze forbid-unsafe lint keeps this list.
+#![forbid(unsafe_code)]
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level uniform random source.

@@ -5,6 +5,10 @@
 //! results. Swap in real rayon to restore parallelism — call sites need no
 //! change.
 
+// Unsafe code is confined to bisched-obs (the model-checked ring)
+// and bisched-bench (a counting allocator); everywhere else it is a
+// hard error. The bisched-analyze forbid-unsafe lint keeps this list.
+#![forbid(unsafe_code)]
 /// A scope for spawning tasks that may borrow from the enclosing stack
 /// frame, mirroring `rayon::Scope`.
 ///

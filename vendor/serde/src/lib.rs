@@ -6,6 +6,10 @@
 //! The derive macros from `serde_derive` are re-exported under the usual
 //! names, so `#[derive(Serialize, Deserialize)]` call sites are unchanged.
 
+// Unsafe code is confined to bisched-obs (the model-checked ring)
+// and bisched-bench (a counting allocator); everywhere else it is a
+// hard error. The bisched-analyze forbid-unsafe lint keeps this list.
+#![forbid(unsafe_code)]
 pub use serde_derive::{Deserialize, Serialize};
 
 pub mod value;

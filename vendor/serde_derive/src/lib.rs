@@ -9,6 +9,10 @@
 //! Implemented with hand-rolled token walking (no `syn`/`quote`), which is
 //! enough for the shapes this workspace derives.
 
+// Unsafe code is confined to bisched-obs (the model-checked ring)
+// and bisched-bench (a counting allocator); everywhere else it is a
+// hard error. The bisched-analyze forbid-unsafe lint keeps this list.
+#![forbid(unsafe_code)]
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// One parsed named field.

@@ -3,6 +3,10 @@
 //! Re-exports the value model from the `serde` stand-in and provides
 //! [`to_string`] / [`from_str`] over it with a hand-written JSON parser.
 
+// Unsafe code is confined to bisched-obs (the model-checked ring)
+// and bisched-bench (a counting allocator); everywhere else it is a
+// hard error. The bisched-analyze forbid-unsafe lint keeps this list.
+#![forbid(unsafe_code)]
 pub use serde::value::{Map, Number, Value};
 use serde::{Deserialize, Serialize};
 
