@@ -182,6 +182,165 @@ fn bounded_queue_busy_accounting_is_exact() {
     assert!(report.complete, "exploration was budget-cut: {report:?}");
 }
 
+/// Mirror of the sharded front end: one global `shutting_down` flag,
+/// one `Mutex<Chan>` per shard (the per-shard `Mutex<Option<SyncSender>>`
+/// + bounded channel in `server.rs`); `Service::begin_shutdown` swaps
+/// the flag once, then closes every shard's queue in index order.
+struct ShardedHandoff {
+    shutting_down: AtomicBool,
+    shards: Vec<Mutex<Chan>>,
+    cap: usize,
+}
+
+impl ShardedHandoff {
+    fn new(shards: usize, cap: usize) -> Self {
+        ShardedHandoff {
+            shutting_down: AtomicBool::new(false),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Chan {
+                        open: true,
+                        buf: Vec::new(),
+                    })
+                })
+                .collect(),
+            cap,
+        }
+    }
+
+    /// Mirror of `handle_solve`: route, then enqueue on the owning
+    /// shard only — no other shard's lock is touched.
+    fn submit(&self, job: u64) -> Submit {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Submit::Refused;
+        }
+        let shard = (job % self.shards.len() as u64) as usize;
+        let mut chan = self.shards[shard].lock().unwrap();
+        if !chan.open {
+            return Submit::Refused;
+        }
+        if chan.buf.len() >= self.cap {
+            return Submit::Busy;
+        }
+        chan.buf.push(job);
+        Submit::Accepted
+    }
+
+    /// Mirror of `Service::begin_shutdown`: flag first, then close each
+    /// shard's queue under its own mutex, in index order.
+    fn shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for shard in &self.shards {
+            shard.lock().unwrap().open = false;
+        }
+    }
+
+    fn drain(&self, shard: usize) -> Vec<u64> {
+        let mut chan = self.shards[shard].lock().unwrap();
+        assert!(!chan.open, "drain models the post-close worker exit path");
+        std::mem::take(&mut chan.buf)
+    }
+}
+
+#[test]
+fn per_shard_shutdown_loses_no_accepted_job_on_any_shard() {
+    let report = model::check("handoff_shard_shutdown", Options::default(), || {
+        let h = Arc::new(ShardedHandoff::new(2, 8));
+        let outcomes: Arc<Mutex<Vec<(u64, Submit)>>> = Arc::new(Mutex::new(Vec::new()));
+        // Jobs 20 and 21 route to shards 0 and 1 respectively, so the
+        // closer races BOTH shards' queue closes against an in-flight
+        // submit on each.
+        let producers: Vec<_> = [20u64, 21]
+            .into_iter()
+            .map(|job| {
+                let (h, outcomes) = (Arc::clone(&h), Arc::clone(&outcomes));
+                model::spawn(move || {
+                    let r = h.submit(job);
+                    outcomes.lock().unwrap().push((job, r));
+                })
+            })
+            .collect();
+        let closer = {
+            let h = Arc::clone(&h);
+            model::spawn(move || h.shutdown())
+        };
+        for p in producers {
+            p.join();
+        }
+        closer.join();
+
+        let outcomes = outcomes.lock().unwrap();
+        for shard in 0..2usize {
+            let drained = h.drain(shard);
+            let mut accepted: Vec<u64> = outcomes
+                .iter()
+                .filter(|(job, r)| (*job % 2) as usize == shard && *r == Submit::Accepted)
+                .map(|(job, _)| *job)
+                .collect();
+            accepted.sort_unstable();
+            let mut got = drained;
+            got.sort_unstable();
+            assert_eq!(
+                got, accepted,
+                "shard {shard}: accepted jobs and the post-close drain \
+                 must agree exactly across the sharded shutdown race"
+            );
+        }
+    });
+    assert!(report.complete, "exploration was budget-cut: {report:?}");
+    assert!(report.schedules > 1, "scheduler found no concurrency");
+}
+
+#[test]
+fn shard_queues_bounce_independently_with_exact_accounting() {
+    let report = model::check("handoff_shard_busy", Options::default(), || {
+        // Cap 1 per shard: two jobs racing for shard 0, one for shard 1.
+        // Shard 0's backpressure must bounce exactly one of its two
+        // submissions and must not leak onto shard 1.
+        let h = Arc::new(ShardedHandoff::new(2, 1));
+        let outcomes: Arc<Mutex<Vec<(u64, Submit)>>> = Arc::new(Mutex::new(Vec::new()));
+        let producers: Vec<_> = [30u64, 32, 31]
+            .into_iter()
+            .map(|job| {
+                let (h, outcomes) = (Arc::clone(&h), Arc::clone(&outcomes));
+                model::spawn(move || {
+                    let r = h.submit(job);
+                    outcomes.lock().unwrap().push((job, r));
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join();
+        }
+        let outcomes = outcomes.lock().unwrap();
+        let count = |shard: u64, want: Submit| {
+            outcomes
+                .iter()
+                .filter(|(job, r)| job % 2 == shard && *r == want)
+                .count()
+        };
+        assert_eq!(
+            (count(0, Submit::Accepted), count(0, Submit::Busy)),
+            (1, 1),
+            "shard 0: two submissions into cap 1 must split accept/busy exactly"
+        );
+        assert_eq!(
+            (count(1, Submit::Accepted), count(1, Submit::Busy)),
+            (1, 0),
+            "shard 1: its queue is independent — shard 0's pressure must not bounce it"
+        );
+        for (shard, chan) in h.shards.iter().enumerate() {
+            assert!(
+                chan.lock().unwrap().buf.len() <= 1,
+                "shard {shard} queue above its bound"
+            );
+        }
+    });
+    assert!(report.complete, "exploration was budget-cut: {report:?}");
+}
+
 fn report_for(p: u64) -> Arc<bisched_core::SolveReport> {
     let inst = Instance::identical(2, vec![p, 1], Graph::empty(2)).unwrap();
     Arc::new(bisched_core::Solver::new().solve(&inst).unwrap())

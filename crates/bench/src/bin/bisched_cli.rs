@@ -11,14 +11,16 @@
 //!                          [--exact-budget <mass>] [--trace-out <file>]
 //!                          [--profile-out <file>] [--json]
 //! bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
-//!                   [--cache-cap <n>] [--queue-cap <n>] [--log-level <level>]
+//!                   [--cache-cap <n>] [--queue-cap <n>] [--shards <n>]
+//!                   [--cache-snapshot <path>] [--log-level <level>]
 //!                   [--log-json] [--exemplar-k <n>] [--exemplar-window-s <s>]
 //! bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>]
-//!                    [--method <m>] [--no-cache] [--shutdown] [--json]
+//!                    [--method <m>] [--clients <k>] [--stall-us <us>]
+//!                    [--frame json|binary] [--no-cache] [--shutdown] [--json]
 //! bisched_cli metrics --addr <host:port>
-//! bisched_cli trace --addr <host:port> [--json]
+//! bisched_cli trace --addr <host:port> [--shard <i>] [--json]
 //! bisched_cli lab list
-//! bisched_cli lab run --suite quick|full|paper-sec4|fptas-scaling [--out <path>]
+//! bisched_cli lab run --suite <name>[,<name>...] [--out <path>]
 //!                     [--reps <n>] [--warmup <n>] [--seq] [--trace-out <file>]
 //!                     [--profile-out <file>]
 //! bisched_cli lab compare <old.json> <new.json> [--fail-threshold <pct>]
@@ -55,23 +57,34 @@
 //!
 //! Instances use the text format of `bisched_model::io` (see its docs).
 //! `serve` runs the `bisched-service` daemon until a `shutdown` request
-//! arrives (`--log-level error|warn|info|debug|trace` tunes its stderr
+//! arrives (`--shards N` splits it into N independent cache/queue/worker
+//! shards routed by canonical fingerprint, `--cache-snapshot <path>`
+//! persists every shard's cache on drain and warm-starts the next boot
+//! from it, `--log-level error|warn|info|debug|trace` tunes its stderr
 //! logging, `--log-json` switches it to one JSON object per line, and
 //! `--exemplar-k` / `--exemplar-window-s` size the always-on slow-request
 //! exemplar buffer); `metrics` fetches a running daemon's Prometheus text
 //! exposition (the `metrics` verb) and prints it to stdout, ready to be
 //! relayed by a scrape endpoint; `trace` fetches the daemon's
 //! slow-request exemplars (the `trace` verb) — the K worst requests of
-//! the current and previous windows as span trees with engine counters —
+//! the current and previous windows as span trees with engine counters,
+//! merged across shards and tagged with their shard id, or one shard's
+//! ring under `--shard <i>` —
 //! and pretty-prints them (`--json` for the raw payload);
 //! `submit` pushes a JSONL workload (one
 //! `InstanceData` object
 //! per line) through a running daemon, validates every returned schedule
 //! client-side, and prints a throughput summary — `--repeat` replays the
-//! file K times so cache behaviour shows up in the hit rate, and
+//! file K times so cache behaviour shows up in the hit rate, `--clients
+//! K` is the saturation mode (K concurrent connections replay the
+//! workload with striped start offsets; the summary adds aggregate req/s
+//! and the daemon's per-shard hit rates), `--frame binary` negotiates
+//! the length-prefixed binary framing before submitting, `--stall-us`
+//! asks the daemon to hold each request on its shard for that many
+//! microseconds (load-shape emulation; see `PROTOCOL.md`), and
 //! `--json` swaps the summary for one machine-readable JSON object
-//! (req/s, hit rate, client-side p50/p99 latency) so load runs can be
-//! scripted alongside the in-process lab suites.
+//! (req/s, hit rate, client-side p50/p99 latency, per-shard hit rates)
+//! so load runs can be scripted alongside the in-process lab suites.
 //!
 //! `lab` drives the `bisched-lab` benchmark harness: `list` prints the
 //! scenario corpus, `run` executes a suite and writes
@@ -130,17 +143,20 @@ const USAGE: &str = "usage:
                            [--exact-budget <mass>] [--trace-out <file>]
                            [--profile-out <file>] [--json]
   bisched_cli serve [--addr <host:port>] [--workers <n>] [--batch <b>]
-                    [--cache-cap <n>] [--queue-cap <n>]
+                    [--cache-cap <n>] [--queue-cap <n>] [--shards <n>]
+                    [--cache-snapshot <path>]
                     [--log-level error|warn|info|debug|trace] [--log-json]
                     [--exemplar-k <n>] [--exemplar-window-s <s>]
   bisched_cli submit --addr <host:port> <file.jsonl> [--repeat <k>] [--method <m>]
+                     [--clients <k>] [--stall-us <us>] [--frame json|binary]
                      [--no-cache] [--shutdown] [--json]
   bisched_cli metrics --addr <host:port>
-  bisched_cli trace --addr <host:port> [--json]
+  bisched_cli trace --addr <host:port> [--shard <i>] [--json]
   bisched_cli lab list
-  bisched_cli lab run --suite quick|full|paper-sec4|fptas-scaling [--out <path>]
+  bisched_cli lab run --suite <name>[,<name>...] [--out <path>]
                       [--reps <n>] [--warmup <n>] [--seq] [--trace-out <file>]
                       [--profile-out <file>]
+                      (suites: quick, full, paper-sec4, fptas-scaling, service_scaling)
   bisched_cli lab compare <old.json> <new.json> [--fail-threshold <pct>]
                           [--quality-threshold <pct>]
   bisched_cli analyze [--root <path>] [--self-check]";
@@ -428,36 +444,174 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 }
                 opts.exemplar_window = std::time::Duration::from_secs_f64(secs);
             }
+            "--shards" => {
+                opts.shards = parse(it.next(), "--shards value")?;
+                if opts.shards == 0 {
+                    return Err(format!("--shards must be at least 1\n{USAGE}"));
+                }
+            }
+            "--cache-snapshot" => {
+                let path: String = parse(it.next(), "--cache-snapshot value")?;
+                opts.cache_snapshot = Some(path.into());
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
     let workers = opts.workers;
+    let shards = opts.shards;
     let service = Service::start(opts).map_err(|e| format!("serve: {e}"))?;
     println!(
-        "bisched-service listening on {} ({} workers); send {{\"verb\":\"shutdown\"}} to stop",
+        "bisched-service listening on {} ({} workers, {} shard{}); send {{\"verb\":\"shutdown\"}} to stop",
         service.local_addr(),
-        workers
+        workers,
+        shards,
+        if shards == 1 { "" } else { "s" }
     );
     service.join(); // blocks until a shutdown request; logs final stats
     Ok(())
 }
 
-fn cmd_submit(args: &[String]) -> Result<(), String> {
+/// Per-connection submit counters, merged across `--clients` threads.
+#[derive(Default)]
+struct SubmitTally {
+    requests: u64,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    invalid: u64,
+    hits: u64,
+    latencies_ms: Vec<f64>,
+}
+
+impl SubmitTally {
+    fn merge(&mut self, other: SubmitTally) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.busy += other.busy;
+        self.errors += other.errors;
+        self.invalid += other.invalid;
+        self.hits += other.hits;
+        self.latencies_ms.extend(other.latencies_ms);
+    }
+}
+
+/// The per-request knobs one submit connection replays the workload
+/// under.
+#[derive(Clone)]
+struct SubmitKnobs {
+    repeat: usize,
+    method: Option<String>,
+    no_cache: bool,
+    stall_us: Option<u64>,
+    binary: bool,
+}
+
+/// Replays the whole workload `repeat` times on one connection,
+/// starting at `offset` (clients stripe their start offsets so they
+/// touch different shards at any instant).
+fn run_submit_client(
+    addr: &str,
+    workload: &[(bisched_model::InstanceData, Instance)],
+    knobs: &SubmitKnobs,
+    offset: usize,
+) -> Result<SubmitTally, String> {
     use bisched_service::{Client, Request};
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    if knobs.binary {
+        client
+            .upgrade_binary()
+            .map_err(|e| format!("upgrade: {e}"))?;
+    }
+    let mut tally = SubmitTally::default();
+    for round in 0..knobs.repeat.max(1) {
+        for i in 0..workload.len() {
+            let k = (offset + i) % workload.len();
+            let (data, inst) = &workload[k];
+            let mut req = Request::solve(data.clone());
+            req.id = Some((round * workload.len() + k) as u64);
+            req.method = knobs.method.clone();
+            req.stall_us = knobs.stall_us;
+            if knobs.no_cache {
+                req.no_cache = Some(true);
+            }
+            tally.requests += 1;
+            // Backpressure: retry `busy` a few times with a short pause
+            // before counting the request as dropped.
+            let t_req = std::time::Instant::now();
+            let mut resp = client.request(&req).map_err(|e| format!("submit: {e}"))?;
+            for _ in 0..3 {
+                if resp.status != "busy" {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                resp = client.request(&req).map_err(|e| format!("submit: {e}"))?;
+            }
+            if resp.status == "ok" {
+                tally.latencies_ms.push(t_req.elapsed().as_secs_f64() * 1e3);
+            }
+            match resp.status.as_str() {
+                "ok" => {
+                    let valid = resp
+                        .assignment
+                        .as_ref()
+                        .is_some_and(|a| Schedule::new(a.clone()).validate(inst).is_ok());
+                    if valid {
+                        tally.ok += 1;
+                    } else {
+                        tally.invalid += 1;
+                        eprintln!("request {k} (round {round}): invalid schedule returned");
+                    }
+                    if resp.cached == Some(true) {
+                        tally.hits += 1;
+                    }
+                }
+                "busy" => tally.busy += 1,
+                _ => {
+                    tally.errors += 1;
+                    eprintln!(
+                        "request {k} (round {round}): {}",
+                        resp.error.unwrap_or_default()
+                    );
+                }
+            }
+        }
+    }
+    Ok(tally)
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    use bisched_service::Client;
     let mut addr: Option<String> = None;
     let mut file: Option<String> = None;
-    let mut repeat: usize = 1;
-    let mut method: Option<String> = None;
-    let mut no_cache = false;
+    let mut clients: usize = 1;
     let mut shutdown = false;
     let mut json = false;
+    let mut knobs = SubmitKnobs {
+        repeat: 1,
+        method: None,
+        no_cache: false,
+        stall_us: None,
+        binary: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = Some(parse(it.next(), "--addr value")?),
-            "--repeat" => repeat = parse(it.next(), "--repeat value")?,
-            "--method" => method = Some(parse(it.next(), "--method value")?),
-            "--no-cache" => no_cache = true,
+            "--repeat" => knobs.repeat = parse(it.next(), "--repeat value")?,
+            "--method" => knobs.method = Some(parse(it.next(), "--method value")?),
+            "--clients" => {
+                clients = parse(it.next(), "--clients value")?;
+                if clients == 0 {
+                    return Err(format!("--clients must be at least 1\n{USAGE}"));
+                }
+            }
+            "--stall-us" => knobs.stall_us = Some(parse(it.next(), "--stall-us value")?),
+            "--frame" => match parse::<String>(it.next(), "--frame value")?.as_str() {
+                "binary" => knobs.binary = true,
+                "json" => knobs.binary = false,
+                other => return Err(format!("--frame must be json|binary, got {other}\n{USAGE}")),
+            },
+            "--no-cache" => knobs.no_cache = true,
             "--shutdown" => shutdown = true,
             "--json" => json = true,
             other if !other.starts_with("--") => file = Some(other.to_string()),
@@ -483,66 +637,45 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     if workload.is_empty() {
         return Err(format!("{path}: no instances"));
     }
-    let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
-    let mut requests = 0u64;
-    let mut ok = 0u64;
-    let mut busy = 0u64;
-    let mut errors = 0u64;
-    let mut invalid = 0u64;
-    let mut hits = 0u64;
-    let mut latencies_ms: Vec<f64> = Vec::new();
+    let workload = std::sync::Arc::new(workload);
     let t0 = std::time::Instant::now();
-    for round in 0..repeat.max(1) {
-        for (k, (data, inst)) in workload.iter().enumerate() {
-            let mut req = Request::solve(data.clone());
-            req.id = Some((round * workload.len() + k) as u64);
-            req.method = method.clone();
-            if no_cache {
-                req.no_cache = Some(true);
-            }
-            requests += 1;
-            // Backpressure: retry `busy` a few times with a short pause
-            // before counting the request as dropped.
-            let t_req = std::time::Instant::now();
-            let mut resp = client.request(&req).map_err(|e| format!("submit: {e}"))?;
-            for _ in 0..3 {
-                if resp.status != "busy" {
-                    break;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                resp = client.request(&req).map_err(|e| format!("submit: {e}"))?;
-            }
-            if resp.status == "ok" {
-                latencies_ms.push(t_req.elapsed().as_secs_f64() * 1e3);
-            }
-            match resp.status.as_str() {
-                "ok" => {
-                    let valid = resp
-                        .assignment
-                        .as_ref()
-                        .is_some_and(|a| Schedule::new(a.clone()).validate(inst).is_ok());
-                    if valid {
-                        ok += 1;
-                    } else {
-                        invalid += 1;
-                        eprintln!("request {k} (round {round}): invalid schedule returned");
-                    }
-                    if resp.cached == Some(true) {
-                        hits += 1;
-                    }
-                }
-                "busy" => busy += 1,
-                _ => {
-                    errors += 1;
-                    eprintln!(
-                        "request {k} (round {round}): {}",
-                        resp.error.unwrap_or_default()
-                    );
-                }
-            }
+    let mut tally = SubmitTally::default();
+    if clients == 1 {
+        tally = run_submit_client(&addr, &workload, &knobs, 0)?;
+    } else {
+        // Saturation mode: K connections replay the same workload
+        // concurrently, start offsets striped so the daemons' shards are
+        // all busy from the first request.
+        let threads: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let workload = std::sync::Arc::clone(&workload);
+                let knobs = knobs.clone();
+                let offset = c * workload.len() / clients;
+                std::thread::spawn(move || run_submit_client(&addr, &workload, &knobs, offset))
+            })
+            .collect();
+        for t in threads {
+            tally.merge(t.join().map_err(|_| "client thread panicked")??);
         }
     }
     let elapsed = t0.elapsed().as_secs_f64();
+    let SubmitTally {
+        requests,
+        ok,
+        busy,
+        errors,
+        invalid,
+        hits,
+        mut latencies_ms,
+    } = tally;
+    // Per-shard cache behaviour comes from the daemon itself: one extra
+    // stats round trip after the load run.
+    let shard_stats = Client::connect(&addr)
+        .ok()
+        .and_then(|mut c| c.stats().ok())
+        .map(|s| s.shards)
+        .unwrap_or_default();
     let hit_rate = if requests > 0 {
         hits as f64 / requests as f64
     } else {
@@ -559,6 +692,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         let int = |x: u64| Value::Number(serde_json::Number::from_u64(x));
         let mut obj = Map::new();
         obj.insert("requests".into(), int(requests));
+        obj.insert("clients".into(), int(clients as u64));
         obj.insert("validated".into(), int(ok));
         obj.insert("invalid".into(), int(invalid));
         obj.insert("busy".into(), int(busy));
@@ -569,9 +703,23 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         obj.insert("req_per_s".into(), float(req_per_s));
         obj.insert("p50_ms".into(), float(p50_ms));
         obj.insert("p99_ms".into(), float(p99_ms));
+        let shards: Vec<Value> = shard_stats
+            .iter()
+            .map(|s| {
+                let mut m = Map::new();
+                m.insert("shard".into(), int(s.shard));
+                m.insert("requests".into(), int(s.requests));
+                m.insert("cache_hits".into(), int(s.cache_hits));
+                m.insert("cache_misses".into(), int(s.cache_misses));
+                m.insert("hit_rate".into(), float(s.hit_rate));
+                Value::Object(m)
+            })
+            .collect();
+        obj.insert("shards".into(), Value::Array(shards));
         println!("{}", Value::Object(obj));
     } else {
         println!("requests    {requests}");
+        println!("clients     {clients}");
         println!("validated   {ok}/{requests}");
         println!("invalid     {invalid}");
         println!("busy        {busy}");
@@ -582,9 +730,16 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         println!("throughput  {req_per_s:.1} req/s");
         println!("p50 latency {p50_ms:.3} ms");
         println!("p99 latency {p99_ms:.3} ms");
+        for s in &shard_stats {
+            println!(
+                "shard {:<3} hits {:>6}  misses {:>6}  hit rate {:.2}",
+                s.shard, s.cache_hits, s.cache_misses, s.hit_rate
+            );
+        }
     }
     if shutdown {
-        client
+        Client::connect(&addr)
+            .map_err(|e| format!("shutdown connect: {e}"))?
             .shutdown_server()
             .map_err(|e| format!("shutdown: {e}"))?;
         if !json {
@@ -622,17 +777,19 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     use bisched_service::{Client, SpanData};
     let mut addr: Option<String> = None;
     let mut json = false;
+    let mut shard: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = Some(parse(it.next(), "--addr value")?),
             "--json" => json = true,
+            "--shard" => shard = Some(parse(it.next(), "--shard value")?),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
     let addr = addr.ok_or_else(|| format!("trace requires --addr\n{USAGE}"))?;
     let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
-    let exemplars = client.trace().map_err(|e| format!("trace: {e}"))?;
+    let exemplars = client.trace(shard).map_err(|e| format!("trace: {e}"))?;
     if json {
         println!(
             "{}",
@@ -673,8 +830,9 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         println!("{label} window: {} exemplar(s)", bucket.len());
         for ex in bucket {
             println!(
-                "  request {}  {:.3} ms  {}  fingerprint {}{}",
+                "  request {}  shard {}  {:.3} ms  {}  fingerprint {}{}",
                 ex.request_id,
+                ex.shard,
                 ex.total_ms,
                 ex.method.as_deref().unwrap_or("-"),
                 &ex.fingerprint[..8.min(ex.fingerprint.len())],
@@ -707,6 +865,8 @@ fn cmd_lab_list() -> Result<(), String> {
             configs.join(", "),
             if suite.sec4.is_some() {
                 "  + Section 4.1 tables"
+            } else if suite.service.is_some() {
+                "  + sharded-service scaling ladder"
             } else {
                 ""
             }
@@ -737,18 +897,44 @@ fn cmd_lab_run(args: &[String]) -> Result<(), String> {
         }
     }
     let name = suite_name.ok_or_else(|| format!("lab run requires --suite\n{USAGE}"))?;
-    let suite = bisched_lab::suite(&name).ok_or_else(|| {
-        format!(
-            "unknown suite {name:?}; registered: {}",
-            bisched_lab::suite_names().join(", ")
-        )
-    })?;
+    // `--suite a,b` runs several suites and merges their cells into one
+    // report (one baseline file can then cover e.g. the solver corpus
+    // AND the service scaling ladder, and `lab compare` gates both).
+    let suites: Vec<bisched_lab::Suite> = name
+        .split(',')
+        .map(|part| {
+            bisched_lab::suite(part.trim()).ok_or_else(|| {
+                format!(
+                    "unknown suite {part:?}; registered: {}",
+                    bisched_lab::suite_names().join(", ")
+                )
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    if suites.is_empty() {
+        return Err(format!("lab run requires --suite\n{USAGE}"));
+    }
     // A traced/profiled lab run measures an *instrumented* suite: fine
     // for seeing where the time goes, not for committing as a baseline.
     if outs.wanted() {
         bisched_obs::start_recording(TRACE_CAPACITY);
     }
-    let report = bisched_lab::run_suite(&suite, &opts);
+    let mut report: Option<bisched_lab::LabReport> = None;
+    for suite in &suites {
+        let part = bisched_lab::run_suite(suite, &opts);
+        report = Some(match report.take() {
+            None => part,
+            Some(mut merged) => {
+                merged.suite = format!("{}+{}", merged.suite, part.suite);
+                merged.total_wall_s += part.total_wall_s;
+                merged.cells.extend(part.cells);
+                merged.sec4_graph = merged.sec4_graph.or(part.sec4_graph);
+                merged.sec4_alg2 = merged.sec4_alg2.or(part.sec4_alg2);
+                merged
+            }
+        });
+    }
+    let report = report.expect("at least one suite ran");
     outs.write()?;
     let errored: Vec<&bisched_lab::CellReport> =
         report.cells.iter().filter(|c| c.error.is_some()).collect();
@@ -759,7 +945,9 @@ fn cmd_lab_run(args: &[String]) -> Result<(), String> {
             cell.error.as_deref().unwrap_or("?")
         );
     }
-    let json_path = std::path::PathBuf::from(out.unwrap_or_else(|| format!("BENCH_{name}.json")));
+    let json_path = std::path::PathBuf::from(
+        out.unwrap_or_else(|| format!("BENCH_{}.json", name.replace(',', "+"))),
+    );
     let md_path = report
         .write_files(&json_path)
         .map_err(|e| format!("{}: {e}", json_path.display()))?;

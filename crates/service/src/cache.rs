@@ -19,6 +19,11 @@ const NIL: usize = usize::MAX;
 
 struct Slot {
     key: u128,
+    /// The raw canonical instance fingerprint (the shard routing key).
+    /// Distinct from `key`, which mixes in the solver-config bytes, and
+    /// not recoverable from it — stored so snapshots can re-bucket
+    /// entries when a restarted daemon runs a different shard count.
+    route: u128,
     certificate: Vec<u8>,
     value: Arc<SolveReport>,
     prev: usize,
@@ -104,13 +109,29 @@ impl LruCache {
     }
 
     /// Inserts (or replaces) the report for `key`, evicting the least
-    /// recently used entry when at capacity.
+    /// recently used entry when at capacity. The routing fingerprint is
+    /// recorded as the key itself — use [`LruCache::insert_routed`] when
+    /// the two differ (the service mixes config bytes into `key`).
     pub fn insert(&mut self, key: u128, certificate: Vec<u8>, value: Arc<SolveReport>) {
+        self.insert_routed(key, key, certificate, value);
+    }
+
+    /// Inserts (or replaces) the report for `key`, remembering `route`
+    /// (the raw canonical instance fingerprint) so snapshots can
+    /// re-bucket the entry under a different shard count.
+    pub fn insert_routed(
+        &mut self,
+        route: u128,
+        key: u128,
+        certificate: Vec<u8>,
+        value: Arc<SolveReport>,
+    ) {
         if self.cap == 0 {
             return;
         }
         if let Some(&slot) = self.map.get(&key) {
             // Replace in place (covers certificate-collision overwrites).
+            self.slots[slot].route = route;
             self.slots[slot].certificate = certificate;
             self.slots[slot].value = value;
             self.unlink(slot);
@@ -128,6 +149,7 @@ impl LruCache {
             Some(s) => {
                 self.slots[s] = Slot {
                     key,
+                    route,
                     certificate,
                     value,
                     prev: NIL,
@@ -138,6 +160,7 @@ impl LruCache {
             None => {
                 self.slots.push(Slot {
                     key,
+                    route,
                     certificate,
                     value,
                     prev: NIL,
@@ -149,6 +172,19 @@ impl LruCache {
         self.map.insert(key, slot);
         self.push_front(slot);
         self.counters.insertions += 1;
+    }
+
+    /// Visits every live entry most-recent first as `(route, key,
+    /// certificate, report)` — the snapshot writer's iteration order, so
+    /// a reloaded cache replays inserts oldest-first and preserves
+    /// recency.
+    pub fn for_each_entry(&self, mut f: impl FnMut(u128, u128, &[u8], &Arc<SolveReport>)) {
+        let mut at = self.head;
+        while at != NIL {
+            let s = &self.slots[at];
+            f(s.route, s.key, &s.certificate, &s.value);
+            at = s.next;
+        }
     }
 
     fn unlink(&mut self, slot: usize) {
@@ -232,6 +268,26 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert!(c.get(1, &[1]).is_none());
         assert!(c.get(1, &[1, 1]).is_some());
+    }
+
+    #[test]
+    fn routed_entries_round_trip_most_recent_first() {
+        let mut c = LruCache::new(4);
+        c.insert_routed(100, 1, vec![1], report(1));
+        c.insert_routed(200, 2, vec![2], report(2));
+        assert!(c.get(1, &[1]).is_some()); // key 1 back to most recent
+        let mut seen = Vec::new();
+        c.for_each_entry(|route, key, cert, _| seen.push((route, key, cert.to_vec())));
+        assert_eq!(
+            seen,
+            vec![(100, 1, vec![1u8]), (200, 2, vec![2u8])],
+            "iteration must be most-recent first with routes preserved"
+        );
+        // Plain insert records the key as its own route.
+        c.insert(3, vec![3], report(3));
+        let mut routes = Vec::new();
+        c.for_each_entry(|route, key, _, _| routes.push((route, key)));
+        assert_eq!(routes[0], (3, 3));
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct ExemplarData {
     /// Canonical-form fingerprint, hex — correlates exemplars with
     /// cache entries and with each other across relabelings.
     pub fingerprint: String,
+    /// The shard that served the request (`0` on single-shard servers;
+    /// defaulted so pre-sharding payloads still parse).
+    #[serde(default)]
+    pub shard: u64,
     /// The request's span tree, rooted at `solve_request`.
     pub root: SpanData,
 }
@@ -157,6 +161,7 @@ mod tests {
             cached: false,
             method: Some("fptas".into()),
             fingerprint: format!("{request_id:032x}"),
+            shard: 0,
             root: SpanData {
                 name: "solve_request".into(),
                 start_ms: 0.0,

@@ -2,7 +2,7 @@
 //! p50/p99, and per-engine win counts. Everything is cheap enough to
 //! update on the request hot path.
 
-use crate::protocol::StatsData;
+use crate::protocol::{ShardStats, StatsData};
 use bisched_core::Method;
 use std::collections::HashMap;
 // Workspace concurrency facade: std passthroughs in normal builds,
@@ -85,6 +85,17 @@ impl LatencyHist {
     pub fn buckets(&self) -> &[u64; 64] {
         &self.buckets
     }
+
+    /// Folds another histogram into this one (bucket-wise sum) — how the
+    /// sharded service renders cross-shard totals without sharing one
+    /// histogram lock on the hot path.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (b, n) in other.buckets.iter().enumerate() {
+            self.buckets[b] += n;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+    }
 }
 
 /// The single declared registry of every Prometheus series name the
@@ -111,6 +122,8 @@ pub const METRIC_NAMES: &[&str] = &[
     "bisched_request_latency_seconds",
     "bisched_queue_wait_seconds",
     "bisched_solve_time_seconds",
+    "bisched_shard_requests_total",
+    "bisched_shard_cache_hit_ratio",
 ];
 
 /// Aggregate service metrics; one instance shared by every handler and
@@ -195,167 +208,311 @@ impl Metrics {
     }
 
     /// Snapshot of everything, merged with the cache's counters, as the
-    /// `stats` verb's payload.
+    /// `stats` verb's payload (the one-shard view of
+    /// [`snapshot_sharded`]).
     pub fn snapshot(&self, cache: crate::cache::CacheCounters, cache_len: usize) -> StatsData {
-        let hist = self.hist.lock().unwrap();
-        let queue_hist = self.queue_hist.lock().unwrap();
-        let solve_hist = self.solve_hist.lock().unwrap();
-        let mut method_wins: Vec<(String, u64)> = self
-            .wins
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(m, &n)| (m.name().to_string(), n))
-            .collect();
-        method_wins.sort();
-        let mut method_cancelled: Vec<(String, u64)> = self
-            .cancelled
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(m, &n)| (m.name().to_string(), n))
-            .collect();
-        method_cancelled.sort();
-        let lookups = cache.hits + cache.misses;
-        StatsData {
-            requests: self.requests.load(Ordering::Relaxed),
-            solved: self.solved.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            busy: self.busy.load(Ordering::Relaxed),
-            cache_hits: cache.hits,
-            cache_misses: cache.misses,
-            cache_evictions: cache.evictions,
-            cache_len: cache_len as u64,
-            hit_rate: if lookups == 0 {
-                0.0
-            } else {
-                cache.hits as f64 / lookups as f64
-            },
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
-            p50_ms: hist.quantile_ms(0.50),
-            p99_ms: hist.quantile_ms(0.99),
-            queue_p50_ms: queue_hist.quantile_ms(0.50),
-            queue_p99_ms: queue_hist.quantile_ms(0.99),
-            solve_p50_ms: solve_hist.quantile_ms(0.50),
-            solve_p99_ms: solve_hist.quantile_ms(0.99),
-            cancelled: method_cancelled.iter().map(|(_, n)| n).sum(),
-            method_wins,
-            method_cancelled,
-            uptime_s: self.started.elapsed().as_secs_f64(),
-        }
+        snapshot_sharded(&[ShardView {
+            metrics: self,
+            cache,
+            cache_len,
+        }])
     }
 
     /// Renders everything as Prometheus text exposition (version 0.0.4):
-    /// the `metrics` verb's payload. Counters use `_total` suffixes, the
-    /// three latency histograms emit cumulative `le` buckets in seconds
-    /// (empty buckets skipped — cumulative counts stay correct), and
-    /// per-engine tables become labeled series. Every series name comes
-    /// from [`METRIC_NAMES`].
+    /// the `metrics` verb's payload (the one-shard view of
+    /// [`prometheus_sharded`]).
     pub fn prometheus(&self, cache: crate::cache::CacheCounters, cache_len: usize) -> String {
-        let mut out = String::with_capacity(4096);
-        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
-            ));
-        };
-        counter(
-            &mut out,
-            "bisched_requests_total",
-            "Requests received, any verb.",
-            self.requests.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "bisched_solved_total",
-            "Solve requests answered ok.",
-            self.solved.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "bisched_errors_total",
-            "Solve requests answered error.",
-            self.errors.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "bisched_busy_total",
-            "Solve requests rejected busy (backpressure).",
-            self.busy.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "bisched_batches_total",
-            "Micro-batches executed by the worker pool.",
-            self.batches.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "bisched_batched_jobs_total",
-            "Solve jobs carried by those micro-batches.",
-            self.batched_jobs.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "bisched_cache_hits_total",
-            "Canonicalization-cache hits.",
-            cache.hits,
-        );
-        counter(
-            &mut out,
-            "bisched_cache_misses_total",
-            "Canonicalization-cache misses.",
-            cache.misses,
-        );
-        counter(
-            &mut out,
-            "bisched_cache_evictions_total",
-            "Entries evicted from the canonicalization cache.",
-            cache.evictions,
-        );
-        out.push_str(&format!(
-            "# HELP bisched_cache_entries Entries currently cached.\n\
-             # TYPE bisched_cache_entries gauge\n\
-             bisched_cache_entries {cache_len}\n"
-        ));
-        out.push_str(&format!(
-            "# HELP bisched_uptime_seconds Seconds since the service started.\n\
-             # TYPE bisched_uptime_seconds gauge\n\
-             bisched_uptime_seconds {}\n",
-            self.started.elapsed().as_secs_f64()
-        ));
-        labeled_counter_table(
-            &mut out,
-            "bisched_method_wins_total",
-            "Freshly solved schedules credited to each engine.",
-            &self.wins.lock().unwrap(),
-        );
-        labeled_counter_table(
-            &mut out,
-            "bisched_method_cancelled_total",
-            "Engine attempts a portfolio race cancelled.",
-            &self.cancelled.lock().unwrap(),
-        );
-        prometheus_histogram(
-            &mut out,
-            "bisched_request_latency_seconds",
-            "End-to-end latency of ok solves, cache hits included.",
-            &self.hist.lock().unwrap(),
-        );
-        prometheus_histogram(
-            &mut out,
-            "bisched_queue_wait_seconds",
-            "Time solve jobs waited in the bounded queue.",
-            &self.queue_hist.lock().unwrap(),
-        );
-        prometheus_histogram(
-            &mut out,
-            "bisched_solve_time_seconds",
-            "Solve-phase wall time jobs experienced (whole micro-batch).",
-            &self.solve_hist.lock().unwrap(),
-        );
-        out
+        prometheus_sharded(&[ShardView {
+            metrics: self,
+            cache,
+            cache_len,
+        }])
     }
+}
+
+/// One shard's metrics plus its cache state, borrowed for the
+/// cross-shard aggregations below. The aggregators never touch a shard's
+/// solve hot path — they take each shard's locks briefly, read, and
+/// merge locally.
+pub struct ShardView<'a> {
+    /// The shard's own [`Metrics`].
+    pub metrics: &'a Metrics,
+    /// The shard cache's counters.
+    pub cache: crate::cache::CacheCounters,
+    /// Entries currently in the shard's cache.
+    pub cache_len: usize,
+}
+
+/// Sums of the scalar counters across shards, shared by the two
+/// aggregate renderers.
+struct Totals {
+    requests: u64,
+    solved: u64,
+    errors: u64,
+    busy: u64,
+    batches: u64,
+    batched_jobs: u64,
+    cache: crate::cache::CacheCounters,
+    cache_len: usize,
+    hist: LatencyHist,
+    queue_hist: LatencyHist,
+    solve_hist: LatencyHist,
+    wins: HashMap<Method, u64>,
+    cancelled: HashMap<Method, u64>,
+    uptime_s: f64,
+}
+
+impl Totals {
+    fn of(shards: &[ShardView]) -> Totals {
+        let mut t = Totals {
+            requests: 0,
+            solved: 0,
+            errors: 0,
+            busy: 0,
+            batches: 0,
+            batched_jobs: 0,
+            cache: crate::cache::CacheCounters::default(),
+            cache_len: 0,
+            hist: LatencyHist::default(),
+            queue_hist: LatencyHist::default(),
+            solve_hist: LatencyHist::default(),
+            wins: HashMap::new(),
+            cancelled: HashMap::new(),
+            uptime_s: 0.0,
+        };
+        for v in shards {
+            let m = v.metrics;
+            t.requests += m.requests.load(Ordering::Relaxed);
+            t.solved += m.solved.load(Ordering::Relaxed);
+            t.errors += m.errors.load(Ordering::Relaxed);
+            t.busy += m.busy.load(Ordering::Relaxed);
+            t.batches += m.batches.load(Ordering::Relaxed);
+            t.batched_jobs += m.batched_jobs.load(Ordering::Relaxed);
+            t.cache.hits += v.cache.hits;
+            t.cache.misses += v.cache.misses;
+            t.cache.evictions += v.cache.evictions;
+            t.cache.insertions += v.cache.insertions;
+            t.cache_len += v.cache_len;
+            t.hist.merge(&m.hist.lock().unwrap());
+            t.queue_hist.merge(&m.queue_hist.lock().unwrap());
+            t.solve_hist.merge(&m.solve_hist.lock().unwrap());
+            for (&method, &n) in m.wins.lock().unwrap().iter() {
+                *t.wins.entry(method).or_insert(0) += n;
+            }
+            for (&method, &n) in m.cancelled.lock().unwrap().iter() {
+                *t.cancelled.entry(method).or_insert(0) += n;
+            }
+            // Shards are created together at startup; report the oldest.
+            t.uptime_s = t.uptime_s.max(m.started.elapsed().as_secs_f64());
+        }
+        t
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let lookups = hits + misses;
+    if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    }
+}
+
+/// The `stats` verb's payload for a sharded service: cross-shard totals
+/// in the scalar fields plus one [`ShardStats`] per shard.
+pub fn snapshot_sharded(shards: &[ShardView]) -> StatsData {
+    let t = Totals::of(shards);
+    let mut method_wins: Vec<(String, u64)> = t
+        .wins
+        .iter()
+        .map(|(m, &n)| (m.name().to_string(), n))
+        .collect();
+    method_wins.sort();
+    let mut method_cancelled: Vec<(String, u64)> = t
+        .cancelled
+        .iter()
+        .map(|(m, &n)| (m.name().to_string(), n))
+        .collect();
+    method_cancelled.sort();
+    let per_shard = shards
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let m = v.metrics;
+            let hist = m.hist.lock().unwrap();
+            ShardStats {
+                shard: i as u64,
+                requests: m.requests.load(Ordering::Relaxed),
+                solved: m.solved.load(Ordering::Relaxed),
+                errors: m.errors.load(Ordering::Relaxed),
+                busy: m.busy.load(Ordering::Relaxed),
+                cache_hits: v.cache.hits,
+                cache_misses: v.cache.misses,
+                cache_len: v.cache_len as u64,
+                hit_rate: hit_rate(v.cache.hits, v.cache.misses),
+                p50_ms: hist.quantile_ms(0.50),
+                p99_ms: hist.quantile_ms(0.99),
+            }
+        })
+        .collect();
+    StatsData {
+        requests: t.requests,
+        solved: t.solved,
+        errors: t.errors,
+        busy: t.busy,
+        cache_hits: t.cache.hits,
+        cache_misses: t.cache.misses,
+        cache_evictions: t.cache.evictions,
+        cache_len: t.cache_len as u64,
+        hit_rate: hit_rate(t.cache.hits, t.cache.misses),
+        batches: t.batches,
+        batched_jobs: t.batched_jobs,
+        p50_ms: t.hist.quantile_ms(0.50),
+        p99_ms: t.hist.quantile_ms(0.99),
+        queue_p50_ms: t.queue_hist.quantile_ms(0.50),
+        queue_p99_ms: t.queue_hist.quantile_ms(0.99),
+        solve_p50_ms: t.solve_hist.quantile_ms(0.50),
+        solve_p99_ms: t.solve_hist.quantile_ms(0.99),
+        cancelled: method_cancelled.iter().map(|(_, n)| n).sum(),
+        method_wins,
+        method_cancelled,
+        uptime_s: t.uptime_s,
+        shards: per_shard,
+    }
+}
+
+/// The `metrics` verb's payload for a sharded service: every series from
+/// [`METRIC_NAMES`], totals first, then the per-shard
+/// `bisched_shard_requests_total` / `bisched_shard_cache_hit_ratio`
+/// breakdowns. Counters use `_total` suffixes, the three latency
+/// histograms emit cumulative `le` buckets in seconds (empty buckets
+/// skipped — cumulative counts stay correct), and per-engine tables
+/// become labeled series.
+pub fn prometheus_sharded(shards: &[ShardView]) -> String {
+    let t = Totals::of(shards);
+    let mut out = String::with_capacity(4096);
+    let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+        ));
+    };
+    counter(
+        &mut out,
+        "bisched_requests_total",
+        "Requests received, any verb.",
+        t.requests,
+    );
+    counter(
+        &mut out,
+        "bisched_solved_total",
+        "Solve requests answered ok.",
+        t.solved,
+    );
+    counter(
+        &mut out,
+        "bisched_errors_total",
+        "Solve requests answered error.",
+        t.errors,
+    );
+    counter(
+        &mut out,
+        "bisched_busy_total",
+        "Solve requests rejected busy (backpressure).",
+        t.busy,
+    );
+    counter(
+        &mut out,
+        "bisched_batches_total",
+        "Micro-batches executed by the worker pools.",
+        t.batches,
+    );
+    counter(
+        &mut out,
+        "bisched_batched_jobs_total",
+        "Solve jobs carried by those micro-batches.",
+        t.batched_jobs,
+    );
+    counter(
+        &mut out,
+        "bisched_cache_hits_total",
+        "Canonicalization-cache hits.",
+        t.cache.hits,
+    );
+    counter(
+        &mut out,
+        "bisched_cache_misses_total",
+        "Canonicalization-cache misses.",
+        t.cache.misses,
+    );
+    counter(
+        &mut out,
+        "bisched_cache_evictions_total",
+        "Entries evicted from the canonicalization caches.",
+        t.cache.evictions,
+    );
+    out.push_str(&format!(
+        "# HELP bisched_cache_entries Entries currently cached.\n\
+         # TYPE bisched_cache_entries gauge\n\
+         bisched_cache_entries {}\n",
+        t.cache_len
+    ));
+    out.push_str(&format!(
+        "# HELP bisched_uptime_seconds Seconds since the service started.\n\
+         # TYPE bisched_uptime_seconds gauge\n\
+         bisched_uptime_seconds {}\n",
+        t.uptime_s
+    ));
+    labeled_counter_table(
+        &mut out,
+        "bisched_method_wins_total",
+        "Freshly solved schedules credited to each engine.",
+        &t.wins,
+    );
+    labeled_counter_table(
+        &mut out,
+        "bisched_method_cancelled_total",
+        "Engine attempts a portfolio race cancelled.",
+        &t.cancelled,
+    );
+    prometheus_histogram(
+        &mut out,
+        "bisched_request_latency_seconds",
+        "End-to-end latency of ok solves, cache hits included.",
+        &t.hist,
+    );
+    prometheus_histogram(
+        &mut out,
+        "bisched_queue_wait_seconds",
+        "Time solve jobs waited in the bounded queues.",
+        &t.queue_hist,
+    );
+    prometheus_histogram(
+        &mut out,
+        "bisched_solve_time_seconds",
+        "Solve-phase wall time jobs experienced (whole micro-batch).",
+        &t.solve_hist,
+    );
+    out.push_str(
+        "# HELP bisched_shard_requests_total Requests handled by each shard's loop.\n\
+         # TYPE bisched_shard_requests_total counter\n",
+    );
+    for (i, v) in shards.iter().enumerate() {
+        out.push_str(&format!(
+            "bisched_shard_requests_total{{shard=\"{i}\"}} {}\n",
+            v.metrics.requests.load(Ordering::Relaxed)
+        ));
+    }
+    out.push_str(
+        "# HELP bisched_shard_cache_hit_ratio Cache hit ratio within each shard's LRU.\n\
+         # TYPE bisched_shard_cache_hit_ratio gauge\n",
+    );
+    for (i, v) in shards.iter().enumerate() {
+        out.push_str(&format!(
+            "bisched_shard_cache_hit_ratio{{shard=\"{i}\"}} {}\n",
+            hit_rate(v.cache.hits, v.cache.misses)
+        ));
+    }
+    out
 }
 
 /// One `name{method="..."} n` line per engine, sorted by name for stable
@@ -615,6 +772,68 @@ mod tests {
                 last = Some((head.to_string(), n));
             }
         }
+    }
+
+    #[test]
+    fn sharded_aggregation_sums_counters_and_merges_histograms() {
+        let (a, b) = (Metrics::default(), Metrics::default());
+        a.requests.store(4, Ordering::Relaxed);
+        b.requests.store(6, Ordering::Relaxed);
+        a.solved.store(3, Ordering::Relaxed);
+        b.solved.store(5, Ordering::Relaxed);
+        a.record_win(Method::Cp);
+        b.record_win(Method::Cp);
+        b.record_win(Method::Bjw);
+        a.record_latency(700);
+        b.record_latency(700);
+        b.record_latency(90_000);
+        let views = [
+            ShardView {
+                metrics: &a,
+                cache: crate::cache::CacheCounters {
+                    hits: 2,
+                    misses: 2,
+                    evictions: 0,
+                    insertions: 2,
+                },
+                cache_len: 2,
+            },
+            ShardView {
+                metrics: &b,
+                cache: crate::cache::CacheCounters {
+                    hits: 3,
+                    misses: 1,
+                    evictions: 1,
+                    insertions: 1,
+                },
+                cache_len: 1,
+            },
+        ];
+        let s = snapshot_sharded(&views);
+        assert_eq!(s.requests, 10);
+        assert_eq!(s.solved, 8);
+        assert_eq!(s.cache_hits, 5);
+        assert_eq!(s.cache_len, 3);
+        assert!((s.hit_rate - 5.0 / 8.0).abs() < 1e-12);
+        assert_eq!(
+            s.method_wins,
+            vec![("bjw".to_string(), 1), ("cp".to_string(), 2)]
+        );
+        assert_eq!(s.shards.len(), 2);
+        assert_eq!(s.shards[0].shard, 0);
+        assert_eq!(s.shards[0].requests, 4);
+        assert!((s.shards[0].hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.shards[1].cache_hits, 3);
+        assert!(s.shards[1].p99_ms > s.shards[0].p99_ms);
+
+        let text = prometheus_sharded(&views);
+        assert!(text.contains("bisched_requests_total 10"));
+        assert!(text.contains("bisched_shard_requests_total{shard=\"0\"} 4"));
+        assert!(text.contains("bisched_shard_requests_total{shard=\"1\"} 6"));
+        assert!(text.contains("bisched_shard_cache_hit_ratio{shard=\"0\"} 0.5"));
+        assert!(text.contains("bisched_shard_cache_hit_ratio{shard=\"1\"} 0.75"));
+        // The merged request-latency histogram carries all three samples.
+        assert!(text.contains("bisched_request_latency_seconds_count 3"));
     }
 
     #[test]

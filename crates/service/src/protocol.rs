@@ -40,6 +40,20 @@ pub struct Request {
     /// Skip the cache lookup (the result is still stored).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub no_cache: Option<bool>,
+    /// Restrict a `trace` request to one shard's exemplar ring (the
+    /// merged all-shard view is returned when absent).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard: Option<u64>,
+    /// Frame encoding requested by an `upgrade` verb (`"binary"` is the
+    /// only non-default; see `PROTOCOL.md` §v2).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub frame: Option<String>,
+    /// Benchmark aid (`solve` only): hold the request on its shard loop
+    /// for this many microseconds before answering, emulating a heavier
+    /// per-request cost. Like `no_cache`, a load-generation knob — never
+    /// set by production clients.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stall_us: Option<u64>,
 }
 
 impl Request {
@@ -55,6 +69,9 @@ impl Request {
             cp_node_limit: None,
             race_deadline_ms: None,
             no_cache: None,
+            shard: None,
+            frame: None,
+            stall_us: None,
         }
     }
 
@@ -306,4 +323,36 @@ pub struct StatsData {
     pub method_cancelled: Vec<(String, u64)>,
     /// Seconds since the service started.
     pub uptime_s: f64,
+    /// Per-shard breakdown (empty on pre-sharding servers; the scalar
+    /// fields above are always the cross-shard totals).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub shards: Vec<ShardStats>,
+}
+
+/// One shard's slice of the [`StatsData`] totals: the counters that vary
+/// meaningfully per shard under fingerprint routing.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index (`fingerprint % shard_count`).
+    pub shard: u64,
+    /// Requests this shard's loop handled (all verbs).
+    pub requests: u64,
+    /// Solve requests answered `ok` on this shard.
+    pub solved: u64,
+    /// Solve requests answered `error` on this shard.
+    pub errors: u64,
+    /// Solve requests this shard's bounded queue bounced.
+    pub busy: u64,
+    /// Cache hits in this shard's LRU.
+    pub cache_hits: u64,
+    /// Cache misses in this shard's LRU.
+    pub cache_misses: u64,
+    /// Entries currently in this shard's LRU.
+    pub cache_len: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when empty.
+    pub hit_rate: f64,
+    /// Median request latency on this shard, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency on this shard, milliseconds.
+    pub p99_ms: f64,
 }

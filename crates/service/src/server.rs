@@ -1,21 +1,37 @@
-//! The daemon: a `std::net` TCP listener speaking the JSON-lines
-//! protocol, one handler thread per connection, backed by the shared
-//! canonicalization cache and the micro-batching worker pool.
+//! The daemon: a `std::net` TCP listener in front of N independent
+//! shards, each owning its own LRU cache, bounded queue, worker pool,
+//! latency histograms, and slow-request exemplar ring. Connections speak
+//! JSON lines by default and may negotiate length-prefixed binary frames
+//! via the `upgrade` verb (see `PROTOCOL.md` §v2).
 //!
-//! Lifecycle: [`Service::start`] binds and spawns everything;
+//! Every solve request is routed by its canonical 128-bit fingerprint
+//! (`fingerprint % shard_count`), so isomorphic relabelings of one
+//! instance always land on the same shard — and therefore the same
+//! cache. The solve hot path touches no cross-shard lock: shard state is
+//! only aggregated on the cold `stats`/`metrics`/`trace` verbs.
+//!
+//! The accept loop is a non-blocking poll (`set_nonblocking` + short
+//! sleeps), so shutdown needs no connect-to-self poke: the loop observes
+//! the flag within milliseconds.
+//!
+//! Lifecycle: [`Service::start`] binds and spawns everything (optionally
+//! warm-starting every shard cache from a snapshot file);
 //! [`Service::join`] blocks until a `shutdown` request (or a programmatic
-//! [`Service::shutdown`]) arrives, drains the queue, joins every thread,
-//! logs the final stats to stderr, and returns them.
+//! [`Service::shutdown`]) arrives, drains every shard queue, joins every
+//! thread, writes the cache snapshot if one was configured, logs the
+//! final stats to stderr, and returns them.
 
 use crate::cache::LruCache;
-use crate::exemplar::{ExemplarData, SlowRing, SpanData};
-use crate::metrics::Metrics;
+use crate::exemplar::{ExemplarData, SlowRing, SpanData, TraceData};
+use crate::frame;
+use crate::metrics::{prometheus_sharded, snapshot_sharded, Metrics, ShardView};
 use crate::protocol::{AttemptData, Request, Response, StatsData};
-use crate::worker::{spawn_workers, Job, JobReply};
+use crate::snapshot::{self, SnapshotEntry};
+use crate::worker::{spawn_shard_workers, Job, JobReply};
 use bisched_core::SolverConfig;
 use bisched_model::canonical::fnv128;
 use bisched_model::canonicalize;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 // Atomics and mutexes come from the workspace concurrency facade (std
 // passthroughs in normal builds; model-checked shims under `--cfg
@@ -23,10 +39,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 // crates/analyze's `model_service_handoff` suite). The mpsc channel
 // itself stays `std`: the facade models the protocol *around* it.
 use bisched_obs::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
+use std::path::PathBuf;
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How long the non-blocking accept loop and idle connection reads sleep
+/// between polls. Small enough that shutdown and new connections are
+/// picked up promptly, large enough to keep an idle daemon at ~zero CPU.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
 
 /// Tuning knobs for [`Service::start`].
 #[derive(Clone, Debug)]
@@ -34,24 +56,33 @@ pub struct ServeOptions {
     /// Bind address; port `0` picks an ephemeral port (see
     /// [`Service::local_addr`]).
     pub addr: String,
-    /// Solver worker threads.
+    /// Solver worker threads, split across shards (each shard gets
+    /// `max(1, workers / shards)`).
     pub workers: usize,
     /// Maximum jobs one worker drains into a single `solve_batch` call.
     pub batch: usize,
-    /// Canonicalization-cache capacity (reports); `0` disables caching.
+    /// Canonicalization-cache capacity **per shard** (reports); `0`
+    /// disables caching.
     pub cache_cap: usize,
-    /// Bounded queue depth; past it, solve requests get a `busy`
-    /// response (backpressure).
+    /// Bounded queue depth per shard; past it, solve requests get a
+    /// `busy` response (backpressure).
     pub queue_cap: usize,
     /// Base solver configuration; per-request `eps`/`method`/`portfolio`
     /// override it.
     pub base_config: SolverConfig,
-    /// Slow-request exemplars kept per window (the K in "K worst");
-    /// `trace` verb payload size. Minimum 1.
+    /// Slow-request exemplars kept per window per shard (the K in "K
+    /// worst"); `trace` verb payload size. Minimum 1.
     pub exemplar_k: usize,
     /// Exemplar window length; the previous window stays fetchable for
     /// one more window after it completes.
     pub exemplar_window: Duration,
+    /// Number of independent shards. Each owns its cache, queue, worker
+    /// pool, and metrics; solve requests route by
+    /// `canonical_fingerprint % shards`.
+    pub shards: usize,
+    /// Cache snapshot file: loaded (and re-bucketed by route) at boot
+    /// when present, written on graceful shutdown. `None` disables both.
+    pub cache_snapshot: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -67,60 +98,121 @@ impl Default for ServeOptions {
             base_config: SolverConfig::new(),
             exemplar_k: 8,
             exemplar_window: Duration::from_secs(60),
+            shards: 1,
+            cache_snapshot: None,
         }
     }
 }
 
-/// State shared by the accept loop, every connection handler, and the
-/// worker pool.
-pub(crate) struct Shared {
-    pub(crate) base_config: SolverConfig,
+/// One shard: everything a solve request touches after routing. No two
+/// shards share any of this state, so requests on different shards never
+/// contend.
+pub(crate) struct Shard {
     pub(crate) cache: Mutex<LruCache>,
     pub(crate) metrics: Metrics,
-    /// `None` once shutdown began: dropping the sender closes the queue,
-    /// letting workers drain and exit.
+    /// `None` once shutdown began: dropping the sender closes this
+    /// shard's queue, letting its workers drain and exit.
     queue: Mutex<Option<SyncSender<Job>>>,
-    shutting_down: AtomicBool,
-    addr: SocketAddr,
-    /// Request-id mint: each solve request gets the next value, which
-    /// tags its spans, log lines, and exemplar.
-    next_request_id: AtomicU64,
-    /// The slow-request exemplar buffer behind the `trace` verb.
+    /// The shard's slow-request exemplar buffer behind the `trace` verb.
     exemplars: Mutex<SlowRing>,
+    /// Serializes `stall_us` benchmark holds within the shard (and only
+    /// within it — that is the point: the `service_scaling` suite uses
+    /// the gate to make aggregate throughput shard-bound).
+    stall_gate: Mutex<()>,
+}
+
+/// State shared by the accept loop, every connection handler, and the
+/// per-shard worker pools.
+pub(crate) struct Shared {
+    pub(crate) base_config: SolverConfig,
+    pub(crate) shards: Vec<Shard>,
+    shutting_down: AtomicBool,
+    /// Request-id mint: each solve request gets the next value, which
+    /// tags its spans, log lines, and exemplar. Service-global so ids
+    /// stay unique across shards.
+    next_request_id: AtomicU64,
 }
 
 impl Shared {
-    /// Snapshot for the `stats` verb.
+    /// The shard a canonical fingerprint routes to.
+    pub(crate) fn shard_of(&self, route: u128) -> usize {
+        (route % self.shards.len() as u128) as usize
+    }
+
+    /// Per-shard views for the cross-shard aggregators; takes each
+    /// shard's cache lock briefly, never all at once.
+    fn views(&self) -> Vec<ShardView<'_>> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let cache = s.cache.lock().unwrap();
+                ShardView {
+                    metrics: &s.metrics,
+                    cache: cache.counters(),
+                    cache_len: cache.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot for the `stats` verb: cross-shard totals plus the
+    /// per-shard breakdown.
     pub(crate) fn stats(&self) -> StatsData {
-        let cache = self.cache.lock().unwrap();
-        self.metrics.snapshot(cache.counters(), cache.len())
+        snapshot_sharded(&self.views())
     }
 
     /// Prometheus text exposition for the `metrics` verb.
     pub(crate) fn prometheus(&self) -> String {
-        let cache = self.cache.lock().unwrap();
-        self.metrics.prometheus(cache.counters(), cache.len())
+        prometheus_sharded(&self.views())
     }
 
-    /// Idempotent shutdown trigger: refuse new work, close the queue,
-    /// poke the accept loop awake.
+    /// The `trace` verb's payload: one shard's ring, or the merged
+    /// all-shard view (each exemplar tagged with its shard id, the K
+    /// worst service-wide kept).
+    fn trace(&self, shard: Option<u64>) -> Result<TraceData, String> {
+        let now = Instant::now();
+        match shard {
+            Some(i) => {
+                let shard = self.shards.get(i as usize).ok_or_else(|| {
+                    format!("shard {i} out of range (service has {})", self.shards.len())
+                })?;
+                Ok(shard.exemplars.lock().unwrap().snapshot(now))
+            }
+            None => {
+                let mut merged = TraceData::default();
+                for shard in &self.shards {
+                    let snap = shard.exemplars.lock().unwrap().snapshot(now);
+                    merged.window_s = snap.window_s;
+                    merged.k = merged.k.max(snap.k);
+                    merged.window = merged.window.max(snap.window);
+                    merged.current.extend(snap.current);
+                    merged.previous.extend(snap.previous);
+                }
+                let k = merged.k as usize;
+                for list in [&mut merged.current, &mut merged.previous] {
+                    list.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+                    list.truncate(k);
+                }
+                Ok(merged)
+            }
+        }
+    }
+
+    /// Idempotent shutdown trigger: refuse new work and close every
+    /// shard's queue. The polling accept loop observes the flag on its
+    /// next tick — no connect-to-self poke needed.
     fn begin_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        bisched_obs::info!("service", "shutdown initiated, draining the queue");
-        *self.queue.lock().unwrap() = None;
-        // Unblock `accept` so the loop observes the flag. A wildcard bind
-        // address (0.0.0.0 / ::) is not connectable everywhere; poke via
-        // loopback on the same port instead.
-        let mut poke = self.addr;
-        if poke.ip().is_unspecified() {
-            poke.set_ip(match poke.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
+        bisched_obs::info!(
+            "service",
+            "shutdown initiated, draining {} shard queue(s)",
+            self.shards.len()
+        );
+        for shard in &self.shards {
+            *shard.queue.lock().unwrap() = None;
         }
-        let _ = TcpStream::connect_timeout(&poke, Duration::from_secs(1));
     }
 }
 
@@ -133,30 +225,57 @@ pub struct Service {
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    snapshot_path: Option<PathBuf>,
 }
 
 impl Service {
-    /// Binds, spawns the worker pool and the accept loop, and returns the
-    /// running service.
+    /// Binds, spawns the per-shard worker pools and the accept loop,
+    /// warm-starts the shard caches from the configured snapshot when one
+    /// exists, and returns the running service.
     pub fn start(opts: ServeOptions) -> std::io::Result<Service> {
         let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue_cap.max(1));
+        let shard_count = opts.shards.max(1);
+        let now = Instant::now();
+        let mut receivers = Vec::with_capacity(shard_count);
+        let shards = (0..shard_count)
+            .map(|_| {
+                let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue_cap.max(1));
+                receivers.push(rx);
+                Shard {
+                    cache: Mutex::new(LruCache::new(opts.cache_cap)),
+                    metrics: Metrics::default(),
+                    queue: Mutex::new(Some(tx)),
+                    exemplars: Mutex::new(SlowRing::new(
+                        opts.exemplar_k,
+                        opts.exemplar_window,
+                        now,
+                    )),
+                    stall_gate: Mutex::new(()),
+                }
+            })
+            .collect();
         let shared = Arc::new(Shared {
             base_config: opts.base_config.clone(),
-            cache: Mutex::new(LruCache::new(opts.cache_cap)),
-            metrics: Metrics::default(),
-            queue: Mutex::new(Some(tx)),
+            shards,
             shutting_down: AtomicBool::new(false),
-            addr,
             next_request_id: AtomicU64::new(0),
-            exemplars: Mutex::new(SlowRing::new(
-                opts.exemplar_k,
-                opts.exemplar_window,
-                Instant::now(),
-            )),
         });
-        let workers = spawn_workers(opts.workers.max(1), opts.batch, rx, Arc::clone(&shared));
+        if let Some(path) = &opts.cache_snapshot {
+            warm_start(&shared, path);
+        }
+        let per_shard = (opts.workers.max(1) / shard_count).max(1);
+        let mut workers = Vec::with_capacity(shard_count * per_shard);
+        for (shard_idx, rx) in receivers.into_iter().enumerate() {
+            workers.extend(spawn_shard_workers(
+                per_shard,
+                opts.batch,
+                rx,
+                Arc::clone(&shared),
+                shard_idx,
+            ));
+        }
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
             let shared = Arc::clone(&shared);
@@ -168,8 +287,7 @@ impl Service {
         };
         bisched_obs::info!(
             "service",
-            "listening on {addr} — {} workers, batch {}, queue {}, cache {}",
-            opts.workers.max(1),
+            "listening on {addr} — {shard_count} shard(s) × {per_shard} worker(s), batch {}, queue {}/shard, cache {}/shard",
             opts.batch,
             opts.queue_cap.max(1),
             opts.cache_cap,
@@ -180,6 +298,7 @@ impl Service {
             accept: Some(accept),
             workers,
             handlers,
+            snapshot_path: opts.cache_snapshot,
         })
     }
 
@@ -200,8 +319,9 @@ impl Service {
     }
 
     /// Blocks until the service has shut down (a `shutdown` request or
-    /// [`Service::shutdown`]), joins every thread, logs the final stats
-    /// to stderr, and returns them.
+    /// [`Service::shutdown`]), joins every thread, writes the cache
+    /// snapshot if one was configured, logs the final stats to stderr,
+    /// and returns them.
     pub fn join(mut self) -> StatsData {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
@@ -213,12 +333,16 @@ impl Service {
         for handler in handlers {
             let _ = handler.join();
         }
+        if let Some(path) = &self.snapshot_path {
+            write_snapshot(&self.shared, path);
+        }
         let stats = self.shared.stats();
         bisched_obs::info!(
             "service",
-            "shut down after {:.1}s — {} requests, {} solved ({} cached, hit rate {:.2}), {} busy, {} errors, p50 {:.3}ms p99 {:.3}ms (queue p50 {:.3}ms, solve p50 {:.3}ms)",
+            "shut down after {:.1}s — {} requests over {} shard(s), {} solved ({} cached, hit rate {:.2}), {} busy, {} errors, p50 {:.3}ms p99 {:.3}ms (queue p50 {:.3}ms, solve p50 {:.3}ms)",
             stats.uptime_s,
             stats.requests,
+            self.shared.shards.len(),
             stats.solved,
             stats.cache_hits,
             stats.hit_rate,
@@ -233,70 +357,187 @@ impl Service {
     }
 }
 
+/// Loads `path` into the shard caches, re-bucketing every entry by its
+/// recorded route (the snapshot may have been written under a different
+/// shard count). A missing file is a normal cold start; a corrupt one is
+/// logged and skipped — the daemon still boots.
+fn warm_start(shared: &Shared, path: &std::path::Path) {
+    if !path.exists() {
+        bisched_obs::info!(
+            "service",
+            "no cache snapshot at {}, cold start",
+            path.display()
+        );
+        return;
+    }
+    match snapshot::load(path) {
+        Ok(entries) => {
+            let n = entries.len();
+            // The file holds each shard's entries most-recent first;
+            // replaying in reverse inserts oldest-first, so LRU recency
+            // survives the restart.
+            for e in entries.into_iter().rev() {
+                let shard = &shared.shards[shared.shard_of(e.route)];
+                shard
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .insert_routed(e.route, e.key, e.certificate, e.report);
+            }
+            bisched_obs::info!(
+                "service",
+                "warm start: loaded {n} cache entries from {} into {} shard(s)",
+                path.display(),
+                shared.shards.len()
+            );
+        }
+        Err(e) => {
+            bisched_obs::warn!(
+                "service",
+                "cache snapshot {} unreadable ({e}), cold start",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Writes every shard's live cache entries to `path` (shard by shard,
+/// most-recent first — the order [`warm_start`] expects to reverse).
+fn write_snapshot(shared: &Shared, path: &std::path::Path) {
+    let mut entries: Vec<SnapshotEntry> = Vec::new();
+    for shard in &shared.shards {
+        shard
+            .cache
+            .lock()
+            .unwrap()
+            .for_each_entry(|route, key, cert, report| {
+                entries.push(SnapshotEntry {
+                    route,
+                    key,
+                    certificate: cert.to_vec(),
+                    report: Arc::clone(report),
+                });
+            });
+    }
+    match snapshot::save(path, &entries) {
+        Ok(()) => bisched_obs::info!(
+            "service",
+            "wrote {} cache entries to snapshot {}",
+            entries.len(),
+            path.display()
+        ),
+        Err(e) => bisched_obs::warn!(
+            "service",
+            "failed to write cache snapshot {}: {e}",
+            path.display()
+        ),
+    }
+}
+
+/// Polls the non-blocking listener, spawning one handler thread per
+/// accepted connection, until shutdown. Accepted streams are switched
+/// back to blocking (with a short read timeout) for the handler.
 fn accept_loop(
     listener: TcpListener,
     shared: Arc<Shared>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
-    for stream in listener.incoming() {
+    loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        if let Ok(peer) = stream.peer_addr() {
-            bisched_obs::debug!("service", "connection from {peer}");
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                bisched_obs::debug!("service", "connection from {peer}");
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("bisched-conn".into())
+                    .spawn(move || handle_connection(stream, &shared))
+                    .expect("spawn connection handler");
+                // Reap finished handlers as we go so a long-lived daemon
+                // serving short connections doesn't accumulate dead
+                // JoinHandles.
+                let mut guard = handlers.lock().unwrap();
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
-        let shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("bisched-conn".into())
-            .spawn(move || handle_connection(stream, &shared))
-            .expect("spawn connection handler");
-        // Reap finished handlers as we go so a long-lived daemon serving
-        // short connections doesn't accumulate dead JoinHandles.
-        let mut guard = handlers.lock().unwrap();
-        guard.retain(|h| !h.is_finished());
-        guard.push(handle);
     }
 }
 
-/// Reads newline-delimited requests until EOF, error, or shutdown;
-/// answers each on the same stream. Reads poll with a short timeout so
-/// idle connections notice shutdown promptly instead of pinning
-/// [`Service::join`].
+/// The wire framing a connection currently speaks. Every connection
+/// starts in [`FrameMode::Json`]; the `upgrade` verb switches it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FrameMode {
+    /// One JSON object per `\n`-terminated line (the v1 default).
+    Json,
+    /// `u32`-LE length prefix + tagged binary payload (see [`frame`]).
+    Binary,
+}
+
+/// Per-connection state: the negotiated framing and the shard the first
+/// routed solve pinned (used to attribute non-solve verbs and unrouteable
+/// errors; solve requests always re-route by their own fingerprint, so
+/// multiplexed clients stay correct).
+struct ConnState {
+    mode: FrameMode,
+    pinned: Option<usize>,
+}
+
+/// Reads requests until EOF, error, framing violation, or shutdown;
+/// answers each on the same stream in the connection's current framing.
+/// Reads poll with a short timeout so idle connections notice shutdown
+/// promptly instead of pinning [`Service::join`]; partially received
+/// messages survive the poll ticks in `pending`.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let Ok(read_half) = stream.try_clone() else {
+    let Ok(mut read_half) = stream.try_clone() else {
         return;
     };
     let mut writer = stream;
-    let mut reader = BufReader::new(read_half);
-    // Accumulate raw bytes, not a String: `read_line`'s UTF-8 guard
-    // discards already-consumed bytes when a poll timeout splits a
-    // multi-byte character, which would desynchronize the stream.
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        match reader.read_until(b'\n', &mut line) {
-            Ok(0) => break, // EOF
-            Ok(_) => {
-                let text = String::from_utf8_lossy(&line);
-                let trimmed = text.trim();
-                if !trimmed.is_empty() {
-                    let response = handle_request(trimmed, shared);
-                    let Ok(text) = serde_json::to_string(&response) else {
-                        break;
-                    };
-                    if writeln!(writer, "{text}").is_err() {
-                        break;
-                    }
+    let mut conn = ConnState {
+        mode: FrameMode::Json,
+        pinned: None,
+    };
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    'conn: loop {
+        // Serve every complete message already buffered before reading
+        // more bytes.
+        loop {
+            let msg = match next_message(&mut pending, conn.mode) {
+                Ok(Some(m)) => m,
+                Ok(None) => break,
+                // Framing violation (oversized or malformed frame): the
+                // stream position is unrecoverable, drop the connection.
+                Err(e) => {
+                    bisched_obs::debug!("service", "framing violation: {e}");
+                    break 'conn;
                 }
-                line.clear();
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    break; // close the connection once shutdown is underway
-                }
+            };
+            if msg.is_empty() {
+                continue; // blank JSON line
             }
-            // Poll timeout: partial bytes stay in `line` and the next
-            // read continues the same request.
+            if serve_message(&msg, &mut conn, &mut writer, shared).is_none() {
+                break 'conn;
+            }
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break 'conn; // close the connection once shutdown is underway
+            }
+        }
+        match read_half.read(&mut chunk) {
+            Ok(0) => break, // EOF
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            // Poll timeout: partial bytes stay in `pending` and the next
+            // read continues the same message.
             Err(e)
                 if matches!(
                     e.kind(),
@@ -312,42 +553,183 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn handle_request(line: &str, shared: &Shared) -> Response {
-    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    let req: Request = match serde_json::from_str(line) {
-        Ok(r) => r,
-        Err(e) => {
-            bisched_obs::debug!("service", "unparseable request line: {e}");
-            return Response::error(None, format!("bad request: {e}"));
+/// Extracts the next complete message from `pending`, if one is fully
+/// buffered: a `\n`-terminated line (trimmed, delimiter removed) in JSON
+/// mode, a length-prefixed payload in binary mode.
+fn next_message(pending: &mut Vec<u8>, mode: FrameMode) -> Result<Option<Vec<u8>>, String> {
+    match mode {
+        FrameMode::Json => {
+            let Some(pos) = pending.iter().position(|&b| b == b'\n') else {
+                return Ok(None);
+            };
+            let mut line: Vec<u8> = pending.drain(..=pos).collect();
+            line.pop(); // the delimiter
+            while line.last().is_some_and(|b| b.is_ascii_whitespace()) {
+                line.pop();
+            }
+            while line.first().is_some_and(|b| b.is_ascii_whitespace()) {
+                line.remove(0);
+            }
+            Ok(Some(line))
         }
-    };
-    match req.verb.as_str() {
-        "ping" => Response::ok(req.id),
-        "stats" => {
-            let mut r = Response::ok(req.id);
-            r.stats = Some(shared.stats());
-            r
+        FrameMode::Binary => {
+            if pending.len() < 4 {
+                return Ok(None);
+            }
+            let len = u32::from_le_bytes(pending[..4].try_into().expect("4 bytes checked"));
+            if len > frame::MAX_FRAME_LEN {
+                return Err(format!("frame length {len} over limit"));
+            }
+            let total = 4 + len as usize;
+            if pending.len() < total {
+                return Ok(None);
+            }
+            let mut payload: Vec<u8> = pending.drain(..total).collect();
+            payload.drain(..4);
+            Ok(Some(payload))
         }
-        "metrics" => {
-            let mut r = Response::ok(req.id);
-            r.metrics = Some(shared.prometheus());
-            r
-        }
-        "trace" => {
-            let mut r = Response::ok(req.id);
-            r.exemplars = Some(shared.exemplars.lock().unwrap().snapshot(Instant::now()));
-            r
-        }
-        "shutdown" => {
-            shared.begin_shutdown();
-            Response::ok(req.id)
-        }
-        "solve" => handle_solve(&req, shared),
-        other => Response::error(req.id, format!("unknown verb {other:?}")),
     }
 }
 
-fn handle_solve(req: &Request, shared: &Shared) -> Response {
+/// Decodes, dispatches, and answers one message. Returns `None` when the
+/// connection should close (write failure).
+fn serve_message(
+    msg: &[u8],
+    conn: &mut ConnState,
+    writer: &mut TcpStream,
+    shared: &Shared,
+) -> Option<()> {
+    let (response, switch) = match decode_request(msg, conn.mode) {
+        Ok(req) => handle_request(req, conn, shared),
+        Err(e) => {
+            bisched_obs::debug!("service", "unparseable request: {e}");
+            fallback_shard(conn, shared)
+                .metrics
+                .requests
+                .fetch_add(1, Ordering::Relaxed);
+            (Response::error(None, format!("bad request: {e}")), None)
+        }
+    };
+    write_response(&response, conn.mode, writer).ok()?;
+    // The upgrade response travels in the *old* framing; everything after
+    // it speaks the new one.
+    if let Some(mode) = switch {
+        conn.mode = mode;
+    }
+    Some(())
+}
+
+/// Parses one wire message into a [`Request`] under the given framing.
+fn decode_request(msg: &[u8], mode: FrameMode) -> Result<Request, String> {
+    match mode {
+        FrameMode::Json => {
+            serde_json::from_str(&String::from_utf8_lossy(msg)).map_err(|e| e.to_string())
+        }
+        FrameMode::Binary => {
+            let value = frame::decode_value(msg)?;
+            serde_json::from_value(value).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Serializes one response under the given framing.
+fn write_response(
+    response: &Response,
+    mode: FrameMode,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    match mode {
+        FrameMode::Json => {
+            let text = serde_json::to_string(response)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            writeln!(writer, "{text}")
+        }
+        FrameMode::Binary => {
+            let value = serde_json::to_value(response)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            let mut payload = Vec::new();
+            frame::encode_value(&value, &mut payload);
+            writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+            writer.write_all(&payload)
+        }
+    }
+}
+
+/// The shard non-solve verbs and unrouteable errors are attributed to:
+/// whatever the connection's first solve pinned, shard 0 before that.
+fn fallback_shard<'a>(conn: &ConnState, shared: &'a Shared) -> &'a Shard {
+    &shared.shards[conn.pinned.unwrap_or(0)]
+}
+
+/// Dispatches one parsed request; returns the response and, for a
+/// successful `upgrade`, the framing to switch to after it is written.
+fn handle_request(
+    req: Request,
+    conn: &mut ConnState,
+    shared: &Shared,
+) -> (Response, Option<FrameMode>) {
+    let count = |shard: &Shard| {
+        shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    };
+    match req.verb.as_str() {
+        "ping" => {
+            count(fallback_shard(conn, shared));
+            (Response::ok(req.id), None)
+        }
+        "stats" => {
+            count(fallback_shard(conn, shared));
+            let mut r = Response::ok(req.id);
+            r.stats = Some(shared.stats());
+            (r, None)
+        }
+        "metrics" => {
+            count(fallback_shard(conn, shared));
+            let mut r = Response::ok(req.id);
+            r.metrics = Some(shared.prometheus());
+            (r, None)
+        }
+        "trace" => {
+            count(fallback_shard(conn, shared));
+            match shared.trace(req.shard) {
+                Ok(t) => {
+                    let mut r = Response::ok(req.id);
+                    r.exemplars = Some(t);
+                    (r, None)
+                }
+                Err(e) => (Response::error(req.id, e), None),
+            }
+        }
+        "shutdown" => {
+            count(fallback_shard(conn, shared));
+            shared.begin_shutdown();
+            (Response::ok(req.id), None)
+        }
+        "upgrade" => {
+            count(fallback_shard(conn, shared));
+            match req.frame.as_deref() {
+                Some("binary") => (Response::ok(req.id), Some(FrameMode::Binary)),
+                Some("json") => (Response::ok(req.id), Some(FrameMode::Json)),
+                other => (
+                    Response::error(
+                        req.id,
+                        format!("unsupported frame {other:?} (expected \"binary\" or \"json\")"),
+                    ),
+                    None,
+                ),
+            }
+        }
+        "solve" => (handle_solve(&req, conn, shared), None),
+        other => {
+            count(fallback_shard(conn, shared));
+            (
+                Response::error(req.id, format!("unknown verb {other:?}")),
+                None,
+            )
+        }
+    }
+}
+
+fn handle_solve(req: &Request, conn: &mut ConnState, shared: &Shared) -> Response {
     let t0 = Instant::now();
     // Mint the request id first: every span and log line this request
     // produces — here and in the worker — carries it.
@@ -355,16 +737,20 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
     let _rid_scope = bisched_obs::log::request_scope(rid);
     let _request_span = bisched_obs::span_arg("solve_request", "service", "request_id", rid);
     let id = req.id;
-    let fail = |r: Response, shared: &Shared| {
-        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-        r
+    // Errors before routing (no instance yet, so no fingerprint) are
+    // attributed to the connection's fallback shard.
+    let fail_unrouted = |message: String| {
+        let shard = fallback_shard(conn, shared);
+        shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        shard.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        Response::error(id, message)
     };
     let Some(data) = req.instance.clone() else {
-        return fail(Response::error(id, "solve requires `instance`"), shared);
+        return fail_unrouted("solve requires `instance`".into());
     };
     let config = match req.solver_config(&shared.base_config) {
         Ok(c) => c,
-        Err(e) => return fail(Response::error(id, e), shared),
+        Err(e) => return fail_unrouted(e),
     };
     // `Instance::uniform` sorts speeds, so a `Q` request with unsorted
     // speeds gets its machines renumbered internally; keep the submitted
@@ -372,7 +758,7 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
     let submitted_speeds = data.speeds.clone();
     let instance = match data.into_instance() {
         Ok(i) => i,
-        Err(e) => return fail(Response::error(id, e.to_string()), shared),
+        Err(e) => return fail_unrouted(e.to_string()),
     };
     let canon_t0 = Instant::now();
     let canon_span = bisched_obs::span_arg("canonicalize", "service", "request_id", rid);
@@ -385,6 +771,29 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
             *m = map[*m as usize];
         }
     }
+
+    // Route by the raw canonical fingerprint — relabelings of one
+    // instance share it, so they always reach the same shard cache. The
+    // first routed solve pins the connection; each request still
+    // re-routes by its own fingerprint (multiplexed clients).
+    let route = canonical.fingerprint;
+    let shard_idx = shared.shard_of(route);
+    conn.pinned = Some(shard_idx);
+    let shard = &shared.shards[shard_idx];
+    shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let fail = |r: Response| {
+        shard.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        r
+    };
+
+    // Benchmark aid: emulate a heavier per-request cost, serialized on
+    // this shard's gate so aggregate throughput is shard-bound (what the
+    // `service_scaling` lab suite measures). Never set by real clients.
+    if let Some(us) = req.stall_us.filter(|&us| us > 0) {
+        let _gate = shard.stall_gate.lock().unwrap();
+        std::thread::sleep(Duration::from_micros(us));
+    }
+
     // The cache key covers the *effective solver configuration* too: a
     // report produced under `method: greedy` must never answer a request
     // that forced an exact engine (or a different eps), and vice versa.
@@ -397,23 +806,25 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
     };
 
     // Fast path: serve relabelings of anything already solved straight
-    // from the cache, translated back to the request's labeling.
+    // from the shard's cache, translated back to the request's labeling.
     if !req.no_cache.unwrap_or(false) {
-        let hit = shared.cache.lock().unwrap().get(cache_key, &cache_cert);
+        let hit = shard.cache.lock().unwrap().get(cache_key, &cache_cert);
         if let Some(report) = hit {
             bisched_obs::instant("cache_hit", "service", "request_id", rid);
             return finish_solve(
-                id, rid, &canonical, &report, true, t0, canon_us, None, shared,
+                id, rid, &canonical, &report, true, t0, canon_us, None, shard, shard_idx,
             );
         }
         bisched_obs::instant("cache_miss", "service", "request_id", rid);
     }
 
-    // Miss: enqueue for the worker pool (bounded — `busy` on overflow).
+    // Miss: enqueue for this shard's worker pool (bounded — `busy` on
+    // overflow).
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         request_id: rid,
         instance: canonical.instance.clone(),
+        route,
         fingerprint: cache_key,
         certificate: cache_cert,
         config,
@@ -421,7 +832,7 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
         enqueued: Instant::now(),
     };
     let send_result = {
-        let queue = shared.queue.lock().unwrap();
+        let queue = shard.queue.lock().unwrap();
         match queue.as_ref() {
             None => Err(None),
             Some(tx) => tx.try_send(job).map_err(Some),
@@ -430,12 +841,15 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
     match send_result {
         Ok(()) => {}
         Err(Some(TrySendError::Full(_))) => {
-            shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
-            bisched_obs::debug!("service", "queue full, rejecting request {id:?}");
+            shard.metrics.busy.fetch_add(1, Ordering::Relaxed);
+            bisched_obs::debug!(
+                "service",
+                "shard {shard_idx} queue full, rejecting request {id:?}"
+            );
             return Response::busy(id);
         }
         Err(Some(TrySendError::Disconnected(_))) | Err(None) => {
-            return fail(Response::error(id, "service is shutting down"), shared);
+            return fail(Response::error(id, "service is shutting down"));
         }
     }
     match reply_rx.recv() {
@@ -452,17 +866,18 @@ fn handle_solve(req: &Request, shared: &Shared) -> Response {
             t0,
             canon_us,
             Some((queue_us, solve_us)),
-            shared,
+            shard,
+            shard_idx,
         ),
-        Ok(JobReply::Failed(e)) => fail(Response::solve_error(id, &e), shared),
-        Err(_) => fail(Response::error(id, "worker dropped the request"), shared),
+        Ok(JobReply::Failed(e)) => fail(Response::solve_error(id, &e)),
+        Err(_) => fail(Response::error(id, "worker dropped the request")),
     }
 }
 
 /// Builds the `ok` solve response in the request's labeling, and offers
-/// the finished request to the slow-request exemplar buffer. `timing` is
-/// `Some((queue_us, solve_us))` for worker-solved requests, `None` for
-/// cache hits (which never enqueue).
+/// the finished request to the shard's slow-request exemplar buffer.
+/// `timing` is `Some((queue_us, solve_us))` for worker-solved requests,
+/// `None` for cache hits (which never enqueue).
 #[allow(clippy::too_many_arguments)]
 fn finish_solve(
     id: Option<u64>,
@@ -473,7 +888,8 @@ fn finish_solve(
     t0: Instant,
     canon_us: u64,
     timing: Option<(u64, u64)>,
-    shared: &Shared,
+    shard: &Shard,
+    shard_idx: usize,
 ) -> Response {
     let schedule = canonical.schedule_to_original(&report.schedule);
     let mut r = Response::ok(id);
@@ -493,11 +909,11 @@ fn finish_solve(
     if !cached {
         r.attempts = Some(report.attempts.iter().map(AttemptData::from_run).collect());
     }
-    shared.metrics.solved.fetch_add(1, Ordering::Relaxed);
-    shared.metrics.record_latency(elapsed.as_micros() as u64);
+    shard.metrics.solved.fetch_add(1, Ordering::Relaxed);
+    shard.metrics.record_latency(elapsed.as_micros() as u64);
     bisched_obs::debug!(
         "service",
-        "solved via {} in {total_ms:.3}ms (cached: {cached})",
+        "solved via {} in {total_ms:.3}ms (shard {shard_idx}, cached: {cached})",
         report.method.name()
     );
     let exemplar = ExemplarData {
@@ -506,9 +922,10 @@ fn finish_solve(
         cached,
         method: Some(report.method.name().to_string()),
         fingerprint: format!("{:032x}", canonical.fingerprint),
+        shard: shard_idx as u64,
         root: exemplar_tree(total_ms, canon_us, timing, report, cached),
     };
-    shared
+    shard
         .exemplars
         .lock()
         .unwrap()
@@ -762,5 +1179,48 @@ mod tests {
                  key-equality check proving the field really is inert"
             );
         }
+    }
+
+    #[test]
+    fn json_messages_split_on_newlines_and_survive_partials() {
+        let mut pending: Vec<u8> = b"  {\"verb\":\"ping\"}  \n{\"verb\"".to_vec();
+        let first = next_message(&mut pending, FrameMode::Json).unwrap();
+        assert_eq!(first.as_deref(), Some(b"{\"verb\":\"ping\"}".as_slice()));
+        // The second message is incomplete: nothing yet, bytes retained.
+        assert!(next_message(&mut pending, FrameMode::Json)
+            .unwrap()
+            .is_none());
+        pending.extend_from_slice(b":\"stats\"}\n");
+        let second = next_message(&mut pending, FrameMode::Json).unwrap();
+        assert_eq!(second.as_deref(), Some(b"{\"verb\":\"stats\"}".as_slice()));
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn binary_messages_wait_for_the_full_frame() {
+        let mut payload = Vec::new();
+        let ping = serde_json::parse_value("{\"verb\": \"ping\"}").unwrap();
+        frame::encode_value(&ping, &mut payload);
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        // Feed the frame one byte at a time: no message until complete.
+        let mut pending: Vec<u8> = Vec::new();
+        for (i, b) in wire.iter().enumerate() {
+            pending.push(*b);
+            let got = next_message(&mut pending, FrameMode::Binary).unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "premature message at byte {i}");
+            } else {
+                assert_eq!(got.as_deref(), Some(payload.as_slice()));
+            }
+        }
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn oversized_binary_frames_are_rejected() {
+        let mut pending = (frame::MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        pending.extend_from_slice(&[0; 16]);
+        assert!(next_message(&mut pending, FrameMode::Binary).is_err());
     }
 }

@@ -1,13 +1,15 @@
-//! The solver worker pool: N threads over one shared MPSC queue, each
-//! draining up to `batch_max` queued jobs per wake-up into a single
-//! [`Solver::solve_batch`] call (the micro-batching collector).
+//! The solver worker pools: each shard owns N threads over its own MPSC
+//! queue, each draining up to `batch_max` queued jobs per wake-up into a
+//! single [`Solver::solve_batch`] call (the micro-batching collector).
+//! Workers never touch another shard's state, so the solve path is free
+//! of cross-shard locks.
 //!
-//! Workers solve **canonical** instances and publish the reports into the
-//! shared cache before replying. There is no single-flight deduplication:
-//! k *concurrent* identical misses may each be solved before the first
-//! insert lands; every submission after that is a cache hit. When the
-//! server drops the queue's sender
-//! during shutdown, each worker finishes draining whatever was already
+//! Workers solve **canonical** instances and publish the reports into
+//! their shard's cache before replying. There is no single-flight
+//! deduplication: k *concurrent* identical misses may each be solved
+//! before the first insert lands; every submission after that is a cache
+//! hit. When the server drops a shard queue's sender during shutdown,
+//! each of that shard's workers finishes draining whatever was already
 //! accepted and exits — no accepted job is dropped.
 
 use crate::server::Shared;
@@ -26,7 +28,11 @@ pub(crate) struct Job {
     pub request_id: u64,
     /// The instance in canonical form.
     pub instance: Instance,
-    /// Cache key of the canonical form.
+    /// The raw canonical fingerprint (the shard routing key), recorded
+    /// with the cache entry so snapshots can re-bucket it under a
+    /// different shard count.
+    pub route: u128,
+    /// Cache key of the canonical form (fingerprint ⊕ config bytes).
     pub fingerprint: u128,
     /// Canonical certificate bytes (stored with the cache entry).
     pub certificate: Vec<u8>,
@@ -58,12 +64,13 @@ pub(crate) enum JobReply {
     Failed(SolveError),
 }
 
-/// Spawns `n` workers over `rx`.
-pub(crate) fn spawn_workers(
+/// Spawns `n` workers over `rx`, all serving shard `shard_idx`.
+pub(crate) fn spawn_shard_workers(
     n: usize,
     batch_max: usize,
     rx: Receiver<Job>,
     shared: Arc<Shared>,
+    shard_idx: usize,
 ) -> Vec<JoinHandle<()>> {
     let rx = Arc::new(Mutex::new(rx));
     (0..n)
@@ -71,19 +78,19 @@ pub(crate) fn spawn_workers(
             let rx = Arc::clone(&rx);
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name(format!("bisched-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &shared, batch_max))
+                .name(format!("bisched-worker-{shard_idx}-{i}"))
+                .spawn(move || worker_loop(&rx, &shared, shard_idx, batch_max))
                 .expect("spawn worker thread")
         })
         .collect()
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared, batch_max: usize) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared, shard_idx: usize, batch_max: usize) {
     loop {
         let mut batch = Vec::new();
         {
             // Hold the receiver only while collecting; solving happens
-            // unlocked so other workers keep draining.
+            // unlocked so the shard's other workers keep draining.
             let guard = rx.lock().unwrap();
             match guard.recv() {
                 Ok(job) => batch.push(job),
@@ -96,17 +103,18 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared, batch_max: usize) {
                 }
             }
         }
-        process_batch(batch, shared);
+        process_batch(batch, shared, shard_idx);
     }
 }
 
 /// Solves one collected batch: jobs are grouped by configuration (each
 /// group shares one `Solver` and one `solve_batch` call), results are
-/// cached and replied per job.
-fn process_batch(batch: Vec<Job>, shared: &Shared) {
+/// cached in the owning shard and replied per job.
+fn process_batch(batch: Vec<Job>, shared: &Shared, shard_idx: usize) {
+    let shard = &shared.shards[shard_idx];
     let _batch_span = bisched_obs::span_arg("batch", "service", "jobs", batch.len() as u64);
-    shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
-    shared
+    shard.metrics.batches.fetch_add(1, Ordering::Relaxed);
+    shard
         .metrics
         .batched_jobs
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -115,7 +123,7 @@ fn process_batch(batch: Vec<Job>, shared: &Shared) {
     // `drained_at`) so the reply can carry it back to the handler.
     let drained_at = std::time::Instant::now();
     for job in &batch {
-        shared
+        shard
             .metrics
             .record_queue_wait(drained_at.duration_since(job.enqueued).as_micros() as u64);
     }
@@ -149,21 +157,26 @@ fn process_batch(batch: Vec<Job>, shared: &Shared) {
         for (job, result) in jobs.into_iter().zip(reports) {
             // Log lines emitted while settling this job carry its rid.
             let _rid = bisched_obs::log::request_scope(job.request_id);
-            shared.metrics.record_solve_time(solve_us);
+            shard.metrics.record_solve_time(solve_us);
             let queue_us = drained_at.duration_since(job.enqueued).as_micros() as u64;
             match result {
                 Ok(report) => {
                     let report = Arc::new(report);
-                    shared.metrics.record_win(report.method);
+                    shard.metrics.record_win(report.method);
                     for run in &report.attempts {
                         if run.cancelled {
-                            shared.metrics.record_cancelled(run.method);
+                            shard.metrics.record_cancelled(run.method);
                         }
                     }
                     {
-                        let mut cache = shared.cache.lock().unwrap();
+                        let mut cache = shard.cache.lock().unwrap();
                         let evictions_before = cache.counters().evictions;
-                        cache.insert(job.fingerprint, job.certificate, Arc::clone(&report));
+                        cache.insert_routed(
+                            job.route,
+                            job.fingerprint,
+                            job.certificate,
+                            Arc::clone(&report),
+                        );
                         if cache.counters().evictions > evictions_before {
                             bisched_obs::instant("cache_evict", "service", "", 0);
                         }

@@ -338,7 +338,7 @@ fn trace_verb_returns_exemplars_with_engine_counters() {
 
     // The trace verb returns the request as a slow-request exemplar
     // whose span tree reaches the engine counters.
-    let trace = client.trace().expect("trace");
+    let trace = client.trace(None).expect("trace");
     assert!(trace.k >= 1);
     let ex = trace
         .current
@@ -413,7 +413,7 @@ fn exemplar_ring_keeps_the_worst_under_concurrency() {
         .fold(0.0f64, f64::max);
 
     let mut client = Client::connect(addr).expect("connect");
-    let trace = client.trace().expect("trace");
+    let trace = client.trace(None).expect("trace");
     assert_eq!(trace.k, 1);
     assert_eq!(
         trace.current.len(),
@@ -452,7 +452,7 @@ fn exemplar_window_rolls_current_into_previous() {
         .solve(InstanceData::from_instance(&inst))
         .expect("solve");
     assert_eq!(resp.status, "ok");
-    let before = client.trace().expect("trace before roll");
+    let before = client.trace(None).expect("trace before roll");
     assert_eq!(before.window, 0);
     assert_eq!(before.current.len(), 1);
     assert!(before.previous.is_empty());
@@ -460,7 +460,7 @@ fn exemplar_window_rolls_current_into_previous() {
     // One window later (well inside the second window, so the first
     // window's exemplar must survive as `previous`).
     std::thread::sleep(window + window / 5);
-    let after = client.trace().expect("trace after roll");
+    let after = client.trace(None).expect("trace after roll");
     assert_eq!(after.window, 1, "window index advances");
     assert!(after.current.is_empty(), "new window starts empty");
     assert_eq!(
@@ -475,6 +475,300 @@ fn exemplar_window_rolls_current_into_previous() {
 
     service.shutdown();
     service.join();
+}
+
+#[test]
+fn sharded_daemon_routes_pins_and_aggregates() {
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        batch: 2,
+        shards: 4,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let addr = service.local_addr();
+    let workload = Arc::new(mixed_workload());
+
+    // Three clients replay the same workload: requests fan out across
+    // shards by fingerprint and duplicates hit each shard's own cache.
+    let threads: Vec<_> = (0..3)
+        .map(|_| {
+            let workload = Arc::clone(&workload);
+            std::thread::spawn(move || submit_all(addr, &workload))
+        })
+        .collect();
+    let mut total_ok = 0;
+    for t in threads {
+        let (ok, _) = t.join().expect("client thread");
+        total_ok += ok;
+    }
+    assert_eq!(total_ok, 3 * workload.len());
+
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.solved, 3 * workload.len() as u64);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.shards.len(), 4, "one breakdown entry per shard");
+    // The totals are exactly the sum of the per-shard rows.
+    let sum: u64 = stats.shards.iter().map(|s| s.solved).sum();
+    assert_eq!(sum, stats.solved);
+    let hits: u64 = stats.shards.iter().map(|s| s.cache_hits).sum();
+    assert_eq!(hits, stats.cache_hits);
+    assert!(hits > 0, "duplicate submissions hit shard caches");
+    // 18 distinct fingerprints over 4 shards: more than one shard works.
+    let active = stats.shards.iter().filter(|s| s.solved > 0).count();
+    assert!(active > 1, "workload must spread across shards");
+
+    // Prometheus carries the per-shard series for every shard.
+    let text = client.metrics().expect("metrics");
+    for i in 0..4 {
+        assert!(
+            text.contains(&format!("bisched_shard_requests_total{{shard=\"{i}\"}}")),
+            "missing shard {i} series"
+        );
+    }
+
+    // The merged trace view tags exemplars with their shard; a per-shard
+    // trace only returns that shard's exemplars.
+    let merged = client.trace(None).expect("merged trace");
+    let tagged: std::collections::BTreeSet<u64> = merged
+        .current
+        .iter()
+        .chain(&merged.previous)
+        .map(|e| e.shard)
+        .collect();
+    assert!(tagged.len() > 1, "exemplars from more than one shard");
+    for &s in &tagged {
+        let one = client.trace(Some(s)).expect("per-shard trace");
+        assert!(one
+            .current
+            .iter()
+            .chain(&one.previous)
+            .all(|e| e.shard == s));
+    }
+    let err = client.trace(Some(99)).expect_err("out-of-range shard");
+    assert!(err.to_string().contains("shard"), "got: {err}");
+
+    service.shutdown();
+    let final_stats = service.join();
+    assert_eq!(final_stats.solved, 3 * workload.len() as u64);
+    assert_eq!(final_stats.errors, 0);
+}
+
+#[test]
+fn isomorphic_relabelings_route_to_the_same_shard() {
+    // Routing uses the canonical fingerprint, so any relabeling of an
+    // instance must land on the shard that cached the original — a
+    // label-sensitive router would scatter isomorphic duplicates across
+    // shards and re-solve them.
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        batch: 1,
+        shards: 4,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let mut client = Client::connect(service.local_addr()).expect("connect");
+
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    let base: Vec<Instance> = (0..6)
+        .map(|k| {
+            let n = 8 + k;
+            let g = gilbert_bipartite(n / 2, n - n / 2, 0.4, &mut rng);
+            let sizes = JobSizes::Uniform { lo: 1, hi: 30 }.sample(n, &mut rng);
+            Instance::identical(2 + k % 3, sizes, g).unwrap()
+        })
+        .collect();
+
+    for inst in &base {
+        let first = client.solve(InstanceData::from_instance(inst)).expect("a");
+        assert_eq!(first.status, "ok", "{:?}", first.error);
+        assert_eq!(first.cached, Some(false));
+        // Relabel jobs by reversal: job j -> n-1-j.
+        let data = InstanceData::from_instance(inst);
+        let n = data.jobs as u32;
+        let relabeled = InstanceData {
+            processing: data
+                .processing
+                .as_ref()
+                .map(|p| p.iter().rev().copied().collect()),
+            times: data.times.as_ref().map(|rows| {
+                rows.iter()
+                    .map(|r| r.iter().rev().copied().collect())
+                    .collect()
+            }),
+            edges: data
+                .edges
+                .iter()
+                .map(|&(a, b)| (n - 1 - a, n - 1 - b))
+                .collect(),
+            ..data
+        };
+        let second = client.request(&Request::solve(relabeled)).expect("b");
+        assert_eq!(second.status, "ok", "{:?}", second.error);
+        assert_eq!(
+            second.cached,
+            Some(true),
+            "relabeled duplicate must find the original's shard cache"
+        );
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache_hits, base.len() as u64);
+    assert_eq!(stats.cache_misses, base.len() as u64);
+    // Per shard, hits mirror misses: the duplicate landed where the
+    // original was cached.
+    for (i, s) in stats.shards.iter().enumerate() {
+        assert_eq!(
+            s.cache_hits, s.cache_misses,
+            "shard {i}: relabeled twin must route to its original"
+        );
+    }
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn binary_framing_upgrade_round_trips_solves_and_stats() {
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        batch: 2,
+        shards: 2,
+        ..ServeOptions::default()
+    })
+    .expect("start service");
+    let addr = service.local_addr();
+
+    // Solve over JSON first so the binary client can compare answers.
+    let inst = Instance::identical(
+        3,
+        vec![7, 4, 9, 2, 5, 8, 3],
+        bisched_graph::Graph::from_edges(7, &[(0, 1), (2, 3), (4, 5)]),
+    )
+    .unwrap();
+    let mut json_client = Client::connect(addr).expect("connect json");
+    let json_resp = json_client
+        .solve(InstanceData::from_instance(&inst))
+        .expect("json solve");
+    assert_eq!(json_resp.status, "ok", "{:?}", json_resp.error);
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(!client.is_binary());
+    client.upgrade_binary().expect("upgrade");
+    assert!(client.is_binary());
+
+    // Same instance over binary frames: a cache hit with an identical
+    // makespan proves the two framings describe the same request.
+    let resp = client
+        .solve(InstanceData::from_instance(&inst))
+        .expect("binary solve");
+    assert_eq!(resp.status, "ok", "{:?}", resp.error);
+    assert_eq!(resp.cached, Some(true));
+    assert_eq!(
+        (resp.makespan_num, resp.makespan_den),
+        (json_resp.makespan_num, json_resp.makespan_den)
+    );
+    let schedule = Schedule::new(resp.assignment.expect("assignment"));
+    assert!(schedule.validate(&inst).is_ok());
+
+    // Structured verbs survive the framing too.
+    let stats = client.stats().expect("binary stats");
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.shards.len(), 2);
+    let trace = client.trace(None).expect("binary trace");
+    assert!(trace.current.len() + trace.previous.len() >= 2);
+    assert!(client.ping().expect("ping").status == "ok");
+
+    // A fresh solve (not just cache hits) over binary framing.
+    let fresh = Instance::identical(2, vec![6, 1, 4, 2], bisched_graph::Graph::path(4)).unwrap();
+    let resp = client
+        .solve(InstanceData::from_instance(&fresh))
+        .expect("fresh binary solve");
+    assert_eq!(resp.status, "ok", "{:?}", resp.error);
+    assert_eq!(resp.cached, Some(false));
+
+    // Downgrade works over the same connection.
+    let mut req = Request::verb("upgrade");
+    req.frame = Some("json".into());
+    let resp = client.request(&req).expect("downgrade");
+    assert_eq!(resp.status, "ok");
+    // (Client keeps binary mode internally; use a raw JSON probe.)
+    drop(client);
+    let mut back = Client::connect(addr).expect("reconnect json");
+    assert_eq!(back.ping().expect("ping").status, "ok");
+
+    service.shutdown();
+    service.join();
+}
+
+#[test]
+fn snapshot_warm_restart_answers_from_cache_across_shard_counts() {
+    let dir = std::env::temp_dir().join(format!("bisched-e2e-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let snap = dir.join("cache.bsnap");
+    let _ = std::fs::remove_file(&snap);
+    let workload = mixed_workload();
+
+    // First life: 2 shards, cold cache, snapshot on drain.
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        batch: 2,
+        shards: 2,
+        cache_snapshot: Some(snap.clone()),
+        ..ServeOptions::default()
+    })
+    .expect("start first life");
+    let (ok, _) = submit_all(service.local_addr(), &workload);
+    assert_eq!(ok, workload.len());
+    service.shutdown();
+    let first = service.join();
+    assert_eq!(first.cache_misses, workload.len() as u64);
+    assert!(snap.exists(), "drain must write the snapshot");
+
+    // Second life: different shard count (re-bucketing) — every request
+    // must be a cache hit and no batch may reach the solver.
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 3,
+        batch: 2,
+        shards: 3,
+        cache_snapshot: Some(snap.clone()),
+        ..ServeOptions::default()
+    })
+    .expect("start second life");
+    let (ok, cached) = submit_all(service.local_addr(), &workload);
+    assert_eq!(ok, workload.len());
+    assert_eq!(cached, workload.len(), "warm start must serve everything");
+    service.shutdown();
+    let second = service.join();
+    assert_eq!(second.cache_hits, workload.len() as u64);
+    assert_eq!(second.cache_misses, 0);
+    assert_eq!(second.batches, 0, "no solver work after a warm start");
+
+    // A corrupt snapshot is a cold start, not a crash.
+    std::fs::write(&snap, b"BSNAPgarbage").expect("corrupt");
+    let service = Service::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        batch: 1,
+        cache_snapshot: Some(snap.clone()),
+        ..ServeOptions::default()
+    })
+    .expect("cold start on corrupt snapshot");
+    let mut client = Client::connect(service.local_addr()).expect("connect");
+    let inst = Instance::identical(2, vec![3, 1, 2], bisched_graph::Graph::path(3)).unwrap();
+    let resp = client
+        .solve(InstanceData::from_instance(&inst))
+        .expect("solve");
+    assert_eq!(resp.cached, Some(false));
+    service.shutdown();
+    service.join();
+    let _ = std::fs::remove_file(&snap);
 }
 
 #[test]

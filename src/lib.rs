@@ -229,7 +229,12 @@
 //! ## Running as a service
 //!
 //! For bulk traffic, [`service`] wraps the solver in a long-running
-//! daemon (JSON-lines over TCP — see `crates/service/PROTOCOL.md`): a
+//! daemon (JSON-lines over TCP, with an opt-in length-prefixed binary
+//! framing — see `crates/service/PROTOCOL.md`) built as **N independent
+//! shards**: each request is routed by its instance's canonical
+//! fingerprint to one shard, which owns its own cache, bounded queue,
+//! worker pool, latency histograms, and slow-request exemplar ring, so
+//! the solve hot path takes no cross-shard lock. Within a shard, a
 //! worker pool micro-batches requests into
 //! [`Solver::solve_batch`](core::Solver::solve_batch), and a
 //! canonicalization cache (instances reduced to the normal form of
@@ -254,15 +259,55 @@
 //! service.join(); // drains the queue, logs final stats
 //! ```
 //!
-//! From the command line: `bisched_cli serve --addr 127.0.0.1:7878`
-//! starts the daemon; `bisched_cli submit --addr 127.0.0.1:7878
-//! workload.jsonl --repeat 2` pushes a JSONL workload through it,
-//! validates every returned schedule, and prints req/s and the cache
-//! hit rate. The `stats` verb exposes requests served, hit rate,
-//! p50/p99 latency — split into queue-wait and solve-time components —
-//! per-engine win counts, and per-engine race-cancelled attempt counts
-//! (cancellations are neither wins nor losses); the `metrics` verb
-//! serves the same counters as Prometheus text exposition.
+//! From the command line, `bisched_cli serve --addr 127.0.0.1:7878`
+//! starts the daemon:
+//!
+//! | `serve` flag | default | effect |
+//! |---|---|---|
+//! | `--addr` | `127.0.0.1:7878` | bind address (port `0` picks one) |
+//! | `--shards` | `1` | independent shards; requests route by canonical fingerprint |
+//! | `--workers` | cores (≤ 8) | solver threads, split across shards |
+//! | `--batch` | `16` | max jobs per micro-batched `solve_batch` call |
+//! | `--cache-cap` | `4096` | LRU cache entries **per shard** (`0` disables) |
+//! | `--queue-cap` | `1024` | bounded queue slots **per shard** (full → `busy`) |
+//! | `--cache-snapshot` | off | persist caches at shutdown, warm-start next boot |
+//! | `--exemplar-k` / `--exemplar-window-s` | `8` / `60` | slow-request exemplar ring |
+//! | `--log-level` / `--log-json` | `info` / off | leveled stderr logging |
+//!
+//! `bisched_cli submit --addr 127.0.0.1:7878 workload.jsonl --repeat 2`
+//! pushes a JSONL workload through it, validates every returned
+//! schedule, and prints req/s and the cache hit rate; `--clients K`
+//! drives the daemon from K concurrent connections (aggregate req/s
+//! plus a per-shard hit-rate breakdown), `--frame binary` negotiates
+//! the v2 binary framing first. The `stats` verb exposes requests
+//! served, hit rate, p50/p99 latency — split into queue-wait and
+//! solve-time components — per-engine win counts, per-engine
+//! race-cancelled attempt counts (cancellations are neither wins nor
+//! losses), and the per-shard breakdown; the `metrics` verb serves the
+//! same counters as Prometheus text exposition, including
+//! `bisched_shard_requests_total{shard="…"}`.
+//!
+//! ### Scaling the service
+//!
+//! Shards scale because nothing on the hot path is shared: routing by
+//! the isomorphism-invariant fingerprint sends every relabeling of an
+//! instance to the same shard's cache, and backpressure (`busy`) is a
+//! per-shard verdict. The `service_scaling` lab suite measures this
+//! end to end — it boots the daemon at 1, 2, 4, and 8 shards, drives
+//! each with shard-pinned concurrent clients under a serialized
+//! per-request stall (so the ceiling is architectural, not
+//! hardware-dependent), and CI gates near-linear aggregate throughput
+//! scaling from the committed baseline:
+//!
+//! ```text
+//! bisched_cli lab run --suite service_scaling
+//! bisched_cli serve --shards 8 --cache-snapshot cache.bsnap &
+//! bisched_cli submit --addr 127.0.0.1:7878 w.jsonl --clients 8 --json
+//! ```
+//!
+//! A daemon restarted with the same `--cache-snapshot` re-buckets the
+//! persisted entries by fingerprint — across *any* shard count — and
+//! answers its old working set from cache without invoking a solver.
 //!
 //! ## Benchmarking with the lab
 //!
@@ -370,8 +415,10 @@
 //!   facade;
 //! * [`lab`] — the scenario corpus, benchmark harness, and
 //!   perf-regression gate behind `bisched_cli lab`;
-//! * [`service`] — the solve daemon: JSON-lines TCP protocol,
-//!   canonicalization cache, micro-batching worker pool, stats and
+//! * [`service`] — the solve daemon: sharded by canonical fingerprint
+//!   (per-shard cache, queue, workers, histograms, exemplars — no
+//!   cross-shard lock on the hot path), JSON-lines TCP protocol with
+//!   opt-in binary framing, cache snapshot warm starts, stats and
 //!   Prometheus metrics.
 
 #![warn(missing_docs)]

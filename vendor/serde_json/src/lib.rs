@@ -33,6 +33,16 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     T::from_json_value(&value).map_err(|e| Error(e.0))
 }
 
+/// Converts any [`Serialize`] type to its [`Value`] representation.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Deserializes a [`Value`] into any [`Deserialize`] type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_json_value(&value).map_err(|e| Error(e.0))
+}
+
 /// Parses JSON text into a [`Value`].
 pub fn parse_value(s: &str) -> Result<Value, Error> {
     let bytes = s.as_bytes();
